@@ -1,0 +1,31 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Each benchmark runs one of the paper's experiments end to end, prints the
+resulting text table (the analogue of the paper's bar/line chart), and
+writes it under ``benchmarks/results/`` for EXPERIMENTS.md.
+
+Workload sizes follow ``repro.bench.BenchConfig`` and scale with the
+``REPRO_BENCH_SCALE`` environment variable (default 1.0 — the scaled tier
+documented in DESIGN.md; larger values approach paper scale at the cost
+of runtime).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    print("\n" + text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

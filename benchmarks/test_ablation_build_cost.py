@@ -1,0 +1,61 @@
+"""Extension bench: index-on-the-fly — build cost + query cost.
+
+The paper's introduction motivates MBRQT partly through the no-prebuilt-
+index scenario: "cases where ANN is run on datasets that do not have a
+prebuilt index (such as when running ANN as part of a complex query in
+which a selection predicate may have been applied on the base datasets)".
+There the index build is part of the query cost.  This bench measures
+end-to-end cost (build + ANN) for MBRQT bulk build, R*-tree dynamic
+insertion, and R*-tree STR bulk load.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.api import build_index
+from repro.bench import BenchConfig, format_table, run_method
+from repro.core.mba import mba_join
+from repro.data.datasets import tac_surrogate
+
+
+def run_experiment():
+    cfg = BenchConfig.from_env()
+    pts = tac_surrogate(max(2000, cfg.tac_n // 2), seed=cfg.seed)
+    runs = []
+    build_seconds = {}
+
+    for label, kind, kwargs in (
+        ("MBRQT bulk", "mbrqt", {}),
+        ("R* dynamic", "rstar", {"method": "dynamic"}),
+        ("R* STR", "rstar", {"method": "str"}),
+    ):
+        storage = cfg.storage()
+        t0 = time.process_time()
+        index = build_index(pts, storage, kind=kind, **kwargs)
+        build_seconds[label] = time.process_time() - t0
+        run = run_method(
+            label,
+            lambda i=index: mba_join(i, i, exclude_self=True),
+            storage,
+            build_s=round(build_seconds[label], 3),
+        )
+        runs.append(run)
+    return runs
+
+
+def test_build_cost(benchmark, results_dir):
+    runs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_build_cost",
+        format_table(
+            "Extension — index-on-the-fly: build + ANN cost", runs, extra_cols=["build_s"]
+        ),
+    )
+    by = {r.label: r for r in runs}
+    # All three produce the same answers.
+    assert len({r.stats.result_pairs for r in runs}) == 1
+    # The paper's motivation: the quadtree bulk build is far cheaper than
+    # dynamic R*-tree construction.
+    assert by["MBRQT bulk"].params["build_s"] < by["R* dynamic"].params["build_s"] / 3

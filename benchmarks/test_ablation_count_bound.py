@@ -1,0 +1,21 @@
+"""Extension ablation: the count-aware AkNN bound.
+
+Beyond the paper: stored subtree counts let MAXMAXDIST prove k points
+from a single entry, while NXNDIST's per-entry guarantee (Lemma 3.1)
+admits only entry counting.  This quantifies that asymmetry at k = 20.
+"""
+
+from conftest import emit
+
+from repro.bench import ablation_count_bound, format_table
+
+
+def test_count_bound(benchmark, results_dir):
+    runs = benchmark.pedantic(ablation_count_bound, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_count_bound",
+        format_table("Extension — count-aware AkNN bound (k=20)", runs),
+    )
+    by = {r.label: r for r in runs}
+    assert by["AkNN NXNDIST"].stats.result_pairs == by["AkNN MAXMAXDIST"].stats.result_pairs

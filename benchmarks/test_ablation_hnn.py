@@ -1,0 +1,74 @@
+"""Extension bench: the no-index case — HNN vs building an index + BNN.
+
+The paper's Section 2 makes two claims about Zhang et al.'s hash-based
+HNN: (a) "in many cases building an index and running BNN is faster than
+HNN", and (b) HNN "is susceptible to poor performance on skewed data
+distributions".  Neither claim gets a figure in the paper; this bench
+regenerates both as an extension experiment.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.bench import BenchConfig, format_table, run_method
+from repro.api import build_index
+from repro.data import gstd
+from repro.join.bnn import bnn_join
+from repro.join.hnn import hnn_join
+
+
+def _scenario(cfg, distribution):
+    pts = gstd.generate(cfg.syn_n, 2, distribution, seed=cfg.seed)
+    runs = []
+
+    storage_h = cfg.storage()
+    runs.append(
+        run_method(
+            f"HNN ({distribution})",
+            lambda s=storage_h, p=pts: hnn_join(p, p, s, exclude_self=True),
+            storage_h,
+        )
+    )
+
+    # BNN's cost here includes building the R*-tree, per the claim.
+    storage_b = cfg.storage()
+    def index_and_bnn(p=pts, s=storage_b):
+        index = build_index(p, s, kind="rstar", method="str")
+        return bnn_join(index, p, exclude_self=True)
+
+    runs.append(
+        run_method(f"build+BNN ({distribution})", index_and_bnn, storage_b)
+    )
+    return runs
+
+
+def run_experiment():
+    cfg = BenchConfig.from_env()
+    return _scenario(cfg, "uniform") + _scenario(cfg, "skewed")
+
+
+def test_hnn_vs_bnn(benchmark, results_dir):
+    runs = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "ablation_hnn",
+        format_table("Extension — no-index case: HNN vs build-index-then-BNN", runs),
+    )
+
+    by = {r.label: r for r in runs}
+    # All four runs answer the same query size.
+    counts = {label: r.stats.result_pairs for label, r in by.items()}
+    uniform = {label: c for label, c in counts.items() if "uniform" in label}
+    assert len(set(uniform.values())) == 1
+
+    # Claim (b): skew degrades HNN's distance work far more than BNN's.
+    hnn_ratio = (
+        by["HNN (skewed)"].stats.distance_evaluations
+        / by["HNN (uniform)"].stats.distance_evaluations
+    )
+    bnn_ratio = (
+        by["build+BNN (skewed)"].stats.distance_evaluations
+        / by["build+BNN (uniform)"].stats.distance_evaluations
+    )
+    assert hnn_ratio > bnn_ratio

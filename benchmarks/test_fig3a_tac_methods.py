@@ -1,0 +1,44 @@
+"""Figure 3(a): comparison of methods on TAC (2D real-data surrogate).
+
+Paper content: BNN / RBA / MBA under both MAXMAXDIST and NXNDIST, plus
+GORDER, as stacked CPU+I/O bars on the TAC dataset.
+
+Shapes asserted (machine-independent counters; see EXPERIMENTS.md for the
+full paper-vs-measured discussion):
+
+* MBA does the least distance work, BNN the most, RBA in between.
+* MBA also wins the I/O axis (fewest page misses).
+* MBA beats GORDER on the modeled total (paper: >= 2x).
+"""
+
+from conftest import emit
+
+from repro.bench import fig3a_tac_methods, format_table
+
+
+def test_fig3a(benchmark, results_dir):
+    runs = benchmark.pedantic(fig3a_tac_methods, rounds=1, iterations=1)
+    emit(results_dir, "fig3a_tac_methods", format_table("Figure 3(a) — TAC, ANN methods", runs))
+
+    by = {r.label: r for r in runs}
+    mba = by["MBA NXNDIST"]
+    rba = by["RBA NXNDIST"]
+    bnn = by["BNN NXNDIST"]
+    gorder = by["GORDER"]
+
+    # Index-structure ordering on CPU work (paper: MBA ~3x faster than RBA,
+    # BNN slowest of the indexed methods).
+    assert mba.stats.distance_evaluations < rba.stats.distance_evaluations
+    assert rba.stats.distance_evaluations < bnn.stats.distance_evaluations
+
+    # MBRQT's regular decomposition also wins the I/O axis.
+    assert mba.stats.page_misses <= rba.stats.page_misses
+
+    # MBA vs GORDER (paper: at least 2x on TAC).
+    assert mba.modeled_total_s < gorder.modeled_total_s
+
+    # The NXNDIST variants never do more work than MAXMAXDIST ones.
+    for method in ("BNN", "RBA", "MBA"):
+        nxn = by[f"{method} NXNDIST"].stats
+        mm = by[f"{method} MAXMAXDIST"].stats
+        assert nxn.distance_evaluations <= mm.distance_evaluations * 1.01

@@ -1,0 +1,52 @@
+"""Figure 3(b): FC 10-D — buffer pool sensitivity of MBA vs GORDER.
+
+Paper content: GORDER's performance improves rapidly as the pool grows
+from 1 MB to 4 MB and stabilises after; MBA keeps only a small candidate
+set resident and is insensitive to pool size, staying faster throughout
+(2x at large pools, up to 6x at small ones).
+"""
+
+from conftest import emit
+
+from repro.bench import fig3b_bufferpool, format_series, format_table
+
+
+def test_fig3b(benchmark, results_dir):
+    runs = benchmark.pedantic(fig3b_bufferpool, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "fig3b_bufferpool",
+        format_table("Figure 3(b) — FC 10D, pool sweep", runs, extra_cols=["pool_kb"])
+        + "\n\n"
+        + format_series(
+            "Figure 3(b) — page misses vs pool size",
+            "pool_kb",
+            {
+                label: [(r.params["pool_kb"], r.stats.page_misses) for r in runs if r.label == label]
+                for label in ("MBA", "GORDER")
+            },
+            unit="misses",
+        ),
+    )
+
+    mba = {r.params["pool_kb"]: r for r in runs if r.label == "MBA"}
+    gorder = {r.params["pool_kb"]: r for r in runs if r.label == "GORDER"}
+    pools = sorted(mba)
+
+    # MBA faster than GORDER at every pool size (modeled total) — the
+    # paper's headline shape for this figure.
+    for pool in pools:
+        assert mba[pool].modeled_total_s < gorder[pool].modeled_total_s
+
+    # GORDER improves rapidly once the pool grows past the smallest
+    # setting and then stabilises (paper: rapid gain 1MB->4MB, flat after).
+    g_small = gorder[pools[0]].stats.page_misses
+    g_large = gorder[pools[-1]].stats.page_misses
+    assert g_small > 1.5 * g_large
+    mid = gorder[pools[-2]].stats.page_misses
+    assert abs(mid - g_large) <= 0.2 * g_large  # stabilised
+
+    # GORDER does more distance work than MBA at 10-D (its block-level
+    # MAXMAXDIST pruning is weaker than LPQ pruning).
+    for pool in pools:
+        assert gorder[pool].stats.distance_evaluations > mba[pool].stats.distance_evaluations

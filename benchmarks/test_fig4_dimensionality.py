@@ -1,0 +1,38 @@
+"""Figure 4: effect of dimensionality (GSTD synthetic, D = 2/4/6).
+
+Paper content: MBA outperforms GORDER ~3x at every dimensionality; CPU
+cost grows only gradually with D thanks to the O(D) NXNDIST algorithm.
+"""
+
+from conftest import emit
+
+from repro.bench import fig4_dimensionality, format_series, format_table
+
+
+def test_fig4(benchmark, results_dir):
+    runs = benchmark.pedantic(fig4_dimensionality, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "fig4_dimensionality",
+        format_table("Figure 4 — dimensionality sweep", runs, extra_cols=["D"])
+        + "\n\n"
+        + format_series(
+            "Figure 4 — modeled total vs D",
+            "D",
+            {
+                label: [(r.params["D"], r.modeled_total_s) for r in runs if r.label == label]
+                for label in ("MBA", "GORDER")
+            },
+        ),
+    )
+
+    mba = {r.params["D"]: r for r in runs if r.label == "MBA"}
+    gorder = {r.params["D"]: r for r in runs if r.label == "GORDER"}
+
+    # MBA wins at every dimensionality (paper: ~3x).
+    for d in (2, 4, 6):
+        assert mba[d].modeled_total_s < gorder[d].modeled_total_s
+
+    # Costs grow gradually, not explosively, with D (paper's observation
+    # crediting the O(D) NXNDIST algorithm): 2D -> 6D grows less than ~8x.
+    assert mba[6].modeled_total_s < 8 * mba[2].modeled_total_s

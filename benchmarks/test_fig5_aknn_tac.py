@@ -1,0 +1,39 @@
+"""Figure 5: AkNN on TAC, k = 10..50 — MBA vs GORDER.
+
+Paper content: both methods' time grows with k; MBA stays faster at
+every k (the paper reports over an order of magnitude).
+"""
+
+from conftest import emit
+
+from repro.bench import fig5_aknn_tac, format_series, format_table
+
+
+def test_fig5(benchmark, results_dir):
+    runs = benchmark.pedantic(fig5_aknn_tac, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "fig5_aknn_tac",
+        format_table("Figure 5 — AkNN on TAC", runs, extra_cols=["k"])
+        + "\n\n"
+        + format_series(
+            "Figure 5 — modeled total vs k",
+            "k",
+            {
+                label: [(r.params["k"], r.modeled_total_s) for r in runs if r.label == label]
+                for label in ("MBA", "GORDER")
+            },
+        ),
+    )
+
+    mba = {r.params["k"]: r for r in runs if r.label == "MBA"}
+    gorder = {r.params["k"]: r for r in runs if r.label == "GORDER"}
+    ks = sorted(mba)
+
+    # MBA wins at every k.
+    for k in ks:
+        assert mba[k].modeled_total_s < gorder[k].modeled_total_s
+
+    # Execution cost increases with k for both methods.
+    assert mba[ks[-1]].stats.distance_evaluations > mba[ks[0]].stats.distance_evaluations
+    assert gorder[ks[-1]].stats.distance_evaluations >= gorder[ks[0]].stats.distance_evaluations

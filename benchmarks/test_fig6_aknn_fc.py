@@ -1,0 +1,35 @@
+"""Figure 6: AkNN on FC (10-D), k = 10..50 — MBA vs GORDER.
+
+Paper content: same shape as Figure 5 on the high-dimensional real
+dataset — MBA ahead of GORDER across the whole k range.
+"""
+
+from conftest import emit
+
+from repro.bench import fig6_aknn_fc, format_series, format_table
+
+
+def test_fig6(benchmark, results_dir):
+    runs = benchmark.pedantic(fig6_aknn_fc, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "fig6_aknn_fc",
+        format_table("Figure 6 — AkNN on FC (10D)", runs, extra_cols=["k"])
+        + "\n\n"
+        + format_series(
+            "Figure 6 — modeled total vs k",
+            "k",
+            {
+                label: [(r.params["k"], r.modeled_total_s) for r in runs if r.label == label]
+                for label in ("MBA", "GORDER")
+            },
+        ),
+    )
+
+    mba = {r.params["k"]: r for r in runs if r.label == "MBA"}
+    gorder = {r.params["k"]: r for r in runs if r.label == "GORDER"}
+    ks = sorted(mba)
+
+    for k in ks:
+        assert mba[k].modeled_total_s < gorder[k].modeled_total_s
+    assert mba[ks[-1]].stats.distance_evaluations > mba[ks[0]].stats.distance_evaluations

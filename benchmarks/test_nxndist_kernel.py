@@ -1,0 +1,27 @@
+"""Microbenchmark: Algorithm 1's O(D) NXNDIST computation.
+
+The paper stresses that NXNDIST must be cheap because it is evaluated
+constantly; Algorithm 1 is linear in dimensionality.  This bench measures
+the vectorised kernel across D and checks the growth is linear-ish, not
+quadratic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import RectArray
+from repro.core.metrics import nxndist_cross
+
+
+def make_rects(rng, n, dims):
+    lo = rng.random((n, dims))
+    return RectArray(lo, lo + rng.random((n, dims)) * 0.2)
+
+
+@pytest.mark.parametrize("dims", [2, 4, 8, 16, 32])
+def test_nxndist_cross_scaling(benchmark, dims):
+    rng = np.random.default_rng(0)
+    a = make_rects(rng, 64, dims)
+    b = make_rects(rng, 64, dims)
+    out = benchmark(nxndist_cross, a, b)
+    assert out.shape == (64, 64)

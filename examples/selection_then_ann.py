@@ -1,0 +1,70 @@
+"""ANN inside a complex query: selection first, index on the fly.
+
+The paper's introduction singles out this scenario: a query applies a
+selection predicate to base tables and then runs ANN on the *filtered*
+intermediate results — which have no prebuilt index.  The MBRQT's cheap
+bulk build is what makes indexing-on-the-fly viable.
+
+Query in this example (two synthetic tables):
+
+    For every bright star observed after epoch 2015,
+    find the nearest catalogued galaxy with high confidence.
+
+Run:  python examples/selection_then_ann.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import StorageManager, build_join_indexes, mba_join, tac_surrogate
+
+
+def main() -> None:
+    rng = np.random.default_rng(31)
+
+    # Base table 1: stars(position, magnitude, epoch)
+    n_stars = 30_000
+    star_pos = tac_surrogate(n_stars, seed=1)
+    star_mag = rng.normal(14, 2.5, n_stars)
+    star_epoch = rng.uniform(2000, 2025, n_stars)
+
+    # Base table 2: galaxies(position, confidence)
+    n_gal = 20_000
+    gal_pos = tac_surrogate(n_gal, seed=2)
+    gal_conf = rng.random(n_gal)
+
+    # --- Selection predicates -------------------------------------------------
+    bright_recent = (star_mag < 13.0) & (star_epoch > 2015.0)
+    confident = gal_conf > 0.7
+    r = star_pos[bright_recent]
+    s = gal_pos[confident]
+    r_ids = np.nonzero(bright_recent)[0]
+    s_ids = np.nonzero(confident)[0]
+    print(f"selection kept {len(r):,} / {n_stars:,} stars "
+          f"and {len(s):,} / {n_gal:,} galaxies")
+
+    # --- Index on the fly + ANN ----------------------------------------------
+    storage = StorageManager(page_size=2048, pool_pages=256)
+    t0 = time.process_time()
+    ir, is_ = build_join_indexes(r, s, storage, r_ids=r_ids, s_ids=s_ids)
+    build_s = time.process_time() - t0
+
+    t0 = time.process_time()
+    result, stats = mba_join(ir, is_)
+    query_s = time.process_time() - t0
+
+    print(f"MBRQT bulk build  : {build_s:.2f}s (both sides)")
+    print(f"ANN query         : {query_s:.2f}s, "
+          f"{stats.distance_evaluations:,} distance evaluations")
+
+    # A few result rows, with original base-table ids.
+    print("\nstar id -> nearest confident galaxy id (distance, deg):")
+    for star_id, galaxy_id, dist in list(result.pairs())[:5]:
+        print(f"  {star_id:>6} -> {galaxy_id:>6}  ({dist:.3f})")
+
+    assert result.pair_count() == len(r)
+
+
+if __name__ == "__main__":
+    main()

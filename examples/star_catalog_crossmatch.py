@@ -1,0 +1,69 @@
+"""Astronomical catalogue cross-matching with ANN.
+
+The paper's TAC workload comes from astrometry, where a standard task is
+*cross-matching*: for every star of a new observation catalogue, find the
+nearest star of a reference catalogue and accept the pair when it is
+within an astrometric tolerance.  That is precisely the All-Nearest-
+Neighbor operation between two (differently sized) datasets.
+
+This example synthesises a reference catalogue and a noisy, partially
+overlapping observation of it, cross-matches the two with the MBA
+algorithm, and reports match completeness and the cost counters —
+including how the buffer pool behaves when the catalogues outgrow it.
+
+Run:  python examples/star_catalog_crossmatch.py
+"""
+
+import numpy as np
+
+from repro import StorageManager, build_join_indexes, mba_join, tac_surrogate
+
+MATCH_TOLERANCE_DEG = 0.02  # accept matches within ~72 arcseconds
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+
+    # Reference catalogue: 30K star positions (RA, Dec).
+    reference = tac_surrogate(30_000, seed=5)
+
+    # Observation: 60% of the reference stars re-observed with small
+    # astrometric noise, plus 2K spurious detections.
+    observed_idx = rng.choice(len(reference), size=18_000, replace=False)
+    observed = reference[observed_idx] + rng.normal(0, 0.002, (18_000, 2))
+    spurious = np.column_stack(
+        [rng.random(2_000) * 360.0, rng.uniform(-90, 90, 2_000)]
+    )
+    observation = np.vstack([observed, spurious])
+
+    # Cross-match: nearest reference star for every observed star.
+    storage = StorageManager(page_size=2048, pool_pages=256)  # 512 KB pool
+    obs_index, ref_index = build_join_indexes(observation, reference, storage)
+    storage.reset_counters()
+    storage.drop_caches()
+    result, stats = mba_join(obs_index, ref_index)
+    io = storage.io_snapshot()
+    stats.page_misses += io["page_misses"]
+    stats.io_time_s += io["io_time_s"]
+
+    matched = 0
+    correct = 0
+    for obs_id, ref_id, dist in result.pairs():
+        if dist <= MATCH_TOLERANCE_DEG:
+            matched += 1
+            if obs_id < 18_000 and ref_id == observed_idx[obs_id]:
+                correct += 1
+
+    print(f"observation stars     : {len(observation):,}")
+    print(f"matches within {MATCH_TOLERANCE_DEG} deg: {matched:,}")
+    print(f"correctly re-identified: {correct:,} / 18,000 "
+          f"({100 * correct / 18_000:.1f}%)")
+    print(f"distance evaluations  : {stats.distance_evaluations:,}")
+    print(f"page misses           : {stats.page_misses:,} "
+          f"(simulated I/O {stats.io_time_s:.2f}s)")
+
+    assert correct > 17_000, "cross-match should recover nearly all real stars"
+
+
+if __name__ == "__main__":
+    main()

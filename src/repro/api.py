@@ -1,0 +1,147 @@
+"""High-level public API.
+
+Most users need only these functions::
+
+    from repro import all_nearest_neighbors
+
+    result, stats = all_nearest_neighbors(r_points, s_points)
+    for r_id, s_id, dist in result.pairs():
+        ...
+
+Everything is built on the lower-level pieces, which remain public for
+power users: index builders (:func:`build_index`), the traversal engine
+(:func:`repro.core.mba.mba_join`), the baselines in :mod:`repro.join`,
+and the storage substrate in :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .core.geometry import Rect
+from .core.mba import mba_join
+from .core.pruning import PruningMetric
+from .core.result import NeighborResult
+from .core.stats import QueryStats
+from .index.base import PagedIndex
+from .index.mbrqt import build_mbrqt
+from .index.rstar import build_rstar
+from .storage.manager import StorageManager
+
+__all__ = [
+    "build_index",
+    "build_join_indexes",
+    "all_nearest_neighbors",
+    "aknn_join",
+]
+
+_INDEX_KINDS = ("mbrqt", "rstar")
+
+
+def build_index(
+    points: np.ndarray,
+    storage: StorageManager,
+    kind: str = "mbrqt",
+    point_ids: np.ndarray | None = None,
+    universe: Rect | None = None,
+    **kwargs,
+) -> PagedIndex:
+    """Build a disk-resident spatial index over ``points``.
+
+    ``kind`` is ``"mbrqt"`` (the paper's index) or ``"rstar"``.
+    ``universe`` applies to MBRQT only: the root cell of the regular
+    decomposition (see :func:`repro.index.mbrqt.build_mbrqt`).
+    """
+    if kind == "mbrqt":
+        return build_mbrqt(points, storage, point_ids=point_ids, universe=universe, **kwargs)
+    if kind == "rstar":
+        return build_rstar(points, storage, point_ids=point_ids, **kwargs)
+    raise ValueError(f"unknown index kind {kind!r}; expected one of {_INDEX_KINDS}")
+
+
+def build_join_indexes(
+    r_points: np.ndarray,
+    s_points: np.ndarray,
+    storage: StorageManager,
+    kind: str = "mbrqt",
+    r_ids: np.ndarray | None = None,
+    s_ids: np.ndarray | None = None,
+    **kwargs,
+) -> tuple[PagedIndex, PagedIndex]:
+    """Build matching indexes over both join inputs.
+
+    For MBRQT the two trees share the union universe, aligning their
+    partition boundaries — the property Section 3.2 of the paper credits
+    for the quadtree's pruning advantage.
+    """
+    r_points = np.asarray(r_points, dtype=np.float64)
+    s_points = np.asarray(s_points, dtype=np.float64)
+    if kind == "mbrqt":
+        lo = np.minimum(r_points.min(axis=0), s_points.min(axis=0))
+        hi = np.maximum(r_points.max(axis=0), s_points.max(axis=0))
+        universe = Rect(lo, hi)
+        index_r = build_mbrqt(r_points, storage, point_ids=r_ids, universe=universe, **kwargs)
+        index_s = build_mbrqt(s_points, storage, point_ids=s_ids, universe=universe, **kwargs)
+        return index_r, index_s
+    if kind == "rstar":
+        index_r = build_rstar(r_points, storage, point_ids=r_ids, **kwargs)
+        index_s = build_rstar(s_points, storage, point_ids=s_ids, **kwargs)
+        return index_r, index_s
+    raise ValueError(f"unknown index kind {kind!r}; expected one of {_INDEX_KINDS}")
+
+
+def all_nearest_neighbors(
+    r_points: np.ndarray,
+    s_points: np.ndarray | None = None,
+    k: int = 1,
+    kind: str = "mbrqt",
+    metric: PruningMetric = PruningMetric.NXNDIST,
+    storage: StorageManager | None = None,
+    exclude_self: bool | None = None,
+) -> tuple[NeighborResult, QueryStats]:
+    """All-(k-)nearest-neighbour query with the paper's MBA algorithm.
+
+    Builds the indexes (MBRQT by default), runs the DF-BI traversal with
+    NXNDIST pruning, and returns the neighbour result plus cost counters.
+    When ``s_points`` is omitted, the query is a self-join over
+    ``r_points`` and ``exclude_self`` defaults to True (a point is not its
+    own neighbour — the convention clustering applications expect).
+    """
+    r_points = np.asarray(r_points, dtype=np.float64)
+    self_join = s_points is None
+    if exclude_self is None:
+        exclude_self = self_join
+    if storage is None:
+        storage = StorageManager()
+
+    if self_join:
+        index_r = build_index(r_points, storage, kind=kind)
+        index_s = index_r
+    else:
+        index_r, index_s = build_join_indexes(r_points, np.asarray(s_points), storage, kind=kind)
+
+    storage.reset_counters()
+    storage.drop_caches()
+    t0 = time.process_time()
+    result, stats = mba_join(
+        index_r, index_s, metric=metric, k=k, exclude_self=exclude_self
+    )
+    stats.cpu_time_s += time.process_time() - t0
+    io = storage.io_snapshot()
+    stats.logical_reads += io["logical_reads"]
+    stats.page_misses += io["page_misses"]
+    stats.io_time_s += io["io_time_s"]
+    return result, stats
+
+
+def aknn_join(
+    r_points: np.ndarray,
+    s_points: np.ndarray | None = None,
+    k: int = 10,
+    **kwargs,
+) -> tuple[NeighborResult, QueryStats]:
+    """All-k-nearest-neighbour query (Section 3.4); sugar over
+    :func:`all_nearest_neighbors` with ``k`` defaulting to 10."""
+    return all_nearest_neighbors(r_points, s_points, k=k, **kwargs)

@@ -1,0 +1,30 @@
+"""Benchmark harness and the paper's experiments (Section 4)."""
+
+from .experiments import (
+    BenchConfig,
+    ablation_count_bound,
+    ablation_filter_stage,
+    ablation_traversal_variants,
+    fig3a_tac_methods,
+    fig3b_bufferpool,
+    fig4_dimensionality,
+    fig5_aknn_tac,
+    fig6_aknn_fc,
+)
+from .harness import MethodRun, format_series, format_table, run_method
+
+__all__ = [
+    "BenchConfig",
+    "MethodRun",
+    "run_method",
+    "format_table",
+    "format_series",
+    "fig3a_tac_methods",
+    "fig3b_bufferpool",
+    "fig4_dimensionality",
+    "fig5_aknn_tac",
+    "fig6_aknn_fc",
+    "ablation_traversal_variants",
+    "ablation_filter_stage",
+    "ablation_count_bound",
+]

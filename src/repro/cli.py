@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows without writing any code:
+
+* ``datasets`` — generate and describe the Table 2 workloads.
+* ``join`` — run one ANN/AkNN method on a generated workload and print
+  the result summary plus cost counters.
+* ``experiment`` — regenerate one of the paper's figures.
+
+Examples::
+
+    python -m repro datasets --scale 0.01
+    python -m repro join --method mba --dataset tac -n 5000 -k 3
+    python -m repro experiment fig4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from . import bench
+from .api import build_index
+from .core.mba import mba_join
+from .core.pruning import PruningMetric
+from .data import gstd
+from .data.datasets import fc_surrogate, table2_datasets, tac_surrogate
+from .join.bnn import bnn_join
+from .join.gorder import gorder_join
+from .join.hnn import hnn_join
+from .join.mnn import mnn_join
+from .storage.manager import StorageManager
+
+__all__ = ["main"]
+
+_EXPERIMENTS = {
+    "fig3a": (bench.fig3a_tac_methods, "Figure 3(a) — TAC, ANN methods"),
+    "fig3b": (bench.fig3b_bufferpool, "Figure 3(b) — FC 10D, pool sweep"),
+    "fig4": (bench.fig4_dimensionality, "Figure 4 — dimensionality sweep"),
+    "fig5": (bench.fig5_aknn_tac, "Figure 5 — AkNN on TAC"),
+    "fig6": (bench.fig6_aknn_fc, "Figure 6 — AkNN on FC"),
+    "traversal": (bench.ablation_traversal_variants, "Traversal variants"),
+    "filter": (bench.ablation_filter_stage, "Filter Stage ablation"),
+    "countbound": (bench.ablation_count_bound, "Count-aware AkNN bound"),
+}
+
+
+def _make_dataset(name: str, n: int, dims: int, seed: int) -> np.ndarray:
+    if name == "tac":
+        return tac_surrogate(n, seed=seed)
+    if name == "fc":
+        return fc_surrogate(n, seed=seed)
+    if name in gstd.DISTRIBUTIONS:
+        return gstd.generate(n, dims, name, seed=seed)
+    raise SystemExit(
+        f"unknown dataset {name!r}: choose tac, fc, or one of {sorted(gstd.DISTRIBUTIONS)}"
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    data = table2_datasets(scale=args.scale)
+    print(f"Table 2 datasets at scale {args.scale}:")
+    for name, pts in data.items():
+        spans = pts.max(axis=0) - pts.min(axis=0)
+        print(
+            f"  {name:8s} n={len(pts):>8,}  D={pts.shape[1]:>2}  "
+            f"extent span ratio={spans.max() / max(spans.min(), 1e-12):.1f}"
+        )
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    points = _make_dataset(args.dataset, args.n, args.dims, args.seed)
+    storage = StorageManager.with_pool_bytes(args.pool_kb * 1024, args.page_size)
+    metric = PruningMetric.NXNDIST if args.metric == "nxndist" else PruningMetric.MAXMAXDIST
+
+    t0 = time.process_time()
+    if args.method in ("mba", "rba"):
+        kind = "mbrqt" if args.method == "mba" else "rstar"
+        index = build_index(points, storage, kind=kind)
+        build_s = time.process_time() - t0
+        storage.reset_counters()
+        storage.drop_caches()
+        t0 = time.process_time()
+        result, stats = mba_join(index, index, metric=metric, k=args.k, exclude_self=True)
+    elif args.method == "bnn":
+        index = build_index(points, storage, kind="rstar")
+        build_s = time.process_time() - t0
+        storage.reset_counters()
+        storage.drop_caches()
+        t0 = time.process_time()
+        result, stats = bnn_join(index, points, metric=metric, k=args.k, exclude_self=True)
+    elif args.method == "mnn":
+        index = build_index(points, storage, kind="rstar")
+        build_s = time.process_time() - t0
+        storage.reset_counters()
+        storage.drop_caches()
+        t0 = time.process_time()
+        result, stats = mnn_join(index, points, k=args.k, exclude_self=True)
+    elif args.method == "gorder":
+        build_s = 0.0
+        t0 = time.process_time()
+        result, stats = gorder_join(points, points, storage, k=args.k, exclude_self=True)
+    elif args.method == "hnn":
+        build_s = 0.0
+        t0 = time.process_time()
+        result, stats = hnn_join(points, points, storage, k=args.k, exclude_self=True)
+    else:
+        raise SystemExit(f"unknown method {args.method!r}")
+    query_s = time.process_time() - t0
+    io = storage.io_snapshot()
+
+    print(f"{args.method.upper()} self-{'ANN' if args.k == 1 else f'A{args.k}NN'} "
+          f"on {args.dataset} (n={args.n:,})")
+    print(f"  index build      : {build_s:.2f}s")
+    print(f"  query CPU        : {query_s:.2f}s")
+    print(f"  simulated I/O    : {io['io_time_s']:.2f}s ({io['page_misses']:,} misses)")
+    print(f"  distance evals   : {stats.distance_evaluations:,}")
+    print(f"  node expansions  : {stats.node_expansions:,}")
+    print(f"  result pairs     : {result.pair_count():,}")
+    print(f"  total distance   : {result.total_distance():.4f} (checksum)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    entry = _EXPERIMENTS.get(args.name)
+    if entry is None:
+        raise SystemExit(f"unknown experiment {args.name!r}: choose from {sorted(_EXPERIMENTS)}")
+    fn, title = entry
+    runs = fn()
+    extra = sorted({key for r in runs for key in r.params})
+    print(bench.format_table(title, runs, extra_cols=extra))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="All-Nearest-Neighbor query reproduction (Chen & Patel, ICDE 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="generate and describe the Table 2 workloads")
+    p.add_argument("--scale", type=float, default=0.01, help="cardinality scale (1.0 = paper)")
+    p.set_defaults(fn=_cmd_datasets)
+
+    p = sub.add_parser("join", help="run one ANN/AkNN method on a generated workload")
+    p.add_argument("--method", default="mba",
+                   choices=["mba", "rba", "bnn", "mnn", "gorder", "hnn"])
+    p.add_argument("--dataset", default="tac",
+                   help="tac, fc, uniform, gaussian, skewed, correlated")
+    p.add_argument("-n", type=int, default=10_000, help="number of points")
+    p.add_argument("--dims", type=int, default=2, help="dimensionality (synthetic only)")
+    p.add_argument("-k", type=int, default=1, help="neighbours per point")
+    p.add_argument("--metric", default="nxndist", choices=["nxndist", "maxmaxdist"])
+    p.add_argument("--page-size", type=int, default=2048)
+    p.add_argument("--pool-kb", type=int, default=512)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=_cmd_join)
+
+    p = sub.add_parser("experiment", help="regenerate one of the paper's figures")
+    p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
+    p.set_defaults(fn=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse ``argv`` (default ``sys.argv[1:]``) and run the chosen command."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,278 @@
+"""Geometric primitives: points and minimum bounding rectangles (MBRs).
+
+The paper (Section 3.1.1) represents a D-dimensional MBR ``M`` as two
+vectors: a lower-bound vector ``<l_1 .. l_D>`` and an upper-bound vector
+``<u_1 .. u_D>``.  :class:`Rect` follows that representation directly,
+backed by numpy arrays so the distance kernels in
+:mod:`repro.core.metrics` can be vectorised.
+
+Two forms are provided:
+
+* :class:`Rect` — a single MBR, the unit the index nodes and the traversal
+  algorithms reason about.
+* :class:`RectArray` — a column-oriented batch of MBRs (``lo``/``hi`` of
+  shape ``(n, D)``), used whenever an algorithm evaluates one MBR against
+  all children of a node in a single numpy call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Rect", "RectArray"]
+
+_FLOAT = np.float64
+
+
+def _as_vector(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    vec = np.asarray(values, dtype=_FLOAT)
+    if vec.ndim != 1:
+        raise ValueError(f"expected a 1-D coordinate vector, got shape {vec.shape}")
+    if vec.size == 0:
+        raise ValueError("coordinate vector must have at least one dimension")
+    return vec
+
+
+class Rect:
+    """An axis-aligned minimum bounding rectangle in D dimensions.
+
+    Instances are immutable: ``lo`` and ``hi`` are read-only numpy views.
+    A degenerate rectangle (``lo == hi``) represents a point, which is how
+    data objects enter the traversal algorithms.
+    """
+
+    __slots__ = ("_lo", "_hi")
+
+    def __init__(self, lo: Sequence[float] | np.ndarray, hi: Sequence[float] | np.ndarray):
+        lo_vec = _as_vector(lo)
+        hi_vec = _as_vector(hi)
+        if lo_vec.shape != hi_vec.shape:
+            raise ValueError(
+                f"lo and hi must have equal dimensionality, got {lo_vec.shape} vs {hi_vec.shape}"
+            )
+        if np.any(lo_vec > hi_vec):
+            raise ValueError(f"lo must be <= hi in every dimension, got lo={lo_vec}, hi={hi_vec}")
+        lo_vec.setflags(write=False)
+        hi_vec.setflags(write=False)
+        self._lo = lo_vec
+        self._hi = hi_vec
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_point(cls, point: Sequence[float] | np.ndarray) -> "Rect":
+        """A degenerate MBR covering exactly one point."""
+        vec = _as_vector(point)
+        return cls(vec, vec.copy())
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "Rect":
+        """The tight bounding box of a non-empty ``(n, D)`` point array."""
+        pts = np.asarray(points, dtype=_FLOAT)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError(f"expected a non-empty (n, D) array, got shape {pts.shape}")
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @classmethod
+    def from_rects(cls, rects: Sequence["Rect"]) -> "Rect":
+        """The tight bounding box of a non-empty sequence of rectangles."""
+        if not rects:
+            raise ValueError("cannot bound an empty sequence of rects")
+        lo = np.minimum.reduce([r._lo for r in rects])
+        hi = np.maximum.reduce([r._hi for r in rects])
+        return cls(lo, hi)
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def lo(self) -> np.ndarray:
+        """Lower-bound vector ``<l_1 .. l_D>`` (read-only)."""
+        return self._lo
+
+    @property
+    def hi(self) -> np.ndarray:
+        """Upper-bound vector ``<u_1 .. u_D>`` (read-only)."""
+        return self._hi
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality ``D`` of the data space."""
+        return self._lo.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self._lo + self._hi) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Per-dimension side lengths ``u_d - l_d``."""
+        return self._hi - self._lo
+
+    @property
+    def is_point(self) -> bool:
+        """True when the rectangle is degenerate (covers a single point)."""
+        return bool(np.all(self._lo == self._hi))
+
+    def area(self) -> float:
+        """Hyper-volume (product of side lengths); 0 for degenerate rects."""
+        return float(np.prod(self.extents))
+
+    def margin(self) -> float:
+        """Sum of side lengths — the R*-tree split quality surrogate."""
+        return float(np.sum(self.extents))
+
+    def diagonal(self) -> float:
+        """Euclidean length of the main diagonal."""
+        return float(np.sqrt(np.sum(self.extents**2)))
+
+    # -- predicates --------------------------------------------------------
+
+    def contains_point(self, point: Sequence[float] | np.ndarray) -> bool:
+        """Boundary-inclusive point containment."""
+        vec = np.asarray(point, dtype=_FLOAT)
+        return bool(np.all(self._lo <= vec) and np.all(vec <= self._hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return bool(np.all(self._lo <= other._lo) and np.all(other._hi <= self._hi))
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the rectangles share at least a boundary point."""
+        return bool(np.all(self._lo <= other._hi) and np.all(other._lo <= self._hi))
+
+    # -- combination -------------------------------------------------------
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle covering both operands."""
+        return Rect(np.minimum(self._lo, other._lo), np.maximum(self._hi, other._hi))
+
+    def union_point(self, point: Sequence[float] | np.ndarray) -> "Rect":
+        """The smallest rectangle covering this one and ``point``."""
+        vec = _as_vector(point)
+        return Rect(np.minimum(self._lo, vec), np.maximum(self._hi, vec))
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or ``None`` when disjoint."""
+        lo = np.maximum(self._lo, other._lo)
+        hi = np.minimum(self._hi, other._hi)
+        if np.any(lo > hi):
+            return None
+        return Rect(lo, hi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Hyper-volume of the intersection (0 when disjoint)."""
+        inter = self.intersection(other)
+        return 0.0 if inter is None else inter.area()
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this rect to also cover ``other``."""
+        return self.union(other).area() - self.area()
+
+    # -- quadtree support ----------------------------------------------------
+
+    def quadrants(self) -> list["Rect"]:
+        """The ``2^D`` equal sub-cells of this rectangle, in binary-code order.
+
+        Quadrant ``q`` covers, in dimension ``d``, the upper half when bit
+        ``d`` of ``q`` is set and the lower half otherwise.  This is the
+        regular decomposition rule of the PR quadtree underlying MBRQT.
+        """
+        mid = self.center
+        cells = []
+        for code in range(1 << self.dims):
+            lo = self._lo.copy()
+            hi = self._hi.copy()
+            for d in range(self.dims):
+                if code >> d & 1:
+                    lo[d] = mid[d]
+                else:
+                    hi[d] = mid[d]
+            cells.append(Rect(lo, hi))
+        return cells
+
+    def quadrant_of_point(self, point: np.ndarray) -> int:
+        """Binary quadrant code of ``point`` under :meth:`quadrants`."""
+        mid = self.center
+        code = 0
+        for d in range(self.dims):
+            if point[d] >= mid[d]:
+                code |= 1 << d
+        return code
+
+    def quadrant_codes_of_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`quadrant_of_point` for an ``(n, D)`` array."""
+        mid = self.center
+        bits = (np.asarray(points, dtype=_FLOAT) >= mid).astype(np.int64)
+        weights = 1 << np.arange(self.dims, dtype=np.int64)
+        return bits @ weights
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return bool(np.array_equal(self._lo, other._lo) and np.array_equal(self._hi, other._hi))
+
+    def __hash__(self) -> int:
+        return hash((self._lo.tobytes(), self._hi.tobytes()))
+
+    def __repr__(self) -> str:
+        lo = ", ".join(f"{v:g}" for v in self._lo)
+        hi = ", ".join(f"{v:g}" for v in self._hi)
+        return f"Rect([{lo}], [{hi}])"
+
+
+class RectArray:
+    """A column-oriented batch of ``n`` rectangles sharing one dimensionality.
+
+    ``lo`` and ``hi`` are ``(n, D)`` arrays.  The batched distance kernels in
+    :mod:`repro.core.metrics` accept a :class:`RectArray` on the target side
+    so that one :class:`Rect` can be scored against all children of an index
+    node in a single vectorised call.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: np.ndarray, hi: np.ndarray):
+        lo = np.asarray(lo, dtype=_FLOAT)
+        hi = np.asarray(hi, dtype=_FLOAT)
+        if lo.ndim != 2 or lo.shape != hi.shape:
+            raise ValueError(f"lo/hi must be matching (n, D) arrays, got {lo.shape} vs {hi.shape}")
+        if np.any(lo > hi):
+            raise ValueError("lo must be <= hi in every dimension for every rect")
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def from_rects(cls, rects: Sequence[Rect]) -> "RectArray":
+        if not rects:
+            raise ValueError("RectArray requires at least one rect")
+        return cls(np.stack([r.lo for r in rects]), np.stack([r.hi for r in rects]))
+
+    @classmethod
+    def from_points(cls, points: np.ndarray) -> "RectArray":
+        """Degenerate rectangles, one per row of an ``(n, D)`` point array."""
+        pts = np.asarray(points, dtype=_FLOAT)
+        if pts.ndim != 2:
+            raise ValueError(f"expected (n, D) points, got shape {pts.shape}")
+        return cls(pts, pts.copy())
+
+    @property
+    def dims(self) -> int:
+        return self.lo.shape[1]
+
+    def __len__(self) -> int:
+        return self.lo.shape[0]
+
+    def __getitem__(self, index: int) -> Rect:
+        return Rect(self.lo[index].copy(), self.hi[index].copy())
+
+    def __iter__(self) -> Iterator[Rect]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def bounding_rect(self) -> Rect:
+        """The tight bounding box of every rectangle in the batch."""
+        return Rect(self.lo.min(axis=0), self.hi.max(axis=0))

@@ -1,0 +1,384 @@
+"""The Local Priority Queue (LPQ) — Section 3.3.1 of the paper.
+
+Every entry of the query index ``IR`` that the traversal touches owns
+exactly one LPQ.  The LPQ holds candidate entries from the target index
+``IS``, each carrying:
+
+* ``MIND`` — lower bound of the distance from the owner to the entry
+  (MINMINDIST); the priority queue is ordered on this field.
+* ``MAXD`` — upper bound under the chosen pruning metric (NXNDIST or
+  MAXMAXDIST).
+
+The LPQ itself keeps a ``MAXD`` pruning bound, defined (Section 3.3.1)
+over the entries **currently in the priority queue**: for ANN (k = 1) the
+minimum of the live MAXD values; for AkNN (k > 1) the bound must
+guarantee *k distinct* points, so it is the smallest b such that live
+entries with ``MAXD <= b`` jointly contain at least k points (entries
+carry subtree point counts, and distinct live entries always hold
+pairwise-disjoint point sets).  How many points one entry may claim
+depends on the metric's guarantee: MAXMAXDIST bounds the distance to
+*every* point of the entry, so its full subtree count applies, while
+NXNDIST guarantees only *one* point within the bound (Lemma 3.1), so each
+entry counts once — which recovers exactly the paper's Section 3.4 rule
+("at least k entries present and MINMINDIST greater than the LPQ's
+MAXD", tightened here from the max to the k-th smallest MAXD).  Because
+contributions expire when entries pop,
+a metric that keeps shrinking as the search descends (NXNDIST, Lemmas
+3.2/3.3) maintains a far tighter running bound than MAXMAXDIST — this is
+the mechanism behind the paper's Figure 3(a) gap.
+
+The **Filter Stage** of the three-stage pruning (Section 3.3.3) — new
+entries with a small MAXD evict queued entries whose MIND exceeds it — is
+realised lazily: whenever an entry is popped (or the heap is compacted)
+with ``MIND`` above the current bound, it is discarded and counted in
+``lpq_filter_discards``.  This has the same pruning effect with better
+asymptotics than eagerly rescanning the heap on every push.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .geometry import Rect
+from .stats import QueryStats
+
+__all__ = [
+    "LPQ",
+    "OwnerKind",
+    "OBJECT",
+    "NODE",
+    "make_node_lpq",
+    "make_object_lpq",
+    "batch_bounds_rows",
+]
+
+OBJECT = 1
+NODE = 0
+
+# Type alias for documentation purposes.
+OwnerKind = int
+
+_COMPACT_MIN = 64
+
+
+class LPQ:
+    """Priority queue of ``IS`` entries owned by one ``IR`` entry.
+
+    Heap items are tuples ``(mind, seq, kind, id, count, maxd, extra)``:
+
+    * node entry:   ``kind=NODE``,   ``id=node_id``,  ``count=subtree size``;
+      ``extra`` is ``None``, or the entry's MBR when the caller asked to
+      retain rects (needed by the uni-directional traversal variant).
+    * object entry: ``kind=OBJECT``, ``id=point_id``, ``count=1``; ``extra``
+      holds the point's coordinates so a node-owner LPQ can re-probe the
+      object against its child LPQs.
+
+    ``seq`` is an insertion counter used both as a heap tie-breaker (the
+    paper breaks MIND ties on MAXD; ties on MIND here pop in increasing
+    MAXD order because pushes are batched in that order) and as the key of
+    the live-entry table used by the AkNN bound.
+    """
+
+    __slots__ = (
+        "owner_kind",
+        "owner_rect",
+        "owner_point",
+        "owner_id",
+        "owner_node_id",
+        "need_count",
+        "_heap",
+        "_seq",
+        "_inherited",
+        "_live",
+        "_live_dirty",
+        "_live_bound",
+        "stats",
+        "filter_enabled",
+        "counts_valid",
+    )
+
+    def __init__(
+        self,
+        owner_kind: OwnerKind,
+        owner_rect: Rect,
+        inherited_bound: float,
+        stats: QueryStats,
+        owner_id: int = -1,
+        owner_node_id: int = -1,
+        owner_point: np.ndarray | None = None,
+        need_count: int = 1,
+        filter_enabled: bool = True,
+        counts_valid: bool = False,
+    ):
+        self.owner_kind = owner_kind
+        self.owner_rect = owner_rect
+        self.owner_point = owner_point
+        self.owner_id = owner_id
+        self.owner_node_id = owner_node_id
+        self.need_count = need_count
+        self._heap: list[tuple] = []
+        self._seq = 0
+        self._inherited = float(inherited_bound)
+        # Live-entry table backing the bound: seq -> (maxd, count).  The
+        # paper defines the LPQ's MAXD over the entries *currently in the
+        # priority queue* (Section 3.3.1), so contributions expire when
+        # entries pop — this is precisely what lets NXNDIST's cross-level
+        # monotonicity (Lemmas 3.2/3.3) pull ahead of MAXMAXDIST.
+        self._live: dict[int, tuple[float, int]] | None = {}
+        self._live_dirty = True
+        self._live_bound = float(inherited_bound)
+        self.stats = stats
+        # Filter Stage on/off switch (off only in the ablation experiment).
+        self.filter_enabled = filter_enabled
+        # True only when the pruning metric bounds the distance to every
+        # point of an entry (MAXMAXDIST); NXNDIST guarantees one point.
+        self.counts_valid = counts_valid
+
+    # -- bound ---------------------------------------------------------------
+
+    @property
+    def bound(self) -> float:
+        """Current pruning upper bound (the LPQ's MAXD field).
+
+        Per Section 3.3.1 this is computed over the entries currently in
+        the queue: the minimum MAXD for ANN, and for AkNN the smallest
+        value whose entries jointly guarantee ``need_count`` points.
+        """
+        if self._live_dirty:
+            self._live_bound = self._compute_live_bound()
+            self._live_dirty = False
+        return self._live_bound
+
+    def _compute_live_bound(self) -> float:
+        if not self._live:
+            return self._inherited
+        if self.need_count == 1:
+            return min(self._inherited, min(maxd for maxd, __ in self._live.values()))
+        items = sorted(self._live.values())
+        total = 0
+        for maxd, count in items:
+            total += count
+            if total >= self.need_count:
+                return min(self._inherited, maxd)
+        return self._inherited
+
+    def batch_bound(self, maxds: np.ndarray, counts: np.ndarray | None = None) -> float:
+        """The bound this LPQ will have once a candidate batch is enqueued.
+
+        Algorithm 4 pushes entries one at a time, updating the LPQ's MAXD
+        field after each; later entries in the same expansion then face the
+        tightened bound.  This computes that post-batch bound up front so
+        the caller can filter the whole batch vectorised.  Batch members
+        come from one node expansion, hence hold disjoint point sets, so
+        for k > 1 their counts may be accumulated — but only when the
+        metric guarantees every point (``counts_valid``); under NXNDIST
+        each entry guarantees a single point.
+        """
+        if len(maxds) == 0:
+            return self.bound
+        if self.need_count == 1:
+            return min(self.bound, float(maxds.min()))
+        if counts is None or not self.counts_valid:
+            # Entry-counting rule: the need-th smallest MAXD.
+            if len(maxds) < self.need_count:
+                return self.bound
+            kth = float(np.partition(maxds, self.need_count - 1)[self.need_count - 1])
+            return min(self.bound, kth)
+        order = np.argsort(maxds, kind="stable")
+        cum = np.cumsum(counts[order])
+        reach = int(np.searchsorted(cum, self.need_count))
+        if reach >= len(cum):
+            return self.bound
+        return min(self.bound, float(maxds[order[reach]]))
+
+
+    # -- pushing --------------------------------------------------------------
+
+    def push_nodes(
+        self,
+        node_ids: np.ndarray,
+        counts: np.ndarray,
+        minds: np.ndarray,
+        maxds: np.ndarray,
+        rects: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> None:
+        """Enqueue a batch of node entries (already filtered by the caller).
+
+        The caller is expected to have applied the Expand-Stage check
+        ``mind <= self.bound`` (Algorithm 4, line 17); this method applies
+        the bound updates and the bookkeeping.  ``rects`` optionally retains
+        each entry's ``(lo, hi)`` rows for the uni-directional variant.
+        """
+        order = np.argsort(maxds, kind="stable")
+        heap = self._heap
+        for i in order:
+            seq = self._seq
+            self._seq = seq + 1
+            maxd = float(maxds[i])
+            count = int(counts[i])
+            extra = None if rects is None else (rects[0][i], rects[1][i])
+            heapq.heappush(
+                heap, (float(minds[i]), seq, NODE, int(node_ids[i]), count, maxd, extra)
+            )
+            self._live[seq] = (maxd, count if self.counts_valid else 1)
+        if len(order):
+            self._live_dirty = True
+        self.stats.lpq_enqueues += len(order)
+        self._maybe_compact()
+
+    def push_objects(
+        self,
+        point_ids: np.ndarray,
+        minds: np.ndarray,
+        maxds: np.ndarray,
+        points: np.ndarray,
+    ) -> None:
+        """Enqueue a batch of data-object entries.
+
+        For an object-owner LPQ ``minds == maxds ==`` the exact distances;
+        for a node-owner LPQ they are the point-to-owner-MBR lower bound
+        and the pruning-metric upper bound.
+        """
+        heap = self._heap
+        order = np.argsort(maxds, kind="stable")
+        for i in order:
+            seq = self._seq
+            self._seq = seq + 1
+            maxd = float(maxds[i])
+            heapq.heappush(
+                heap, (float(minds[i]), seq, OBJECT, int(point_ids[i]), 1, maxd, points[i])
+            )
+            self._live[seq] = (maxd, 1)
+        if len(point_ids):
+            self._live_dirty = True
+        self.stats.lpq_enqueues += len(point_ids)
+        self._maybe_compact()
+
+    # -- popping --------------------------------------------------------------
+
+    def pop(self) -> tuple | None:
+        """Pop the entry of least MIND, applying lazy Filter-Stage discards.
+
+        Returns ``(mind, kind, id, count, maxd, extra)`` or ``None`` when the
+        queue is exhausted (including when every remaining entry is
+        filtered).
+        """
+        heap = self._heap
+        while heap:
+            mind, seq, kind, ident, count, maxd, extra = heapq.heappop(heap)
+            self._live.pop(seq, None)
+            self._live_dirty = True
+            if self.filter_enabled and mind > self.bound:
+                # Filter Stage: the entry was overtaken by a tighter bound
+                # while queued.
+                self.stats.lpq_filter_discards += 1
+                continue
+            return mind, kind, ident, count, maxd, extra
+        return None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    # -- maintenance ------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        """Drop filtered entries in bulk when the heap grows large."""
+        heap = self._heap
+        if not self.filter_enabled or len(heap) < _COMPACT_MIN:
+            return
+        bound = self.bound
+        keep = [item for item in heap if item[0] <= bound]
+        dropped = len(heap) - len(keep)
+        if dropped > len(heap) // 2:
+            self.stats.lpq_filter_discards += dropped
+            kept_seqs = {item[1] for item in keep}
+            self._live = {s: v for s, v in self._live.items() if s in kept_seqs}
+            self._live_dirty = True
+            heapq.heapify(keep)
+            self._heap = keep
+
+
+def make_node_lpq(
+    owner_rect: Rect,
+    owner_node_id: int,
+    inherited_bound: float,
+    stats: QueryStats,
+    need_count: int = 1,
+    filter_enabled: bool = True,
+    counts_valid: bool = False,
+) -> LPQ:
+    """LPQ owned by an internal/leaf node entry of ``IR``."""
+    return LPQ(
+        NODE,
+        owner_rect,
+        inherited_bound,
+        stats,
+        owner_node_id=owner_node_id,
+        need_count=need_count,
+        filter_enabled=filter_enabled,
+        counts_valid=counts_valid,
+    )
+
+
+def make_object_lpq(
+    owner_point: np.ndarray,
+    owner_id: int,
+    inherited_bound: float,
+    stats: QueryStats,
+    need_count: int = 1,
+    filter_enabled: bool = True,
+    counts_valid: bool = False,
+) -> LPQ:
+    """LPQ owned by a data object of ``R``."""
+    point = np.asarray(owner_point, dtype=np.float64)
+    return LPQ(
+        OBJECT,
+        Rect(point, point.copy()),
+        inherited_bound,
+        stats,
+        owner_id=owner_id,
+        owner_point=point,
+        need_count=need_count,
+        filter_enabled=filter_enabled,
+        counts_valid=counts_valid,
+    )
+
+
+def batch_bounds_rows(
+    maxd_mat: np.ndarray,
+    counts: np.ndarray | None,
+    need: int,
+    counts_valid: bool,
+    lpq_bounds: np.ndarray,
+) -> np.ndarray:
+    """Vectorised :meth:`LPQ.batch_bound` for many LPQs at once.
+
+    ``maxd_mat`` has one row per LPQ (all probing the same candidate
+    batch); ``lpq_bounds`` holds each LPQ's current bound.  Returns the
+    post-batch bound per row.  This is the hot path of bi-directional
+    expansion: one call replaces a per-child-LPQ Python loop.
+    """
+    n = maxd_mat.shape[1]
+    if n == 0:
+        return lpq_bounds
+    if need == 1:
+        return np.minimum(lpq_bounds, maxd_mat.min(axis=1))
+    if counts is None or not counts_valid:
+        if n < need:
+            return lpq_bounds
+        kth = np.partition(maxd_mat, need - 1, axis=1)[:, need - 1]
+        return np.minimum(lpq_bounds, kth)
+    order = np.argsort(maxd_mat, axis=1, kind="stable")
+    cum = np.cumsum(counts[order], axis=1)
+    reached = cum >= need
+    has = reached.any(axis=1)
+    first = np.argmax(reached, axis=1)
+    rows = np.arange(maxd_mat.shape[0])
+    kth = maxd_mat[rows, order[rows, first]]
+    return np.where(has, np.minimum(lpq_bounds, kth), lpq_bounds)

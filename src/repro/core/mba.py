@@ -1,0 +1,421 @@
+"""MBA — the MBRQT-Based ANN algorithm (paper Algorithms 2–4).
+
+The traversal is *index-agnostic*: it works against any
+:class:`~repro.index.base.PagedIndex`.  Run it over two MBRQTs and you
+have **MBA**; run it over two R*-trees and you have **RBA** (Section
+3.3.2 notes the algorithm is general purpose).  The public wrappers in
+:mod:`repro.api` pick the index.
+
+Structure (mirroring the paper):
+
+* ``MBA`` (Algorithm 2): seed the root LPQ — owner is ``IR``'s root entry,
+  containing ``IS``'s root entry — then drive the traversal.
+* ``ANN-DFBI`` (Algorithm 3): depth-first recursion over the FIFO queue of
+  child LPQs produced by each expansion.
+* ``ExpandAndPrune`` (Algorithm 4): the three-stage pruning.
+
+  - **Expand Stage** (node owner): the owner node and each surviving
+    candidate entry are expanded *bi-directionally*; every child of the
+    candidate is probed against every child LPQ with one vectorised
+    cross-metric call, and enqueued only if ``MIND <= LPQ.MAXD``.
+  - **Filter Stage**: tighter incoming MAXD values retire queued entries —
+    implemented lazily inside :class:`~repro.core.lpq.LPQ`.
+  - **Gather Stage** (object owner): pop in MIND order; every popped
+    *object* is the next nearest neighbour (its MIND is exact and no
+    remaining entry can beat it), so the first k objects popped are the
+    kNN.
+
+Traversal-variant knobs reproduce the design-space ablation of Section
+3.3.2: ``depth_first=False`` processes the LPQ queue breadth-first, and
+``bidirectional=False`` descends only the query index per step, expanding
+target entries exclusively in the Gather Stage.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from ..core.geometry import Rect, RectArray
+from ..core.lpq import (
+    NODE,
+    OBJECT,
+    LPQ,
+    batch_bounds_rows,
+    make_node_lpq,
+    make_object_lpq,
+)
+from ..core.metrics import dist_point_points, minmindist, minmindist_cross, minmindist_point_batch
+from ..core.pruning import PruningMetric
+from ..core.result import NeighborResult
+from ..core.stats import QueryStats
+from ..index.base import Node, PagedIndex
+
+__all__ = ["mba_join"]
+
+
+def mba_join(
+    index_r: PagedIndex,
+    index_s: PagedIndex,
+    metric: PruningMetric = PruningMetric.NXNDIST,
+    k: int = 1,
+    exclude_self: bool = False,
+    depth_first: bool = True,
+    bidirectional: bool = True,
+    filter_stage: bool = True,
+    batch_tighten: bool = True,
+    early_break: bool = True,
+    stats: QueryStats | None = None,
+) -> tuple[NeighborResult, QueryStats]:
+    """All-(k-)nearest-neighbour join: for each point of ``index_r``'s
+    dataset, find its k nearest neighbours among ``index_s``'s dataset.
+
+    Parameters
+    ----------
+    index_r, index_s:
+        Paged spatial indexes (MBRQT or R*-tree) over the query dataset R
+        and target dataset S.
+    metric:
+        Pruning upper bound — ``NXNDIST`` (the paper's) or ``MAXMAXDIST``
+        (the traditional baseline).
+    k:
+        Neighbours per query point (k=1 is ANN, k>1 is AkNN, Section 3.4).
+    exclude_self:
+        For self-joins (R and S are the same dataset with shared ids):
+        do not report a point as its own neighbour.
+    depth_first, bidirectional:
+        Traversal-variant knobs; the defaults are the paper's MBA choice
+        (DF-BI).
+    filter_stage:
+        Disable only for the Filter-Stage ablation benchmark.
+    stats:
+        Optional pre-existing counter bundle to accumulate into.
+
+    Returns
+    -------
+    (result, stats):
+        The :class:`NeighborResult` and the cost counters.  Simulated I/O
+        time is *not* added here — the benchmark harness snapshots the
+        storage manager around the call.
+    """
+    if index_r.dims != index_s.dims:
+        raise ValueError(
+            f"index dimensionality mismatch: {index_r.dims} vs {index_s.dims}"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    stats = stats if stats is not None else QueryStats()
+    result = NeighborResult(k)
+    need_count = k + 1 if exclude_self else k
+    # MAXMAXDIST bounds every point of an entry, so subtree counts may feed
+    # the AkNN bound; NXNDIST guarantees one point per entry (Lemma 3.1).
+    counts_valid = metric is PruningMetric.MAXMAXDIST
+
+    engine = _Engine(
+        index_r,
+        index_s,
+        metric,
+        k,
+        exclude_self,
+        bidirectional,
+        filter_stage,
+        need_count,
+        counts_valid,
+        batch_tighten,
+        early_break,
+        result,
+        stats,
+    )
+
+    # Algorithm 2 (MBA): seed the root LPQ with IS's root entry.
+    root_lpq = make_node_lpq(
+        index_r.root_rect,
+        index_r.root_id,
+        math.inf,
+        stats,
+        need_count=need_count,
+        filter_enabled=filter_stage,
+        counts_valid=counts_valid,
+    )
+    root_mind = minmindist(index_r.root_rect, index_s.root_rect)
+    root_maxd = metric.scalar(index_r.root_rect, index_s.root_rect)
+    stats.record_distances(2)
+    root_rect = index_s.root_rect
+    root_lpq.push_nodes(
+        np.asarray([index_s.root_id]),
+        np.asarray([index_s.size]),
+        np.asarray([root_mind]),
+        np.asarray([root_maxd]),
+        rects=(root_rect.lo[None, :], root_rect.hi[None, :]) if not bidirectional else None,
+    )
+
+    if depth_first:
+        _run_depth_first(engine, root_lpq)
+    else:
+        queue = deque([root_lpq])
+        while queue:
+            lpq = queue.popleft()
+            queue.extend(engine.expand_and_prune(lpq))
+
+    result.finalize()
+    stats.result_pairs += result.pair_count()
+    return result, stats
+
+
+def _run_depth_first(engine: "_Engine", lpq: LPQ) -> None:
+    # Algorithm 3 (ANN-DFBI): recurse into each child LPQ in FIFO order.
+    # An explicit stack avoids Python recursion limits on skewed quadtrees.
+    stack = [lpq]
+    while stack:
+        current = stack.pop()
+        children = engine.expand_and_prune(current)
+        stack.extend(reversed(children))
+
+
+class _Engine:
+    """Shared state for one ``mba_join`` execution."""
+
+    def __init__(
+        self,
+        index_r: PagedIndex,
+        index_s: PagedIndex,
+        metric: PruningMetric,
+        k: int,
+        exclude_self: bool,
+        bidirectional: bool,
+        filter_stage: bool,
+        need_count: int,
+        counts_valid: bool,
+        batch_tighten: bool,
+        early_break: bool,
+        result: NeighborResult,
+        stats: QueryStats,
+    ):
+        self.index_r = index_r
+        self.index_s = index_s
+        self.metric = metric
+        self.k = k
+        self.exclude_self = exclude_self
+        self.bidirectional = bidirectional
+        self.filter_stage = filter_stage
+        self.need_count = need_count
+        self.counts_valid = counts_valid
+        self.batch_tighten = batch_tighten
+        self.early_break = early_break
+        self.result = result
+        self.stats = stats
+
+    # -- Algorithm 4 -----------------------------------------------------------
+
+    def expand_and_prune(self, lpq: LPQ) -> list[LPQ]:
+        if lpq.owner_kind == OBJECT:
+            self._gather(lpq)
+            return []
+        return self._expand_node_owner(lpq)
+
+    # -- Gather Stage (owner is a data object) ---------------------------------
+
+    def _gather(self, lpq: LPQ) -> None:
+        owner_point = lpq.owner_point
+        owner_id = lpq.owner_id
+        found = 0
+        while found < self.k:
+            popped = lpq.pop()
+            if popped is None:
+                break
+            mind, kind, ident, __, ___, extra = popped
+            if kind == OBJECT:
+                if self.exclude_self and ident == owner_id:
+                    continue
+                # Objects pop in exact-distance order; no remaining entry
+                # has a smaller lower bound, so this is the next NN.
+                self.result.add(owner_id, ident, mind)
+                found += 1
+                continue
+            snode = self.index_s.node(ident)
+            self.stats.node_expansions += 1
+            if snode.is_leaf:
+                dists = dist_point_points(owner_point, snode.points)
+                self.stats.record_distances(len(dists))
+                bound = lpq.batch_bound(dists) if self.batch_tighten else lpq.bound
+                mask = dists <= bound
+                if np.any(mask):
+                    d = dists[mask]
+                    lpq.push_objects(snode.point_ids[mask], d, d, snode.points[mask])
+            else:
+                minds = minmindist_point_batch(owner_point, snode.rects)
+                maxds = self.metric.batch(lpq.owner_rect, snode.rects)
+                self.stats.record_distances(2 * len(minds))
+                if self.batch_tighten:
+                    bound = lpq.batch_bound(maxds, snode.counts)
+                else:
+                    bound = lpq.bound
+                mask = minds <= bound
+                if np.any(mask):
+                    # Gather-stage expansion reads nodes from the index, so
+                    # entry rects never need to be retained here.
+                    lpq.push_nodes(
+                        snode.child_ids[mask],
+                        snode.counts[mask],
+                        minds[mask],
+                        maxds[mask],
+                    )
+
+    # -- Expand Stage (owner is an index node) ----------------------------------
+
+    def _expand_node_owner(self, lpq: LPQ) -> list[LPQ]:
+        rnode = self.index_r.node(lpq.owner_node_id)
+        self.stats.node_expansions += 1
+        inherited = lpq.bound
+        child_lpqs = self._make_child_lpqs(rnode, inherited)
+        owner_rects = rnode.rects
+
+        # Child bounds only tighten while this loop runs (their entries are
+        # pushed here, never popped), so a periodically refreshed snapshot
+        # of the max bound is a *conservative* gate: it can only delay the
+        # break/skip, never cause a wrong prune.
+        bounds = np.fromiter(
+            (c.bound for c in child_lpqs), dtype=np.float64, count=len(child_lpqs)
+        )
+        max_bound = float(bounds.max()) if len(bounds) else 0.0
+        pops_since_refresh = 0
+        while True:
+            popped = lpq.pop()
+            if popped is None:
+                break
+            mind, kind, ident, count, maxd, extra = popped
+            if mind > max_bound or pops_since_refresh >= 8:
+                bounds = np.fromiter(
+                    (c.bound for c in child_lpqs), dtype=np.float64, count=len(child_lpqs)
+                )
+                max_bound = float(bounds.max())
+                pops_since_refresh = 0
+            pops_since_refresh += 1
+            if mind > max_bound:
+                if self.early_break:
+                    # Every remaining entry has a larger MIND (the queue is
+                    # MIND-ordered): prune them all at once.
+                    self.stats.pruned_entries += len(lpq) + 1
+                    break
+                # Without the early break this entry still cannot
+                # contribute to any child LPQ; skip it individually.
+                self.stats.pruned_entries += 1
+                continue
+            if kind == OBJECT:
+                self._probe_object(child_lpqs, owner_rects, bounds, ident, extra)
+            elif self.bidirectional:
+                self._probe_node_children(child_lpqs, owner_rects, bounds, ident)
+            else:
+                self._probe_node_entry(child_lpqs, owner_rects, bounds, ident, count, extra)
+
+        return [c for c in child_lpqs if not c.empty]
+
+    def _make_child_lpqs(self, rnode: Node, inherited: float) -> list[LPQ]:
+        if rnode.is_leaf:
+            return [
+                make_object_lpq(
+                    rnode.points[i],
+                    int(rnode.point_ids[i]),
+                    inherited,
+                    self.stats,
+                    need_count=self.need_count,
+                    filter_enabled=self.filter_stage,
+                    counts_valid=self.counts_valid,
+                )
+                for i in range(rnode.n_entries)
+            ]
+        rects = rnode.rects
+        return [
+            make_node_lpq(
+                rects[i],
+                int(rnode.child_ids[i]),
+                inherited,
+                self.stats,
+                need_count=self.need_count,
+                filter_enabled=self.filter_stage,
+                counts_valid=self.counts_valid,
+            )
+            for i in range(rnode.n_entries)
+        ]
+
+    def _probe_object(self, child_lpqs, owner_rects, bounds, point_id, point) -> None:
+        """Probe a single target data object against every child LPQ."""
+        target = RectArray(point[None, :], point[None, :])
+        minds = minmindist_cross(owner_rects, target)[:, 0]
+        maxds = self.metric.cross(owner_rects, target)[:, 0]
+        self.stats.record_distances(2 * len(minds))
+        pid = np.asarray([point_id])
+        pt = point[None, :]
+        for c in np.nonzero(minds <= bounds)[0]:
+            child_lpqs[c].push_objects(
+                pid, np.asarray([minds[c]]), np.asarray([maxds[c]]), pt
+            )
+        self.stats.pruned_entries += int(np.sum(minds > bounds))
+
+    def _probe_node_children(self, child_lpqs, owner_rects, bounds, node_id) -> None:
+        """Bi-directional expansion: probe the target node's children."""
+        snode = self.index_s.node(node_id)
+        self.stats.node_expansions += 1
+        targets = snode.rects
+        mind_mat = minmindist_cross(owner_rects, targets)
+        maxd_mat = self.metric.cross(owner_rects, targets)
+        self.stats.record_distances(2 * mind_mat.size)
+        keep_rects = not self.bidirectional
+        counts = None if snode.is_leaf else snode.counts
+
+        lpq_bounds = np.fromiter(
+            (c.bound for c in child_lpqs), dtype=np.float64, count=len(child_lpqs)
+        )
+        if self.batch_tighten:
+            eff_bounds = batch_bounds_rows(
+                maxd_mat, counts, self.need_count, self.counts_valid, lpq_bounds
+            )
+        else:
+            eff_bounds = lpq_bounds
+        mask_mat = mind_mat <= eff_bounds[:, None]
+        self.stats.pruned_entries += int(mask_mat.size - np.count_nonzero(mask_mat))
+
+        for c in np.nonzero(mask_mat.any(axis=1))[0]:
+            child = child_lpqs[c]
+            mask = mask_mat[c]
+            if snode.is_leaf:
+                child.push_objects(
+                    snode.point_ids[mask],
+                    mind_mat[c][mask],
+                    maxd_mat[c][mask],
+                    snode.points[mask],
+                )
+            else:
+                child.push_nodes(
+                    snode.child_ids[mask],
+                    snode.counts[mask],
+                    mind_mat[c][mask],
+                    maxd_mat[c][mask],
+                    rects=self._keep_rects(snode, mask) if keep_rects else None,
+                )
+
+    def _probe_node_entry(self, child_lpqs, owner_rects, bounds, node_id, count, extra) -> None:
+        """Uni-directional variant: re-score the entry itself (no expansion)."""
+        lo, hi = extra
+        target = RectArray(lo[None, :], hi[None, :])
+        minds = minmindist_cross(owner_rects, target)[:, 0]
+        maxds = self.metric.cross(owner_rects, target)[:, 0]
+        self.stats.record_distances(2 * len(minds))
+        nid = np.asarray([node_id])
+        cnt = np.asarray([count])
+        for c in np.nonzero(minds <= bounds)[0]:
+            child_lpqs[c].push_nodes(
+                nid,
+                cnt,
+                np.asarray([minds[c]]),
+                np.asarray([maxds[c]]),
+                rects=(lo[None, :], hi[None, :]),
+            )
+        self.stats.pruned_entries += int(np.sum(minds > bounds))
+
+    @staticmethod
+    def _keep_rects(snode: Node, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        rects = snode.rects
+        return rects.lo[mask], rects.hi[mask]

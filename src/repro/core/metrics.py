@@ -1,0 +1,308 @@
+"""MBR distance metrics, including the paper's NXNDIST (Algorithm 1).
+
+Scalar forms take two :class:`~repro.core.geometry.Rect` values; batch forms
+take one ``Rect`` on the query side and a
+:class:`~repro.core.geometry.RectArray` on the target side and return one
+value per target rectangle.  The batch forms are what the traversal
+algorithms use: one call scores a query entry against every child of an
+index node.
+
+Metric inventory (Section 3.1 of the paper):
+
+``MINMINDIST``
+    Minimum possible distance between any point of ``M`` and any point of
+    ``N``.  The classical lower bound, used for ordering and pruning.
+``MAXMAXDIST``
+    Maximum possible distance between any point of ``M`` and any point of
+    ``N``.  The traditional (loose) upper bound this paper improves upon.
+``MINMAXDIST``
+    Upper bound on the distance of at least one pair of points (Corral et
+    al.); included for completeness — the paper notes it is *not* a valid
+    ANN pruning bound.
+``NXNDIST`` (MINMAXMINDIST)
+    The paper's contribution: for **every** point ``r`` in ``M`` there is a
+    point of ``N`` within ``NXNDIST(M, N)`` (Lemma 3.1).  Asymmetric, and
+    monotone when the query side shrinks (Lemma 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .geometry import Rect, RectArray
+
+__all__ = [
+    "dist_points",
+    "maxdist_per_dim",
+    "maxmin_per_dim",
+    "minmindist",
+    "maxmaxdist",
+    "minmaxdist",
+    "nxndist",
+    "minmindist_batch",
+    "maxmaxdist_batch",
+    "nxndist_batch",
+    "minmindist_point_batch",
+    "dist_point_points",
+    "minmindist_cross",
+    "maxmaxdist_cross",
+    "nxndist_cross",
+]
+
+
+# ---------------------------------------------------------------------------
+# point-level kernels
+# ---------------------------------------------------------------------------
+
+
+def dist_points(p: np.ndarray, q: np.ndarray) -> float:
+    """Euclidean distance ``DIST(p, q)`` between two points."""
+    diff = np.asarray(p, dtype=np.float64) - np.asarray(q, dtype=np.float64)
+    return float(np.sqrt(np.dot(diff, diff)))
+
+
+def dist_point_points(p: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Euclidean distances from point ``p`` to each row of ``(n, D)`` array.
+
+    Reduced with ``np.sum`` like every other kernel in this module, so
+    exact distances compare consistently (to the ULP) against the bounds
+    derived from the MBR metrics.
+    """
+    diff = np.asarray(points, dtype=np.float64) - np.asarray(p, dtype=np.float64)
+    return np.sqrt(np.sum(diff * diff, axis=1))
+
+
+# ---------------------------------------------------------------------------
+# per-dimension building blocks
+# ---------------------------------------------------------------------------
+
+
+def maxdist_per_dim(m: Rect, n: Rect) -> np.ndarray:
+    """``MAXDIST_d(M, N)`` for every dimension d.
+
+    The farthest separation in one dimension between a point of ``M`` and a
+    point of ``N`` is attained at interval end points, so it equals
+    ``max(|l^M - u^N|, |u^M - l^N|)`` (the other two end-point combinations
+    are always dominated).
+    """
+    return np.maximum(np.abs(m.lo - n.hi), np.abs(m.hi - n.lo))
+
+
+def maxmin_per_dim(m: Rect, n: Rect) -> np.ndarray:
+    """``MAXMIN_d(M, N)`` of Definition 3.1 for every dimension d.
+
+    ``MAXMIN_d = max_{p in M} min(|p_d - l^N_d|, |p_d - u^N_d|)`` — the worst
+    case, over query points, of the distance to the *nearer* face of ``N``
+    in dimension d.  The inner ``min`` is a piecewise-linear function of
+    ``p_d`` whose maximum over the interval ``[l^M_d, u^M_d]`` is attained
+    either at an end point of that interval or at the midpoint of ``N``'s
+    interval (the peak of the tent function), whichever lies inside.
+    """
+    mid = (n.lo + n.hi) / 2.0
+
+    def tent(x: np.ndarray) -> np.ndarray:
+        return np.minimum(np.abs(x - n.lo), np.abs(x - n.hi))
+
+    at_lo = tent(m.lo)
+    at_hi = tent(m.hi)
+    best = np.maximum(at_lo, at_hi)
+    inside = (m.lo <= mid) & (mid <= m.hi)
+    if np.any(inside):
+        best = np.where(inside, np.maximum(best, tent(mid)), best)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# scalar metrics
+# ---------------------------------------------------------------------------
+
+
+def minmindist(m: Rect, n: Rect) -> float:
+    """Classical MINMINDIST lower bound: 0 when the rectangles intersect.
+
+    All MINMINDIST kernels reduce with ``np.sum`` over squared per-dim
+    terms — the same reduction the NXNDIST kernels use — so the invariant
+    ``MINMINDIST <= NXNDIST`` holds *bit-exactly* (each NXNDIST term
+    dominates the corresponding gap term, and the shared reduction is
+    monotone).  The traversal's pruning correctness relies on this.
+    """
+    gap = np.maximum(0.0, np.maximum(n.lo - m.hi, m.lo - n.hi))
+    return float(np.sqrt(np.sum(gap * gap)))
+
+
+def maxmaxdist(m: Rect, n: Rect) -> float:
+    """Classical MAXMAXDIST upper bound (farthest corner pair)."""
+    md = maxdist_per_dim(m, n)
+    return float(np.sqrt(np.dot(md, md)))
+
+
+def minmaxdist(m: Rect, n: Rect) -> float:
+    """MINMAXDIST of Corral et al. between two MBRs.
+
+    For each dimension ``k`` take the nearest pairing of ``M``/``N`` faces in
+    that dimension and the farthest separation in every other dimension; the
+    bound is the minimum over ``k``.  At least one point pair is guaranteed
+    within this distance.  Kept for comparison experiments; not used as the
+    ANN pruning bound (see Section 3.1.1 of the paper).
+    """
+    md = maxdist_per_dim(m, n)
+    md_sq = md**2
+    total = float(np.sum(md_sq))
+    face = np.minimum.reduce(
+        [
+            np.abs(m.lo - n.lo),
+            np.abs(m.lo - n.hi),
+            np.abs(m.hi - n.lo),
+            np.abs(m.hi - n.hi),
+        ]
+    )
+    candidates = total - md_sq + face**2
+    return float(np.sqrt(np.min(candidates)))
+
+
+def nxndist(m: Rect, n: Rect) -> float:
+    """NXNDIST(M, N) per Definition 3.2 / Algorithm 1 — ``O(D)`` time.
+
+    ``sqrt(S - max_d(MAXDIST_d^2 - MAXMIN_d^2))`` with
+    ``S = sum_d MAXDIST_d^2``.  Geometrically: the cheapest dimension along
+    which a sweep region anchored at any query point is guaranteed to catch
+    a face of ``N``, paying MAXMIN in the sweep dimension and MAXDIST in all
+    others.
+    """
+    md_sq = maxdist_per_dim(m, n) ** 2
+    mm_sq = maxmin_per_dim(m, n) ** 2
+    # Additive evaluation: substitute MAXMIN^2 for MAXDIST^2 in the sweep
+    # dimension and sum.  The algebraically equivalent "S - max(saving)"
+    # form suffers catastrophic cancellation and can round *below*
+    # MINMINDIST when the two coincide, which would break the pruning
+    # invariant MINMINDIST <= NXNDIST that the traversal relies on; the
+    # additive form is per-term monotone against the MINMINDIST sum.
+    sweep = int(np.argmax(md_sq - mm_sq))
+    terms = md_sq.copy()
+    terms[sweep] = mm_sq[sweep]
+    return float(np.sqrt(np.sum(terms)))
+
+
+# ---------------------------------------------------------------------------
+# batch metrics: one query Rect against a RectArray of targets
+# ---------------------------------------------------------------------------
+
+
+def minmindist_batch(m: Rect, targets: RectArray) -> np.ndarray:
+    """MINMINDIST from ``m`` to each rectangle of ``targets``."""
+    gap = np.maximum(0.0, np.maximum(targets.lo - m.hi, m.lo - targets.hi))
+    return np.sqrt(np.sum(gap * gap, axis=1))
+
+
+def minmindist_point_batch(p: np.ndarray, targets: RectArray) -> np.ndarray:
+    """MINMINDIST from a point to each rectangle of ``targets``."""
+    p = np.asarray(p, dtype=np.float64)
+    gap = np.maximum(0.0, np.maximum(targets.lo - p, p - targets.hi))
+    return np.sqrt(np.sum(gap * gap, axis=1))
+
+
+def _maxdist_sq_batch(m: Rect, targets: RectArray) -> np.ndarray:
+    md = np.maximum(np.abs(m.lo - targets.hi), np.abs(m.hi - targets.lo))
+    return md**2
+
+
+def maxmaxdist_batch(m: Rect, targets: RectArray) -> np.ndarray:
+    """MAXMAXDIST from ``m`` to each rectangle of ``targets``."""
+    return np.sqrt(np.sum(_maxdist_sq_batch(m, targets), axis=1))
+
+
+def nxndist_batch(m: Rect, targets: RectArray) -> np.ndarray:
+    """NXNDIST from query rect ``m`` to each target rectangle.
+
+    Vectorised Algorithm 1: all per-dimension MAXDIST and MAXMIN values for
+    all targets are produced by numpy broadcasts, preserving the ``O(D)``
+    per-pair cost.
+    """
+    md_sq = _maxdist_sq_batch(m, targets)
+
+    mid = (targets.lo + targets.hi) / 2.0
+    at_lo = np.minimum(np.abs(m.lo - targets.lo), np.abs(m.lo - targets.hi))
+    at_hi = np.minimum(np.abs(m.hi - targets.lo), np.abs(m.hi - targets.hi))
+    mm = np.maximum(at_lo, at_hi)
+    inside = (m.lo <= mid) & (mid <= m.hi)
+    if np.any(inside):
+        at_mid = np.minimum(np.abs(mid - targets.lo), np.abs(mid - targets.hi))
+        mm = np.where(inside, np.maximum(mm, at_mid), mm)
+    mm_sq = mm**2
+
+    # Additive form (see nxndist): substitute the sweep dimension's term
+    # instead of subtracting, preserving MINMINDIST <= NXNDIST in floats.
+    sweep = np.argmax(md_sq - mm_sq, axis=1)
+    rows = np.arange(md_sq.shape[0])
+    terms = md_sq.copy()
+    terms[rows, sweep] = mm_sq[rows, sweep]
+    return np.sqrt(np.sum(terms, axis=1))
+
+
+# ---------------------------------------------------------------------------
+# cross metrics: every rect of A against every rect of B -> (len A, len B)
+# ---------------------------------------------------------------------------
+#
+# These are the workhorses of the MBA bi-directional expansion step
+# (Algorithm 4, Expand Stage): one call scores all children of the query
+# node against all children of a candidate target node.  Degenerate rects
+# (points) are handled transparently, so the same kernels serve internal
+# nodes, leaves, and data objects.
+
+
+def minmindist_cross(a: RectArray, b: RectArray) -> np.ndarray:
+    """MINMINDIST between every rect of ``a`` and every rect of ``b``."""
+    gap = np.maximum(
+        0.0,
+        np.maximum(
+            b.lo[None, :, :] - a.hi[:, None, :],
+            a.lo[:, None, :] - b.hi[None, :, :],
+        ),
+    )
+    # np.sum (not einsum): must share the NXNDIST kernels' reduction so
+    # MINMINDIST <= NXNDIST holds bit-exactly (see ``minmindist``).
+    return np.sqrt(np.sum(gap * gap, axis=2))
+
+
+def _maxdist_sq_cross(a: RectArray, b: RectArray) -> np.ndarray:
+    md = np.maximum(
+        np.abs(a.lo[:, None, :] - b.hi[None, :, :]),
+        np.abs(a.hi[:, None, :] - b.lo[None, :, :]),
+    )
+    return md**2
+
+
+def maxmaxdist_cross(a: RectArray, b: RectArray) -> np.ndarray:
+    """MAXMAXDIST between every rect of ``a`` and every rect of ``b``."""
+    return np.sqrt(np.sum(_maxdist_sq_cross(a, b), axis=2))
+
+
+def nxndist_cross(a: RectArray, b: RectArray) -> np.ndarray:
+    """NXNDIST from every (query) rect of ``a`` to every (target) rect of ``b``.
+
+    Vectorised Algorithm 1 over the full cross product; the per-pair cost
+    stays ``O(D)``.
+    """
+    md_sq = _maxdist_sq_cross(a, b)
+
+    b_lo = b.lo[None, :, :]
+    b_hi = b.hi[None, :, :]
+    mid = (b_lo + b_hi) / 2.0
+    a_lo = a.lo[:, None, :]
+    a_hi = a.hi[:, None, :]
+    at_lo = np.minimum(np.abs(a_lo - b_lo), np.abs(a_lo - b_hi))
+    at_hi = np.minimum(np.abs(a_hi - b_lo), np.abs(a_hi - b_hi))
+    mm = np.maximum(at_lo, at_hi)
+    inside = (a_lo <= mid) & (mid <= a_hi)
+    if np.any(inside):
+        at_mid = np.minimum(np.abs(mid - b_lo), np.abs(mid - b_hi))
+        mm = np.where(inside, np.maximum(mm, at_mid), mm)
+    mm_sq = mm**2
+
+    # Additive form (see nxndist): substitute the sweep dimension's term
+    # instead of subtracting, preserving MINMINDIST <= NXNDIST in floats.
+    sweep = np.argmax(md_sq - mm_sq, axis=2)
+    ii, jj = np.indices(sweep.shape)
+    terms = md_sq.copy()
+    terms[ii, jj, sweep] = mm_sq[ii, jj, sweep]
+    return np.sqrt(np.sum(terms, axis=2))

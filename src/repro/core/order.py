@@ -1,0 +1,48 @@
+"""Space-filling-curve ordering helpers.
+
+BNN (Zhang et al.) groups the query dataset by spatial proximity before
+batching, and MNN benefits from locality-ordered queries; both use the
+Z-order (Morton) curve here.  Codes are built fully vectorised: ``bits``
+quantisation levels per dimension are interleaved MSB-first into one
+integer key per point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["morton_codes", "morton_order"]
+
+
+def morton_codes(points: np.ndarray, bits: int | None = None) -> np.ndarray:
+    """Z-order code of each point (normalised to the dataset's bbox).
+
+    ``bits`` defaults to the most precision that keeps ``bits * D`` within
+    a uint64 (capped at 16).  Ties (identical codes) are harmless — the
+    callers only need approximate locality.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] == 0:
+        raise ValueError(f"expected non-empty (n, D) points, got {pts.shape}")
+    n, dims = pts.shape
+    if bits is None:
+        bits = min(16, 63 // dims)
+    if bits < 1 or bits * dims > 63:
+        raise ValueError(f"bits={bits} with D={dims} does not fit an int64 code")
+
+    lo = pts.min(axis=0)
+    extent = pts.max(axis=0) - lo
+    extent[extent == 0] = 1.0
+    levels = (1 << bits) - 1
+    quantised = np.minimum((pts - lo) / extent * (levels + 1), levels).astype(np.uint64)
+
+    codes = np.zeros(n, dtype=np.uint64)
+    for b in range(bits - 1, -1, -1):  # MSB first
+        for d in range(dims):
+            codes = (codes << np.uint64(1)) | ((quantised[:, d] >> np.uint64(b)) & np.uint64(1))
+    return codes
+
+
+def morton_order(points: np.ndarray, bits: int | None = None) -> np.ndarray:
+    """Permutation that sorts ``points`` into Z-order."""
+    return np.argsort(morton_codes(points, bits), kind="stable")

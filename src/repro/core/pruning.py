@@ -1,0 +1,52 @@
+"""Pluggable pruning upper-bound metric (NXNDIST vs MAXMAXDIST).
+
+The paper's Figure 3(a) runs every algorithm under both upper bounds; this
+enum is that switch.  ``cross`` is the batched form used in bi-directional
+expansion, ``scalar`` the single-pair form used at the root.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .geometry import Rect, RectArray
+from .metrics import (
+    maxmaxdist,
+    maxmaxdist_batch,
+    maxmaxdist_cross,
+    nxndist,
+    nxndist_batch,
+    nxndist_cross,
+)
+
+__all__ = ["PruningMetric"]
+
+
+class PruningMetric(Enum):
+    """Upper-bound metric used to prune candidate entries from ``IS``."""
+
+    NXNDIST = "nxndist"
+    MAXMAXDIST = "maxmaxdist"
+
+    def scalar(self, m: Rect, n: Rect) -> float:
+        """Upper bound between two single MBRs."""
+        if self is PruningMetric.NXNDIST:
+            return nxndist(m, n)
+        return maxmaxdist(m, n)
+
+    def batch(self, m: Rect, targets: RectArray) -> np.ndarray:
+        """Upper bound from one query rect to each target rect."""
+        if self is PruningMetric.NXNDIST:
+            return nxndist_batch(m, targets)
+        return maxmaxdist_batch(m, targets)
+
+    def cross(self, a: RectArray, b: RectArray) -> np.ndarray:
+        """Upper bound between every query rect of ``a`` and target of ``b``."""
+        if self is PruningMetric.NXNDIST:
+            return nxndist_cross(a, b)
+        return maxmaxdist_cross(a, b)
+
+    def __str__(self) -> str:
+        return self.value.upper()

@@ -1,0 +1,97 @@
+"""Result containers for ANN and AkNN queries.
+
+All algorithms in the library (MBA/RBA, BNN, MNN, GORDER, brute force)
+return the same :class:`NeighborResult`, which makes correctness tests and
+benchmark comparisons uniform: for every query point id it holds the k
+nearest target ids and distances, sorted by distance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+__all__ = ["NeighborResult"]
+
+
+class NeighborResult:
+    """Mapping from query point id to its (up to) k nearest neighbours."""
+
+    def __init__(self, k: int = 1):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._neighbors: dict[int, list[tuple[float, int]]] = {}
+
+    def add(self, r_id: int, s_id: int, dist: float) -> None:
+        """Record one neighbour pair (appended in discovery order)."""
+        self._neighbors.setdefault(r_id, []).append((float(dist), int(s_id)))
+
+    def add_many(self, r_id: int, s_ids: np.ndarray, dists: np.ndarray) -> None:
+        bucket = self._neighbors.setdefault(r_id, [])
+        bucket.extend((float(d), int(s)) for d, s in zip(dists, s_ids))
+
+    def finalize(self) -> "NeighborResult":
+        """Sort every neighbour list by distance and trim to k."""
+        for r_id, bucket in self._neighbors.items():
+            bucket.sort()
+            del bucket[self.k :]
+        return self
+
+    # -- access ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._neighbors)
+
+    def __contains__(self, r_id: int) -> bool:
+        return r_id in self._neighbors
+
+    def neighbors_of(self, r_id: int) -> list[tuple[float, int]]:
+        """``[(dist, s_id), ...]`` sorted by distance (empty if none)."""
+        return self._neighbors.get(r_id, [])
+
+    def nn_of(self, r_id: int) -> tuple[float, int] | None:
+        """The single nearest ``(dist, s_id)`` of a query point, if any."""
+        bucket = self._neighbors.get(r_id)
+        return bucket[0] if bucket else None
+
+    def pairs(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(r_id, s_id, dist)`` over all recorded pairs."""
+        for r_id in sorted(self._neighbors):
+            for dist, s_id in self._neighbors[r_id]:
+                yield r_id, s_id, dist
+
+    def pair_count(self) -> int:
+        """Total number of recorded neighbour pairs across all queries."""
+        return sum(len(b) for b in self._neighbors.values())
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten to ``(r_ids, s_ids, dists)`` arrays sorted by r_id."""
+        r_ids, s_ids, dists = [], [], []
+        for r_id, s_id, dist in self.pairs():
+            r_ids.append(r_id)
+            s_ids.append(s_id)
+            dists.append(dist)
+        return (
+            np.asarray(r_ids, dtype=np.int64),
+            np.asarray(s_ids, dtype=np.int64),
+            np.asarray(dists, dtype=np.float64),
+        )
+
+    def total_distance(self) -> float:
+        """Sum of all neighbour distances — a cheap whole-result checksum."""
+        return float(sum(d for __, __, d in self.pairs()))
+
+    def same_pairs_as(self, other: "NeighborResult", tol: float = 1e-9) -> bool:
+        """Distance-level equivalence (robust to ties between equal dists)."""
+        if set(self._neighbors) != set(other._neighbors):
+            return False
+        for r_id, bucket in self._neighbors.items():
+            theirs = other._neighbors[r_id]
+            if len(bucket) != len(theirs):
+                return False
+            for (d1, __), (d2, __) in zip(bucket, theirs):
+                if abs(d1 - d2) > tol:
+                    return False
+        return True

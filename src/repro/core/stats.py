@@ -1,0 +1,85 @@
+"""Cost counters shared by every algorithm in the library.
+
+The paper reports CPU time and I/O time on its 2007 testbed.  Absolute
+wall-clock numbers do not transfer across hardware (or to pure Python), so
+every algorithm here also maintains *machine-independent* counters — the
+quantities the paper's own explanations appeal to when accounting for the
+observed speedups:
+
+* ``distance_evaluations`` — number of pairwise metric evaluations
+  (point–point, point–MBR, or MBR–MBR).  Vectorised kernels add the batch
+  size, so the count equals what a scalar implementation would do.
+* ``node_expansions`` — index nodes whose children were fetched.
+* ``lpq_enqueues`` / ``lpq_filter_discards`` — Local Priority Queue traffic
+  and the effectiveness of the Filter Stage (Section 3.3.3).
+* ``pruned_entries`` — candidate entries rejected by the pruning bound.
+* page I/O counters, filled in by the storage layer.
+
+:class:`QueryStats` instances are plain mutable records; algorithms create
+one per query (or accept one from the caller) and the benchmark harness
+aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Mutable bundle of cost counters for one ANN/AkNN execution."""
+
+    distance_evaluations: int = 0
+    node_expansions: int = 0
+    lpq_enqueues: int = 0
+    lpq_filter_discards: int = 0
+    pruned_entries: int = 0
+    result_pairs: int = 0
+
+    # Storage-layer counters (filled by BufferPool / PageStore).
+    logical_reads: int = 0
+    page_misses: int = 0
+    pages_written: int = 0
+
+    # Timing: measured CPU seconds plus simulated I/O seconds from the
+    # disk cost model.
+    cpu_time_s: float = 0.0
+    io_time_s: float = 0.0
+
+    extra: dict = field(default_factory=dict)
+
+    def record_distances(self, count: int) -> None:
+        """Count ``count`` pairwise metric evaluations (batch size of a
+        vectorised kernel call)."""
+        self.distance_evaluations += count
+
+    def merge(self, other: "QueryStats") -> None:
+        """Accumulate another stats record into this one (in place)."""
+        for f in fields(self):
+            if f.name == "extra":
+                self.extra.update(other.extra)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict:
+        """Flatten counters (plus ``extra`` keys) into one plain dict."""
+        out = {f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"}
+        out.update(self.extra)
+        return out
+
+    @property
+    def total_time_s(self) -> float:
+        """CPU time plus simulated I/O time — the paper's stacked-bar height."""
+        return self.cpu_time_s + self.io_time_s
+
+    def __str__(self) -> str:
+        parts = [
+            f"cpu={self.cpu_time_s:.3f}s",
+            f"io={self.io_time_s:.3f}s(sim)",
+            f"dist={self.distance_evaluations}",
+            f"expand={self.node_expansions}",
+            f"misses={self.page_misses}/{self.logical_reads}",
+        ]
+        return "QueryStats(" + ", ".join(parts) + ")"

@@ -1,0 +1,6 @@
+"""Workload generators: GSTD-style synthetic data and Table 2 surrogates."""
+
+from . import gstd
+from .datasets import fc_surrogate, table2_datasets, tac_surrogate
+
+__all__ = ["gstd", "tac_surrogate", "fc_surrogate", "table2_datasets"]

@@ -1,0 +1,113 @@
+"""The paper's experimental datasets (Table 2), as seeded surrogates.
+
+The two real datasets are not redistributable here, so each is replaced by
+a generator that reproduces its *character* (the property the experiments
+exercise), as documented in DESIGN.md:
+
+* **TAC** — Twin Astrographic Catalog, ~700K high-precision 2D star
+  positions.  Star catalogues are heavily non-uniform: a dense band (the
+  galactic plane / survey band), many local clusters, and sparse
+  background.  :func:`tac_surrogate` builds exactly that mixture over
+  (RA, Dec) ranges.
+* **FC** — Forest Cover Type, 580K tuples; the ANN literature uses its 10
+  real-valued attributes.  Those attributes (elevation, slopes, distances
+  to features, hillshades) are strongly *correlated* because they derive
+  from shared terrain.  :func:`fc_surrogate` generates 10D points from a
+  3-factor latent terrain model plus noise, giving comparable correlation
+  structure.
+
+The synthetic entries of Table 2 (500K × 2/4/6D) come straight from
+:mod:`repro.data.gstd`.  Cardinalities are scaled down by default because
+this reproduction's substrate is pure Python (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import gstd
+
+__all__ = ["tac_surrogate", "fc_surrogate", "table2_datasets"]
+
+
+def tac_surrogate(n: int = 40_000, seed: int = 7) -> np.ndarray:
+    """2D star-catalogue surrogate over (RA, Dec) = [0,360) x [-90,90).
+
+    Mixture: 55 % dense sinusoidal band (the galactic plane as it appears
+    in equatorial coordinates), 30 % compact clusters ("star fields"),
+    15 % uniform background.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = np.random.default_rng(seed)
+    n_band = int(0.55 * n)
+    n_cluster = int(0.30 * n)
+    n_back = n - n_band - n_cluster
+
+    # Galactic band: Dec follows a sine of RA with gaussian thickness.
+    ra_band = rng.random(n_band) * 360.0
+    dec_band = 35.0 * np.sin(np.radians(ra_band) * 2.0) + rng.normal(0, 9.0, n_band)
+
+    # Star fields: tight clusters, denser near the band.
+    n_fields = max(1, n_cluster // 400)
+    field_ra = rng.random(n_fields) * 360.0
+    field_dec = 35.0 * np.sin(np.radians(field_ra) * 2.0) + rng.normal(0, 20.0, n_fields)
+    member = rng.integers(0, n_fields, size=n_cluster)
+    ra_cl = field_ra[member] + rng.normal(0, 1.5, n_cluster)
+    dec_cl = field_dec[member] + rng.normal(0, 1.5, n_cluster)
+
+    # Sparse background.
+    ra_bg = rng.random(n_back) * 360.0
+    dec_bg = rng.uniform(-90.0, 90.0, n_back)
+
+    ra = np.concatenate([ra_band, ra_cl, ra_bg]) % 360.0
+    dec = np.clip(np.concatenate([dec_band, dec_cl, dec_bg]), -90.0, 90.0)
+    points = np.column_stack([ra, dec])
+    rng.shuffle(points)
+    return points
+
+
+def fc_surrogate(n: int = 23_000, seed: int = 11) -> np.ndarray:
+    """10D Forest-Cover surrogate from a 3-factor latent terrain model.
+
+    Latent factors (elevation regime, moisture, sun exposure) drive ten
+    observed attributes through a fixed loading matrix plus noise, then
+    each attribute is scaled to a range resembling the original columns.
+    The result is moderately clustered and strongly correlated — the
+    regime where the paper reports GORDER's buffer-pool sensitivity.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = np.random.default_rng(seed)
+    # Terrain types create multi-modal latent structure.
+    n_types = 7  # the dataset's seven cover types
+    type_centers = rng.normal(size=(n_types, 3)) * 2.2
+    assignment = rng.integers(0, n_types, size=n)
+    latent = type_centers[assignment] + rng.normal(scale=0.45, size=(n, 3))
+
+    loadings = rng.normal(size=(3, 10))
+    observed = latent @ loadings + rng.normal(scale=0.18, size=(n, 10))
+
+    # Column scales loosely modelled on the UCI attributes
+    # (elevation ~ thousands, aspects ~ hundreds, hillshades ~ 0-255 ...).
+    scales = np.array([700, 110, 20, 270, 60, 560, 25, 25, 40, 660], dtype=np.float64)
+    offsets = np.array([2750, 155, 14, 1300, 45, 2350, 212, 223, 142, 1980], dtype=np.float64)
+    return observed * scales / np.abs(observed).max(axis=0) + offsets
+
+
+def table2_datasets(scale: float = 0.05, seed: int = 3) -> dict[str, np.ndarray]:
+    """All five Table 2 datasets, cardinality-scaled by ``scale``.
+
+    At ``scale=1.0`` the cardinalities match the paper (500K/700K/580K);
+    the default 0.05 suits pure-Python experimentation.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1], got {scale}")
+    n_syn = max(1, int(500_000 * scale))
+    return {
+        "500K2D": gstd.gaussian_clusters(n_syn, 2, seed=seed, n_clusters=25),
+        "500K4D": gstd.gaussian_clusters(n_syn, 4, seed=seed + 1, n_clusters=25),
+        "500K6D": gstd.gaussian_clusters(n_syn, 6, seed=seed + 2, n_clusters=25),
+        "TAC": tac_surrogate(max(1, int(700_000 * scale)), seed=seed + 3),
+        "FC": fc_surrogate(max(1, int(580_000 * scale)), seed=seed + 4),
+    }

@@ -1,0 +1,19 @@
+"""Disk-resident spatial indexes: MBRQT (the paper's) and R*-tree."""
+
+from .base import BuildInternal, BuildLeaf, Node, PagedIndex
+from .mbrqt import build_mbrqt
+from .queries import nearest_iter, radius_query, range_query
+from .rstar import RStarTreeBuilder, build_rstar
+
+__all__ = [
+    "Node",
+    "BuildLeaf",
+    "BuildInternal",
+    "PagedIndex",
+    "build_mbrqt",
+    "build_rstar",
+    "RStarTreeBuilder",
+    "range_query",
+    "radius_query",
+    "nearest_iter",
+]

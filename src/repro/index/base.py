@@ -1,0 +1,228 @@
+"""Common machinery for disk-resident spatial indexes.
+
+Both indexes in this library (the R*-tree and the MBRQT) are built in
+memory and then *persisted* into a :class:`~repro.storage.node_file.NodeFile`
+— one node per page (or per run of pages for wide nodes).  Queries never
+touch the in-memory build tree: they go through :meth:`PagedIndex.node`,
+which reads pages via the buffer pool, so every traversal pays realistic,
+counted I/O.
+
+The traversal algorithms (MBA/RBA, BNN, MNN) only rely on the small
+interface exposed here:
+
+* ``index.root_id`` / ``index.root_rect`` / ``index.size`` / ``index.dims``
+* ``index.node(node_id)`` → :class:`Node` with per-child arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.geometry import Rect, RectArray
+from ..storage.node_file import NodeFile
+from ..storage.serialization import (
+    KIND_INTERNAL,
+    decode_internal,
+    decode_leaf,
+    encode_internal,
+    encode_leaf,
+    page_kind,
+)
+
+__all__ = ["Node", "BuildLeaf", "BuildInternal", "PagedIndex"]
+
+
+class Node:
+    """A decoded index node, as cached by the buffer pool.
+
+    Internal nodes expose ``child_ids``, ``counts`` and ``rects`` (the child
+    MBRs as a :class:`RectArray`).  Leaf nodes expose ``point_ids`` and
+    ``points``; their ``rects`` property is the array of degenerate
+    rectangles over the points, which lets the traversal code treat node
+    entries and data objects uniformly.
+    """
+
+    __slots__ = ("is_leaf", "child_ids", "counts", "point_ids", "points", "_rects")
+
+    def __init__(
+        self,
+        is_leaf: bool,
+        child_ids: np.ndarray | None = None,
+        counts: np.ndarray | None = None,
+        rects: RectArray | None = None,
+        point_ids: np.ndarray | None = None,
+        points: np.ndarray | None = None,
+    ):
+        self.is_leaf = is_leaf
+        self.child_ids = child_ids
+        self.counts = counts
+        self.point_ids = point_ids
+        self.points = points
+        self._rects = rects
+
+    @property
+    def rects(self) -> RectArray:
+        if self._rects is None:
+            # Leaf: degenerate rectangles over the stored points, built once
+            # per buffer-pool residency.
+            self._rects = RectArray(self.points, self.points)
+        return self._rects
+
+    @property
+    def n_entries(self) -> int:
+        if self.is_leaf:
+            return len(self.point_ids)
+        return len(self.child_ids)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Node":
+        if page_kind(payload) == KIND_INTERNAL:
+            child_ids, counts, lo, hi = decode_internal(payload)
+            return cls(False, child_ids=child_ids, counts=counts, rects=RectArray(lo, hi))
+        point_ids, points = decode_leaf(payload)
+        return cls(True, point_ids=point_ids, points=points)
+
+
+@dataclass
+class BuildLeaf:
+    """In-memory leaf used during index construction."""
+
+    point_ids: np.ndarray
+    points: np.ndarray
+    rect: Rect
+
+    @property
+    def count(self) -> int:
+        return len(self.point_ids)
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+
+@dataclass
+class BuildInternal:
+    """In-memory internal node used during index construction."""
+
+    children: list = field(default_factory=list)
+    rect: Rect | None = None
+
+    @property
+    def count(self) -> int:
+        return sum(c.count for c in self.children)
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def recompute_rect(self) -> None:
+        """Refresh this node's MBR from its children's rects."""
+        self.rect = Rect.from_rects([c.rect for c in self.children])
+
+
+class PagedIndex:
+    """A persisted spatial index: metadata plus buffer-pool read access.
+
+    Use :meth:`persist` to turn an in-memory build tree
+    (:class:`BuildLeaf` / :class:`BuildInternal`) into a paged index.
+    """
+
+    def __init__(
+        self,
+        file: NodeFile,
+        root_id: int,
+        root_rect: Rect,
+        size: int,
+        dims: int,
+        height: int,
+        kind: str,
+    ):
+        self.file = file
+        self.root_id = root_id
+        self.root_rect = root_rect
+        self.size = size
+        self.dims = dims
+        self.height = height
+        self.kind = kind
+
+    @classmethod
+    def persist(cls, root: BuildLeaf | BuildInternal, file: NodeFile, kind: str) -> "PagedIndex":
+        """Write a build tree into ``file`` (children before parents)."""
+        height = _tree_height(root)
+        root_id = _persist_node(root, file)
+        file.flush()
+        dims = root.rect.dims
+        return cls(file, root_id, root.rect, root.count, dims, height, kind)
+
+    def node(self, node_id: int) -> Node:
+        """Read one node through the buffer pool (counted I/O)."""
+        return self.file.read_node(node_id, Node.decode)
+
+    def root_node(self) -> Node:
+        """Read the root node through the buffer pool."""
+        return self.node(self.root_id)
+
+    # -- whole-tree utilities (used by tests and diagnostics) ---------------
+
+    def iter_leaves(self):
+        """Yield every leaf :class:`Node` (depth-first)."""
+        stack = [self.root_id]
+        while stack:
+            node = self.node(stack.pop())
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(int(c) for c in node.child_ids)
+
+    def all_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """Collect every (point_id, point) stored in the index."""
+        ids = []
+        pts = []
+        for leaf in self.iter_leaves():
+            if len(leaf.point_ids):
+                ids.append(np.asarray(leaf.point_ids))
+                pts.append(np.asarray(leaf.points))
+        if not ids:
+            return np.empty(0, dtype=np.int64), np.empty((0, self.dims))
+        return np.concatenate(ids), np.concatenate(pts)
+
+    def node_count(self) -> int:
+        """Total number of nodes in the tree (reads every node)."""
+        count = 0
+        stack = [self.root_id]
+        while stack:
+            count += 1
+            node = self.node(stack.pop())
+            if not node.is_leaf:
+                stack.extend(int(c) for c in node.child_ids)
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.kind} D={self.dims} size={self.size} height={self.height} "
+            f"pages={self.file.total_pages}>"
+        )
+
+
+def _tree_height(node: BuildLeaf | BuildInternal) -> int:
+    # Max depth: quadtrees are not balanced, so follow every branch.
+    if node.is_leaf:
+        return 1
+    return 1 + max(_tree_height(child) for child in node.children)
+
+
+def _persist_node(node: BuildLeaf | BuildInternal, file: NodeFile) -> int:
+    if node.is_leaf:
+        return file.append_node(encode_leaf(node.point_ids, node.points))
+    child_ids = np.empty(len(node.children), dtype=np.int64)
+    counts = np.empty(len(node.children), dtype=np.int64)
+    lo = np.empty((len(node.children), node.rect.dims))
+    hi = np.empty_like(lo)
+    for i, child in enumerate(node.children):
+        child_ids[i] = _persist_node(child, file)
+        counts[i] = child.count
+        lo[i] = child.rect.lo
+        hi[i] = child.rect.hi
+    return file.append_node(encode_internal(child_ids, counts, lo, hi))

@@ -1,0 +1,139 @@
+"""Classic single-index queries over a :class:`PagedIndex`.
+
+The ANN machinery is the library's centrepiece, but a disk-resident
+spatial index that cannot answer a window query is not much of a library.
+These functions work on both index structures and go through the buffer
+pool like everything else:
+
+* :func:`range_query` — all points inside an axis-aligned window.
+* :func:`radius_query` — all points within a distance of a centre.
+* :func:`nearest_iter` — incremental distance browsing (Hjaltason &
+  Samet): a generator yielding points in increasing distance order,
+  stopping as early as the consumer does.  This is the incremental
+  algorithm the paper's related work (Section 2) builds on for distance
+  joins and semi-joins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..core.geometry import Rect
+from ..core.metrics import dist_point_points, minmindist_point_batch
+from ..core.stats import QueryStats
+from .base import PagedIndex
+
+__all__ = ["range_query", "radius_query", "nearest_iter"]
+
+_NODE = 0
+_POINT = 1
+
+
+def range_query(
+    index: PagedIndex, window: Rect, stats: QueryStats | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (ids, points) of the index that lie inside ``window``.
+
+    Boundary-inclusive, like :meth:`Rect.contains_point`.
+    """
+    if window.dims != index.dims:
+        raise ValueError(f"window dimensionality {window.dims} != index {index.dims}")
+    stats = stats if stats is not None else QueryStats()
+    ids_out: list[np.ndarray] = []
+    pts_out: list[np.ndarray] = []
+    stack = [index.root_id]
+    if not window.intersects(index.root_rect):
+        stack = []
+    while stack:
+        node = index.node(stack.pop())
+        stats.node_expansions += 1
+        if node.is_leaf:
+            pts = node.points
+            inside = np.all((pts >= window.lo) & (pts <= window.hi), axis=1)
+            if np.any(inside):
+                ids_out.append(np.asarray(node.point_ids)[inside])
+                pts_out.append(pts[inside])
+        else:
+            rects = node.rects
+            overlap = np.all(
+                (rects.lo <= window.hi) & (window.lo <= rects.hi), axis=1
+            )
+            stack.extend(int(c) for c in node.child_ids[overlap])
+    if not ids_out:
+        return np.empty(0, dtype=np.int64), np.empty((0, index.dims))
+    return np.concatenate(ids_out), np.concatenate(pts_out)
+
+
+def radius_query(
+    index: PagedIndex,
+    center: np.ndarray,
+    radius: float,
+    stats: QueryStats | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All (ids, points) within Euclidean ``radius`` of ``center``."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    center = np.asarray(center, dtype=np.float64)
+    stats = stats if stats is not None else QueryStats()
+    ids_out: list[np.ndarray] = []
+    pts_out: list[np.ndarray] = []
+    stack = [index.root_id]
+    while stack:
+        node = index.node(stack.pop())
+        stats.node_expansions += 1
+        if node.is_leaf:
+            dists = dist_point_points(center, node.points)
+            stats.record_distances(len(dists))
+            inside = dists <= radius
+            if np.any(inside):
+                ids_out.append(np.asarray(node.point_ids)[inside])
+                pts_out.append(node.points[inside])
+        else:
+            minds = minmindist_point_batch(center, node.rects)
+            stats.record_distances(len(minds))
+            stack.extend(int(c) for c in node.child_ids[minds <= radius])
+    if not ids_out:
+        return np.empty(0, dtype=np.int64), np.empty((0, index.dims))
+    return np.concatenate(ids_out), np.concatenate(pts_out)
+
+
+def nearest_iter(
+    index: PagedIndex,
+    point: np.ndarray,
+    stats: QueryStats | None = None,
+) -> Iterator[tuple[float, int, np.ndarray]]:
+    """Yield ``(dist, point_id, point)`` in increasing distance order.
+
+    Incremental distance browsing: consuming j results costs roughly one
+    kNN search with k = j; the generator holds a priority queue of index
+    entries and data points ordered by their minimum distance, so it can
+    be abandoned at any time.
+    """
+    point = np.asarray(point, dtype=np.float64)
+    stats = stats if stats is not None else QueryStats()
+    heap: list[tuple] = [(0.0, 0, _NODE, index.root_id, None)]
+    seq = 1
+    while heap:
+        dist, __, kind, ident, payload = heapq.heappop(heap)
+        if kind == _POINT:
+            yield dist, ident, payload
+            continue
+        node = index.node(ident)
+        stats.node_expansions += 1
+        if node.is_leaf:
+            dists = dist_point_points(point, node.points)
+            stats.record_distances(len(dists))
+            for i in range(len(dists)):
+                heapq.heappush(
+                    heap, (float(dists[i]), seq, _POINT, int(node.point_ids[i]), node.points[i])
+                )
+                seq += 1
+        else:
+            minds = minmindist_point_batch(point, node.rects)
+            stats.record_distances(len(minds))
+            for i in range(len(minds)):
+                heapq.heappush(heap, (float(minds[i]), seq, _NODE, int(node.child_ids[i]), None))
+                seq += 1

@@ -1,0 +1,220 @@
+"""HNN — hash-based ANN (Zhang et al., SSDBM 2004), the no-index case.
+
+When neither dataset is indexed, Zhang et al. propose spatial hashing in
+the style of the Partition Based Spatial-Merge join (Patel & DeWitt '96):
+
+1. Impose a regular grid; hash both datasets into its cells.  The target
+   dataset's buckets are written to pages (counted I/O).
+2. For each query bucket, compute candidate kNN against the co-hashed
+   target bucket.
+3. *Repair phase*: any query point whose current k-th distance reaches
+   past its cell boundary may have a true neighbour in an adjacent cell;
+   gather the target buckets within that radius and recompute.
+
+The ANN paper (Section 2) notes that building an index and running BNN is
+often faster than HNN, and that HNN "is susceptible to poor performance
+on skewed data distributions" — skew concentrates points into few
+buckets, degenerating the join toward quadratic bucket scans.  The
+extension benchmark `benchmarks/test_ablation_hnn.py` reproduces both
+observations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.result import NeighborResult
+from ..core.stats import QueryStats
+from ..storage.manager import StorageManager
+
+__all__ = ["hnn_join"]
+
+
+class _HashedFile:
+    """Target points hashed to grid cells and written to pages."""
+
+    def __init__(
+        self,
+        storage: StorageManager,
+        points: np.ndarray,
+        ids: np.ndarray,
+        cells_per_dim: int,
+        lo: np.ndarray,
+        extent: np.ndarray,
+    ):
+        self.storage = storage
+        self.cells_per_dim = cells_per_dim
+        dims = points.shape[1]
+        codes = _cell_codes(points, lo, extent, cells_per_dim)
+        order = np.argsort(codes, kind="stable")
+        self.points = points[order]
+        self.ids = ids[order]
+        self.codes = codes[order]
+        # bucket boundaries in the sorted arrays
+        unique, starts = np.unique(self.codes, return_index=True)
+        stops = np.append(starts[1:], len(self.codes))
+        self.buckets: dict[int, tuple[int, int]] = {
+            int(c): (int(a), int(b)) for c, a, b in zip(unique, starts, stops)
+        }
+        # write buckets to pages
+        bytes_per_point = 8 * (dims + 1)
+        per_page = max(1, storage.page_size // bytes_per_point)
+        self.bucket_pages: dict[int, list[int]] = {}
+        for code, (a, b) in self.buckets.items():
+            pages = []
+            for s in range(a, b, per_page):
+                e = min(s + per_page, b)
+                payload = self.ids[s:e].tobytes() + self.points[s:e].tobytes()
+                pages.append(storage.store.allocate(payload))
+            self.bucket_pages[code] = pages
+
+    def read_bucket(self, code: int) -> tuple[np.ndarray, np.ndarray]:
+        """(ids, points) of one bucket, through the buffer pool."""
+        span = self.buckets.get(code)
+        if span is None:
+            return np.empty(0, dtype=np.int64), np.empty((0, self.points.shape[1]))
+        for page_id in self.bucket_pages[code]:
+            self.storage.pool.fetch(page_id, lambda payload: payload)
+        a, b = span
+        return self.ids[a:b], self.points[a:b]
+
+
+def _cell_codes(points, lo, extent, cells_per_dim) -> np.ndarray:
+    cells = np.clip(
+        ((points - lo) / extent * cells_per_dim).astype(np.int64), 0, cells_per_dim - 1
+    )
+    weights = cells_per_dim ** np.arange(points.shape[1], dtype=np.int64)
+    return cells @ weights
+
+
+def hnn_join(
+    r_points: np.ndarray,
+    s_points: np.ndarray,
+    storage: StorageManager,
+    r_ids: np.ndarray | None = None,
+    s_ids: np.ndarray | None = None,
+    k: int = 1,
+    exclude_self: bool = False,
+    cells_per_dim: int | None = None,
+    stats: QueryStats | None = None,
+) -> tuple[NeighborResult, QueryStats]:
+    """ANN/AkNN via spatial hashing (no index on either input).
+
+    ``cells_per_dim`` defaults to a grid whose average bucket holds ~4
+    pages' worth of points.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    r_points = np.asarray(r_points, dtype=np.float64)
+    s_points = np.asarray(s_points, dtype=np.float64)
+    if r_points.shape[1] != s_points.shape[1]:
+        raise ValueError("dimensionality mismatch")
+    dims = r_points.shape[1]
+    if r_ids is None:
+        r_ids = np.arange(len(r_points), dtype=np.int64)
+    if s_ids is None:
+        s_ids = np.arange(len(s_points), dtype=np.int64)
+    stats = stats if stats is not None else QueryStats()
+
+    lo = np.minimum(r_points.min(axis=0), s_points.min(axis=0))
+    hi = np.maximum(r_points.max(axis=0), s_points.max(axis=0))
+    extent = np.where(hi - lo == 0, 1.0, hi - lo)
+    if cells_per_dim is None:
+        target_bucket = max(64, 4 * storage.page_size // (8 * (dims + 1)))
+        cells_per_dim = max(1, int(round((len(s_points) / target_bucket) ** (1.0 / dims))))
+
+    s_file = _HashedFile(storage, s_points, s_ids, cells_per_dim, lo, extent)
+    weights = cells_per_dim ** np.arange(dims, dtype=np.int64)
+    r_cells = np.clip(
+        ((r_points - lo) / extent * cells_per_dim).astype(np.int64), 0, cells_per_dim - 1
+    )
+    r_codes = r_cells @ weights
+    cell_width = extent / cells_per_dim
+
+    result = NeighborResult(k)
+    order = np.argsort(r_codes, kind="stable")
+
+    for start in _bucket_starts(r_codes[order]):
+        a, b = start
+        rows = order[a:b]
+        pts = r_points[rows]
+        ids = r_ids[rows]
+        cells = r_cells[rows[0]]
+
+        best_d, best_i = _knn_against(
+            pts, ids, s_file.read_bucket(int(r_codes[rows[0]])), k, exclude_self, stats
+        )
+
+        # Repair phase: a point is resolved when its k-th distance fits
+        # inside its cell (cannot reach a better neighbour elsewhere).
+        border = np.minimum(
+            (pts - (lo + cells * cell_width)),
+            ((lo + (cells + 1) * cell_width) - pts),
+        ).min(axis=1)
+        unresolved = ~(best_d[:, k - 1] <= border)
+        if np.any(unresolved):
+            radius = best_d[unresolved, k - 1]
+            radius = np.where(np.isfinite(radius), radius, float(np.max(extent)))
+            reach = np.ceil(radius.max() / cell_width.min()).astype(int)
+            codes = _neighbor_codes(cells, reach, cells_per_dim, weights)
+            gathered_ids = []
+            gathered_pts = []
+            for code in codes:
+                gi, gp = s_file.read_bucket(int(code))
+                if len(gi):
+                    gathered_ids.append(gi)
+                    gathered_pts.append(gp)
+            if gathered_ids:
+                cand = (np.concatenate(gathered_ids), np.concatenate(gathered_pts))
+                fixed_d, fixed_i = _knn_against(
+                    pts[unresolved], ids[unresolved], cand, k, exclude_self, stats
+                )
+                best_d[unresolved] = fixed_d
+                best_i[unresolved] = fixed_i
+
+        for row in range(len(pts)):
+            valid = np.isfinite(best_d[row])
+            result.add_many(int(ids[row]), best_i[row][valid], best_d[row][valid])
+
+    result.finalize()
+    stats.result_pairs += result.pair_count()
+    return result, stats
+
+
+def _bucket_starts(sorted_codes: np.ndarray):
+    unique, starts = np.unique(sorted_codes, return_index=True)
+    stops = np.append(starts[1:], len(sorted_codes))
+    return list(zip(starts, stops))
+
+
+def _neighbor_codes(cells, reach, cells_per_dim, weights) -> np.ndarray:
+    """Codes of every cell within ``reach`` cells of ``cells`` (Chebyshev)."""
+    ranges = [
+        np.arange(max(0, c - reach), min(cells_per_dim, c + reach + 1)) for c in cells
+    ]
+    mesh = np.meshgrid(*ranges, indexing="ij")
+    grid = np.stack([m.ravel() for m in mesh], axis=1)
+    return grid @ weights
+
+
+def _knn_against(pts, ids, candidates, k, exclude_self, stats):
+    cand_ids, cand_pts = candidates
+    m = len(pts)
+    best_d = np.full((m, k), np.inf)
+    best_i = np.full((m, k), -1, dtype=np.int64)
+    if len(cand_ids) == 0:
+        return best_d, best_i
+    diffs = pts[:, None, :] - cand_pts[None, :, :]
+    dists = np.sqrt(np.sum(diffs * diffs, axis=2))
+    stats.record_distances(dists.size)
+    if exclude_self:
+        same = ids[:, None] == cand_ids[None, :]
+        dists = np.where(same, np.inf, dists)
+    take = min(k, dists.shape[1])
+    part = np.argpartition(dists, take - 1, axis=1)[:, :take]
+    rows = np.arange(m)[:, None]
+    top_d = dists[rows, part]
+    inner = np.argsort(top_d, axis=1, kind="stable")
+    best_d[:, :take] = top_d[rows, inner]
+    best_i[:, :take] = cand_ids[part][rows, inner]
+    return best_d, best_i

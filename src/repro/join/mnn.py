@@ -1,0 +1,115 @@
+"""MNN — multiple nearest-neighbour search (index-nested-loops ANN).
+
+The simplest indexed ANN strategy discussed in the paper (Section 2, from
+Zhang et al.): run one best-first kNN search over ``IS`` per query point,
+ordering the query points by a space-filling curve so consecutive searches
+touch the same index pages (that locality is MNN's whole optimisation —
+the buffer pool turns it into I/O savings, while CPU cost stays high).
+
+:func:`knn_search` is also the library's public single-point query.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..core.metrics import dist_point_points, minmindist_point_batch
+from ..core.order import morton_order
+from ..core.result import NeighborResult
+from ..core.stats import QueryStats
+from ..index.base import PagedIndex
+
+__all__ = ["knn_search", "mnn_join"]
+
+_NODE = 0
+_POINT = 1
+
+
+def knn_search(
+    index: PagedIndex,
+    point: np.ndarray,
+    k: int = 1,
+    exclude_id: int | None = None,
+    stats: QueryStats | None = None,
+) -> list[tuple[float, int]]:
+    """Best-first k-nearest-neighbour search for one query point.
+
+    Returns up to ``k`` pairs ``(dist, point_id)`` sorted by distance,
+    skipping ``exclude_id`` if given.  Classic HS-style traversal: a
+    priority queue ordered by MINDIST holds nodes and points; when a point
+    pops, it is the next nearest neighbour.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    stats = stats if stats is not None else QueryStats()
+    point = np.asarray(point, dtype=np.float64)
+
+    heap: list[tuple] = [(0.0, 0, _NODE, index.root_id)]
+    seq = 1
+    results: list[tuple[float, int]] = []
+
+    while heap and len(results) < k:
+        dist, __, kind, ident = heapq.heappop(heap)
+        if kind == _POINT:
+            # Pops in exact-distance order: the next nearest neighbour.
+            results.append((dist, ident))
+            continue
+        node = index.node(ident)
+        stats.node_expansions += 1
+        if node.is_leaf:
+            dists = dist_point_points(point, node.points)
+            stats.record_distances(len(dists))
+            # Only the k (+1 for a possible self-match) closest points of a
+            # leaf can ever be reported; don't flood the heap with the rest.
+            budget = k - len(results) + (1 if exclude_id is not None else 0)
+            for i in np.argsort(dists, kind="stable")[:budget]:
+                if exclude_id is not None and int(node.point_ids[i]) == exclude_id:
+                    continue
+                heapq.heappush(heap, (float(dists[i]), seq, _POINT, int(node.point_ids[i])))
+                seq += 1
+        else:
+            minds = minmindist_point_batch(point, node.rects)
+            stats.record_distances(len(minds))
+            for i in range(len(minds)):
+                heapq.heappush(heap, (float(minds[i]), seq, _NODE, int(node.child_ids[i])))
+                seq += 1
+    return results
+
+
+def mnn_join(
+    index_s: PagedIndex,
+    r_points: np.ndarray,
+    r_ids: np.ndarray | None = None,
+    k: int = 1,
+    exclude_self: bool = False,
+    locality_order: bool = True,
+    stats: QueryStats | None = None,
+) -> tuple[NeighborResult, QueryStats]:
+    """ANN/AkNN by one kNN search per query point (index nested loops).
+
+    ``locality_order`` sorts the query points in Z-order first, the MNN
+    optimisation that maximises buffer-pool reuse across searches.
+    """
+    r_points = np.asarray(r_points, dtype=np.float64)
+    if r_ids is None:
+        r_ids = np.arange(len(r_points), dtype=np.int64)
+    stats = stats if stats is not None else QueryStats()
+    result = NeighborResult(k)
+
+    order = morton_order(r_points) if locality_order else np.arange(len(r_points))
+    for i in order:
+        rid = int(r_ids[i])
+        neighbors = knn_search(
+            index_s,
+            r_points[i],
+            k=k,
+            exclude_id=rid if exclude_self else None,
+            stats=stats,
+        )
+        for dist, s_id in neighbors:
+            result.add(rid, s_id, dist)
+    result.finalize()
+    stats.result_pairs += result.pair_count()
+    return result, stats

@@ -1,0 +1,39 @@
+"""Paged storage substrate: simulated disk, LRU buffer pool, node files.
+
+This package is the stand-in for the SHORE storage manager the paper
+builds on (see DESIGN.md, "Substitutions").  It reproduces the knobs the
+paper's experiments turn — 8 KB pages, an LRU buffer pool measured in
+pages, per-page I/O accounting — without requiring a real disk.
+"""
+
+from .buffer_pool import BufferPool, pool_pages_for_bytes
+from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
+from .manager import DEFAULT_POOL_PAGES, StorageManager
+from .node_file import NodeFile
+from .serialization import (
+    decode_internal,
+    decode_leaf,
+    encode_internal,
+    encode_leaf,
+    internal_capacity,
+    leaf_capacity,
+    page_kind,
+)
+
+__all__ = [
+    "BufferPool",
+    "pool_pages_for_bytes",
+    "DEFAULT_PAGE_SIZE",
+    "DiskModel",
+    "PageStore",
+    "DEFAULT_POOL_PAGES",
+    "StorageManager",
+    "NodeFile",
+    "encode_internal",
+    "decode_internal",
+    "encode_leaf",
+    "decode_leaf",
+    "internal_capacity",
+    "leaf_capacity",
+    "page_kind",
+]

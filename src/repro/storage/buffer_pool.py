@@ -1,0 +1,125 @@
+"""LRU buffer pool over a :class:`~repro.storage.disk.PageStore`.
+
+The paper's experimental design (Section 4.1) revolves around a small
+buffer pool — 64 pages of 8 KB, i.e. 512 KB — precisely so that I/O
+behaviour differentiates the algorithms.  Figure 3(b) then sweeps the pool
+from 512 KB to 8 MB.  This class reproduces that knob.
+
+The pool caches *decoded* objects keyed by node id, with a capacity
+measured in pages and each entry carrying its page weight.  Most nodes
+occupy exactly one page; a wide node (e.g. a high-dimensional MBRQT
+internal node) may span several contiguous pages, mirroring SHORE's large
+records, and then occupies that many pages of pool capacity and incurs
+that many physical reads on a miss.  (A real buffer manager caches raw
+frames and decodes at C speed; here the Python decode is the analogous
+per-miss cost, so tying it to misses keeps the cost model honest.)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable
+from typing import Any
+
+from .disk import DEFAULT_PAGE_SIZE, PageStore
+
+__all__ = ["BufferPool", "pool_pages_for_bytes"]
+
+
+def pool_pages_for_bytes(pool_bytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """Translate a pool size in bytes (the paper's unit) to a page count."""
+    if pool_bytes < page_size:
+        raise ValueError(f"buffer pool of {pool_bytes} B cannot hold one {page_size} B page")
+    return pool_bytes // page_size
+
+
+class BufferPool:
+    """Fixed-capacity, page-weighted LRU cache of decoded pages/nodes.
+
+    Counters:
+
+    * ``logical_reads`` — pages requested through the pool (hits + misses).
+    * ``misses`` — pages that had to be physically read from the store.
+
+    Simulated I/O time lives on the underlying :class:`PageStore`, which
+    only the misses touch.
+    """
+
+    def __init__(self, store: PageStore, capacity_pages: int = 64):
+        if capacity_pages <= 0:
+            raise ValueError(f"capacity_pages must be positive, got {capacity_pages}")
+        self.store = store
+        self.capacity_pages = capacity_pages
+        self._frames: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._used_pages = 0
+        self.logical_reads = 0
+        self.misses = 0
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def used_pages(self) -> int:
+        return self._used_pages
+
+    def fetch(self, page_id: int, decode: Callable[[bytes], Any]) -> Any:
+        """Fetch a single-page object, decoding the page bytes on a miss."""
+        return self.fetch_node(page_id, 1, lambda: decode(self.store.read(page_id)))
+
+    def fetch_node(self, key: Any, npages: int, load: Callable[[], Any]) -> Any:
+        """Return the cached object for ``key``; call ``load`` on a miss.
+
+        ``load`` must perform the physical page reads itself (so the store's
+        simulated I/O clock advances) and return the decoded object.  The
+        entry then occupies ``npages`` pages of pool capacity.
+        """
+        self.logical_reads += npages
+        entry = self._frames.get(key)
+        if entry is not None:
+            self._frames.move_to_end(key)
+            return entry[0]
+        self.misses += npages
+        obj = load()
+        self._frames[key] = (obj, npages)
+        self._used_pages += npages
+        self._evict_if_needed(exempt=key)
+        return obj
+
+    def _evict_if_needed(self, exempt: Any) -> None:
+        # Evict least-recently-used entries until within capacity.  The
+        # entry just inserted is exempt so that a node wider than the whole
+        # pool can still be read (it simply will never be a hit) — SHORE
+        # behaves the same way for large records.
+        while self._used_pages > self.capacity_pages and len(self._frames) > 1:
+            key = next(iter(self._frames))
+            if key == exempt:
+                # Move the exempt entry to the MRU end and retry.
+                self._frames.move_to_end(key)
+                key = next(iter(self._frames))
+                if key == exempt:
+                    break
+            __, npages = self._frames.pop(key)
+            self._used_pages -= npages
+
+    def clear(self) -> None:
+        """Drop every cached frame (counters are kept)."""
+        self._frames.clear()
+        self._used_pages = 0
+
+    def reset_counters(self) -> None:
+        """Zero hit/miss counters (cached frames are kept)."""
+        self.logical_reads = 0
+        self.misses = 0
+
+    @property
+    def hits(self) -> int:
+        return self.logical_reads - self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.logical_reads == 0:
+            return 0.0
+        return self.hits / self.logical_reads

@@ -1,0 +1,71 @@
+"""SHORE-surrogate storage manager: one disk, one buffer pool, many files.
+
+:class:`StorageManager` is the facade the rest of the library goes
+through.  It mirrors the paper's experimental setup (Section 4.1): an
+8 KB-page store and a shared LRU buffer pool whose size defaults to
+64 pages (512 KB).  Both indexes of an ANN query — and GORDER's sorted
+data files — live in files of the *same* manager, so they compete for the
+same buffer pool, exactly as in the paper's runs.
+"""
+
+from __future__ import annotations
+
+from .buffer_pool import BufferPool, pool_pages_for_bytes
+from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
+from .node_file import NodeFile
+
+__all__ = ["StorageManager", "DEFAULT_POOL_PAGES"]
+
+DEFAULT_POOL_PAGES = 64
+"""64 pages × 8 KB = the paper's default 512 KB buffer pool."""
+
+
+class StorageManager:
+    """Bundles the simulated disk, the buffer pool, and file creation."""
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        disk: DiskModel | None = None,
+    ):
+        self.page_size = page_size
+        self.store = PageStore(page_size=page_size, disk=disk)
+        self.pool = BufferPool(self.store, capacity_pages=pool_pages)
+
+    @classmethod
+    def with_pool_bytes(
+        cls, pool_bytes: int, page_size: int = DEFAULT_PAGE_SIZE
+    ) -> "StorageManager":
+        """Build a manager with the pool sized in bytes (the paper's unit)."""
+        return cls(page_size=page_size, pool_pages=pool_pages_for_bytes(pool_bytes, page_size))
+
+    def create_file(self, pack_pages: bool = False) -> NodeFile:
+        """A new node file sharing this manager's disk and buffer pool.
+
+        ``pack_pages=True`` stores several small nodes per page (the
+        disk-quadtree layout); the default dedicates pages per node (the
+        R-tree layout).
+        """
+        return NodeFile(self.pool, pack_pages=pack_pages)
+
+    # -- accounting ---------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Zero I/O counters, typically after index build, before a query."""
+        self.store.reset_counters()
+        self.pool.reset_counters()
+
+    def drop_caches(self) -> None:
+        """Empty the buffer pool so a query starts cold, as in the paper."""
+        self.pool.clear()
+
+    def io_snapshot(self) -> dict:
+        """Current physical/logical I/O counters and simulated I/O time."""
+        return {
+            "logical_reads": self.pool.logical_reads,
+            "page_misses": self.pool.misses,
+            "physical_reads": self.store.physical_reads,
+            "physical_writes": self.store.physical_writes,
+            "io_time_s": self.store.io_time_s,
+        }

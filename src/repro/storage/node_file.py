@@ -1,0 +1,141 @@
+"""Node-granular storage on top of the page store.
+
+An index node serialises to a byte string (see
+:mod:`repro.storage.serialization`).  :class:`NodeFile` maps nodes onto
+fixed-size pages in one of two layouts:
+
+* ``pack_pages=False`` (default): one node per page (or per run of pages
+  for a node wider than a page, like a SHORE large record).  This is how
+  R-tree family indexes are deployed — the page is the unit of update.
+* ``pack_pages=True``: consecutive small nodes share pages, the layout
+  used by disk-resident quadtrees (linear quadtrees, PMR-quadtree pages):
+  a bucket quadtree has many small nodes whose one-per-page storage would
+  waste most of each page.
+
+Reads go through the buffer pool at **page granularity**: a fetch caches
+the page's raw bytes (plus a per-page memo of nodes decoded from it), so
+I/O accounting is exact regardless of layout — a cold node read misses
+once per page it touches, and re-decoding is only paid when the page
+re-enters the pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from typing import Any
+
+from .buffer_pool import BufferPool
+
+__all__ = ["NodeFile"]
+
+_file_uid_counter = itertools.count()
+
+
+class _PageFrame:
+    """Buffer-pool resident image of one page: raw bytes + decode memo."""
+
+    __slots__ = ("raw", "nodes")
+
+    def __init__(self, raw: bytes):
+        self.raw = raw
+        self.nodes: dict[int, Any] = {}
+
+
+class NodeFile:
+    """A collection of variable-width nodes stored in fixed-size pages.
+
+    The node directory (node id → page extents) is kept in memory; it
+    plays the role of a storage manager's extent map and its size is
+    negligible next to the data pages.
+    """
+
+    def __init__(self, pool: BufferPool, pack_pages: bool = False):
+        self.pool = pool
+        self.store = pool.store
+        self.pack_pages = pack_pages
+        # node id -> tuple of (page_id, offset, length) chunks
+        self._directory: list[tuple[tuple[int, int, int], ...]] = []
+        self._uid = next(_file_uid_counter)
+        self._open_page_id: int | None = None
+        self._open_buf = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._directory)
+
+    @property
+    def total_pages(self) -> int:
+        pages = {chunk[0] for extents in self._directory for chunk in extents}
+        return len(pages)
+
+    # -- writing -------------------------------------------------------------
+
+    def append_node(self, payload: bytes) -> int:
+        """Store ``payload``; return the new node id."""
+        page_size = self.store.page_size
+        node_id = len(self._directory)
+
+        if self.pack_pages and len(payload) <= page_size:
+            remaining = page_size - len(self._open_buf)
+            if self._open_page_id is None or len(payload) > remaining:
+                self.flush()
+                self._open_page_id = self.store.allocate(b"")
+                self._open_buf = bytearray()
+            offset = len(self._open_buf)
+            self._open_buf.extend(payload)
+            self._directory.append(((self._open_page_id, offset, len(payload)),))
+            return node_id
+
+        # Unpacked node, or a node wider than one page: dedicated pages.
+        self.flush()
+        chunks = []
+        view = memoryview(payload)
+        start = 0
+        while True:
+            piece = view[start : start + page_size]
+            page_id = self.store.allocate(bytes(piece))
+            chunks.append((page_id, 0, len(piece)))
+            start += page_size
+            if start >= len(payload):
+                break
+        self._directory.append(tuple(chunks))
+        return node_id
+
+    def flush(self) -> None:
+        """Write out the partially filled open page, if any."""
+        if self._open_page_id is not None and self._open_buf:
+            self.store.write(self._open_page_id, bytes(self._open_buf))
+        self._open_page_id = None
+        self._open_buf = bytearray()
+
+    def node_pages(self, node_id: int) -> int:
+        """How many pages node ``node_id`` touches."""
+        return len({chunk[0] for chunk in self._directory[node_id]})
+
+    # -- reading -------------------------------------------------------------
+
+    def _fetch_frame(self, page_id: int) -> _PageFrame:
+        return self.pool.fetch(page_id, _PageFrame)
+
+    def read_node(self, node_id: int, decode: Callable[[bytes], Any]) -> Any:
+        """Fetch and decode a node through the buffer pool.
+
+        The decoded object is memoised on its (first) page frame, so it
+        lives exactly as long as the page stays in the pool.
+        """
+        chunks = self._directory[node_id]
+        first_frame = self._fetch_frame(chunks[0][0])
+        cached = first_frame.nodes.get(node_id)
+        if cached is not None:
+            return cached
+        if len(chunks) == 1:
+            page_id, offset, length = chunks[0]
+            obj = decode(first_frame.raw[offset : offset + length])
+        else:
+            parts = [first_frame.raw[chunks[0][1] : chunks[0][1] + chunks[0][2]]]
+            for page_id, offset, length in chunks[1:]:
+                frame = self._fetch_frame(page_id)
+                parts.append(frame.raw[offset : offset + length])
+            obj = decode(b"".join(parts))
+        first_frame.nodes[node_id] = obj
+        return obj

@@ -1,0 +1,144 @@
+"""Binary page layout for disk-resident index nodes.
+
+Both indexes (R*-tree and MBRQT) store one node per page.  A page is::
+
+    header:  kind (1 byte: 0=internal, 1=leaf) | dims (1 byte) | count (int32)
+    internal entry:  child_page_id int64 | subtree_count int64 | lo f64*D | hi f64*D
+    leaf entry:      point_id int64 | coords f64*D
+
+Subtree point counts ride along with every internal entry because the
+AkNN bound (Section 3.4) needs to know how many points a candidate entry
+is guaranteed to contain.
+
+Fanout is *derived* from the page size, exactly as for a real disk index:
+``internal_capacity(8192, D)`` is how many child entries fit in one 8 KB
+page for dimensionality D.  This is what makes buffer-pool experiments
+(Figure 3(b)) meaningful — higher D means fatter entries, lower fanout,
+deeper trees, more pages.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from .disk import DEFAULT_PAGE_SIZE
+
+__all__ = [
+    "HEADER_SIZE",
+    "KIND_INTERNAL",
+    "KIND_LEAF",
+    "internal_entry_size",
+    "leaf_entry_size",
+    "internal_capacity",
+    "leaf_capacity",
+    "encode_internal",
+    "decode_internal",
+    "encode_leaf",
+    "decode_leaf",
+    "page_kind",
+]
+
+HEADER_SIZE = 8
+KIND_INTERNAL = 0
+KIND_LEAF = 1
+
+_HEADER = struct.Struct("<BBi")  # kind, dims, count (2 bytes padding implicit via size 6 -> pad)
+
+
+def internal_entry_size(dims: int) -> int:
+    """Bytes per internal entry: child id + subtree count + 2·D bounds."""
+    return 16 + 16 * dims
+
+
+def leaf_entry_size(dims: int) -> int:
+    """Bytes per leaf entry: point id + D coordinates."""
+    return 8 + 8 * dims
+
+
+def internal_capacity(page_size: int = DEFAULT_PAGE_SIZE, dims: int = 2) -> int:
+    """Max internal-node fanout for a page of ``page_size`` bytes."""
+    cap = (page_size - HEADER_SIZE) // internal_entry_size(dims)
+    if cap < 2:
+        raise ValueError(
+            f"page of {page_size} B cannot hold 2 internal entries at D={dims}"
+        )
+    return cap
+
+
+def leaf_capacity(page_size: int = DEFAULT_PAGE_SIZE, dims: int = 2) -> int:
+    """Max leaf-node capacity (points per bucket) for a page."""
+    cap = (page_size - HEADER_SIZE) // leaf_entry_size(dims)
+    if cap < 1:
+        raise ValueError(f"page of {page_size} B cannot hold 1 leaf entry at D={dims}")
+    return cap
+
+
+def _pack_header(kind: int, dims: int, count: int) -> bytes:
+    return _HEADER.pack(kind, dims, count) + b"\x00" * (HEADER_SIZE - _HEADER.size)
+
+
+def page_kind(payload: bytes) -> int:
+    """Peek at a page's node kind without decoding the entries."""
+    return payload[0]
+
+
+def encode_internal(
+    child_ids: np.ndarray, counts: np.ndarray, lo: np.ndarray, hi: np.ndarray
+) -> bytes:
+    """Serialise an internal node (child ids, subtree counts, child MBRs)."""
+    child_ids = np.ascontiguousarray(child_ids, dtype=np.int64)
+    counts = np.ascontiguousarray(counts, dtype=np.int64)
+    lo = np.ascontiguousarray(lo, dtype=np.float64)
+    hi = np.ascontiguousarray(hi, dtype=np.float64)
+    n, dims = lo.shape
+    if child_ids.shape != (n,) or counts.shape != (n,) or hi.shape != (n, dims):
+        raise ValueError("inconsistent internal-node component shapes")
+    return b"".join(
+        (
+            _pack_header(KIND_INTERNAL, dims, n),
+            child_ids.tobytes(),
+            counts.tobytes(),
+            lo.tobytes(),
+            hi.tobytes(),
+        )
+    )
+
+
+def decode_internal(payload: bytes) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_internal` → (child_ids, counts, lo, hi)."""
+    kind, dims, count = _HEADER.unpack_from(payload)
+    if kind != KIND_INTERNAL:
+        raise ValueError(f"page is not an internal node (kind={kind})")
+    offset = HEADER_SIZE
+    child_ids = np.frombuffer(payload, dtype=np.int64, count=count, offset=offset)
+    offset += 8 * count
+    counts = np.frombuffer(payload, dtype=np.int64, count=count, offset=offset)
+    offset += 8 * count
+    lo = np.frombuffer(payload, dtype=np.float64, count=count * dims, offset=offset)
+    offset += 8 * count * dims
+    hi = np.frombuffer(payload, dtype=np.float64, count=count * dims, offset=offset)
+    return child_ids, counts, lo.reshape(count, dims), hi.reshape(count, dims)
+
+
+def encode_leaf(point_ids: np.ndarray, points: np.ndarray) -> bytes:
+    """Serialise a leaf node (point ids and coordinates)."""
+    point_ids = np.ascontiguousarray(point_ids, dtype=np.int64)
+    points = np.ascontiguousarray(points, dtype=np.float64)
+    n, dims = points.shape
+    if point_ids.shape != (n,):
+        raise ValueError("point_ids and points disagree on cardinality")
+    return b"".join((_pack_header(KIND_LEAF, dims, n), point_ids.tobytes(), points.tobytes()))
+
+
+def decode_leaf(payload: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`encode_leaf` → (point_ids, points)."""
+    kind, dims, count = _HEADER.unpack_from(payload)
+    if kind != KIND_LEAF:
+        raise ValueError(f"page is not a leaf node (kind={kind})")
+    offset = HEADER_SIZE
+    point_ids = np.frombuffer(payload, dtype=np.int64, count=count, offset=offset)
+    offset += 8 * count
+    points = np.frombuffer(payload, dtype=np.float64, count=count * dims, offset=offset)
+    return point_ids, points.reshape(count, dims)

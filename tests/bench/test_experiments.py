@@ -1,0 +1,78 @@
+"""Tests for the experiment definitions (small-scale smoke checks)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    BenchConfig,
+    ablation_count_bound,
+    ablation_filter_stage,
+    ablation_traversal_variants,
+    fig3a_tac_methods,
+    fig4_dimensionality,
+)
+
+
+def tiny_config() -> BenchConfig:
+    cfg = BenchConfig()
+    cfg.tac_n = 800
+    cfg.fc_n = 500
+    cfg.syn_n = 600
+    cfg.aknn_tac_n = 500
+    cfg.aknn_fc_n = 400
+    cfg.aknn_ks = (2, 4)
+    return cfg
+
+
+class TestBenchConfig:
+    def test_from_env_scaling(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        cfg = BenchConfig.from_env()
+        assert cfg.tac_n == 10_000
+        assert cfg.fc_n == 4_500
+
+    def test_from_env_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.000001")
+        cfg = BenchConfig.from_env()
+        assert cfg.tac_n == 500  # floor
+
+    def test_storage_sizing(self):
+        cfg = BenchConfig()
+        storage = cfg.storage()
+        assert storage.page_size == 2048
+        assert storage.pool.capacity_pages == 256  # 512 KB / 2 KB
+        big = cfg.storage(8 * 1024 * 1024, 8192)
+        assert big.pool.capacity_pages == 1024
+
+    def test_page_size_10d(self):
+        assert BenchConfig().page_size_10d == 8192
+
+
+class TestExperimentsSmoke:
+    def test_fig3a_all_bars_present(self):
+        runs = fig3a_tac_methods(tiny_config())
+        labels = [r.label for r in runs]
+        assert len(labels) == 7
+        assert labels.count("GORDER") == 1
+        for method in ("BNN", "RBA", "MBA"):
+            assert f"{method} NXNDIST" in labels
+            assert f"{method} MAXMAXDIST" in labels
+        # Every method answered every query point.
+        assert len({r.stats.result_pairs for r in runs}) == 1
+
+    def test_fig4_covers_dimensionalities(self):
+        runs = fig4_dimensionality(tiny_config())
+        assert sorted({r.params["D"] for r in runs}) == [2, 4, 6]
+
+    def test_traversal_variants_agree(self):
+        runs = ablation_traversal_variants(tiny_config())
+        assert sorted(r.label for r in runs) == ["BF-BI", "BF-UNI", "DF-BI", "DF-UNI"]
+        assert len({r.stats.result_pairs for r in runs}) == 1
+
+    def test_filter_ablation_same_answers(self):
+        runs = ablation_filter_stage(tiny_config())
+        assert len({r.stats.result_pairs for r in runs}) == 1
+
+    def test_count_bound_same_answers(self):
+        runs = ablation_count_bound(tiny_config())
+        assert len({r.stats.result_pairs for r in runs}) == 1

@@ -1,0 +1,84 @@
+"""Tests for the benchmark harness (measurement + formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.api import build_index
+from repro.bench.harness import MethodRun, format_series, format_table, modeled_cpu_seconds, run_method
+from repro.core.mba import mba_join
+from repro.core.stats import QueryStats
+from repro.storage.manager import StorageManager
+
+
+class TestRunMethod:
+    def test_collects_all_costs(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = rng.random((300, 2))
+        index = build_index(pts, storage)
+        run = run_method(
+            "mba",
+            lambda: mba_join(index, index, exclude_self=True),
+            storage,
+            note="x",
+        )
+        assert run.label == "mba"
+        assert run.cpu_s > 0
+        assert run.io_s > 0
+        assert run.stats.page_misses > 0
+        assert run.params == {"note": "x"}
+        assert run.total_s == pytest.approx(run.cpu_s + run.io_s)
+        assert run.modeled_total_s == pytest.approx(run.modeled_cpu_s + run.io_s)
+
+    def test_cold_start_each_run(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = rng.random((300, 2))
+        index = build_index(pts, storage)
+        first = run_method("a", lambda: mba_join(index, index), storage)
+        second = run_method("b", lambda: mba_join(index, index), storage)
+        # Same misses both times: the pool is dropped between runs.
+        assert first.stats.page_misses == second.stats.page_misses
+
+    def test_result_kept_on_request(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = rng.random((100, 2))
+        index = build_index(pts, storage)
+        run = run_method("a", lambda: mba_join(index, index), storage, keep_result=True)
+        assert run.result is not None
+        assert run.result.pair_count() == 100
+
+
+class TestModeledCpu:
+    def test_scales_with_counters(self):
+        small = QueryStats(distance_evaluations=1000)
+        large = QueryStats(distance_evaluations=1_000_000)
+        assert modeled_cpu_seconds(large, 2) > 100 * modeled_cpu_seconds(small, 2)
+
+    def test_scales_with_dims(self):
+        s = QueryStats(distance_evaluations=10_000)
+        assert modeled_cpu_seconds(s, 10) > modeled_cpu_seconds(s, 2)
+
+    def test_zero_work_zero_time(self):
+        assert modeled_cpu_seconds(QueryStats(), 2) == 0.0
+
+
+class TestFormatting:
+    def make_run(self, label, **params):
+        return MethodRun(label, 1.0, 2.0, QueryStats(distance_evaluations=5), params=params)
+
+    def test_format_table_contains_rows(self):
+        text = format_table("Title", [self.make_run("alpha"), self.make_run("beta")])
+        assert "Title" in text
+        assert "alpha" in text and "beta" in text
+        assert "mtotal_s" in text
+
+    def test_format_table_extra_cols(self):
+        text = format_table("T", [self.make_run("m", k=7)], extra_cols=["k"])
+        assert "k" in text.splitlines()[2]
+        assert "7" in text
+
+    def test_format_series(self):
+        text = format_series(
+            "S", "k", {"m1": [(1, 0.5), (2, 1.5)], "m2": [(1, 2.0)]}
+        )
+        assert "m1" in text and "m2" in text
+        assert "0.50" in text and "1.50" in text

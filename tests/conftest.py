@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.storage.manager import StorageManager
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def storage():
+    """Default storage manager (8 KB pages, 512 KB pool — the paper's)."""
+    return StorageManager()
+
+
+@pytest.fixture
+def small_storage():
+    """Small pages so tiny datasets still produce multi-level trees."""
+    return StorageManager(page_size=512, pool_pages=64)
+
+
+def random_rect(rng: np.random.Generator, dims: int, max_side: float = 0.5) -> Rect:
+    lo = rng.random(dims)
+    return Rect(lo, lo + rng.random(dims) * max_side)
+
+
+def random_rect_pair(rng: np.random.Generator, dims: int) -> tuple[Rect, Rect]:
+    return random_rect(rng, dims), random_rect(rng, dims)
+
+
+def sample_points_in_rect(rng: np.random.Generator, rect: Rect, n: int) -> np.ndarray:
+    """Uniform points inside ``rect`` (for empirical metric verification)."""
+    return rect.lo + rng.random((n, rect.dims)) * (rect.hi - rect.lo)

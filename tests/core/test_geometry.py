@@ -1,0 +1,175 @@
+"""Unit and property tests for Rect / RectArray."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect, RectArray
+
+
+def boxes(dims=2):
+    """Hypothesis strategy producing a valid Rect."""
+    coord = st.floats(-100, 100, allow_nan=False, allow_infinity=False)
+    return st.tuples(
+        st.lists(coord, min_size=dims, max_size=dims),
+        st.lists(st.floats(0, 50, allow_nan=False), min_size=dims, max_size=dims),
+    ).map(lambda t: Rect(np.array(t[0]), np.array(t[0]) + np.array(t[1])))
+
+
+class TestRectConstruction:
+    def test_basic(self):
+        r = Rect([0, 0], [2, 3])
+        assert r.dims == 2
+        assert r.area() == 6
+        assert r.margin() == 5
+        assert not r.is_point
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point([1.5, 2.5])
+        assert r.is_point
+        assert r.area() == 0
+        assert r.contains_point([1.5, 2.5])
+
+    def test_from_points_bounds_all(self):
+        pts = np.array([[0, 1], [2, -1], [1, 5]])
+        r = Rect.from_points(pts)
+        assert np.array_equal(r.lo, [0, -1])
+        assert np.array_equal(r.hi, [2, 5])
+
+    def test_from_rects(self):
+        r = Rect.from_rects([Rect([0, 0], [1, 1]), Rect([2, -1], [3, 0.5])])
+        assert np.array_equal(r.lo, [0, -1])
+        assert np.array_equal(r.hi, [3, 1])
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([1, 0], [0, 1])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([0, 0], [1, 1, 1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([], [])
+        with pytest.raises(ValueError):
+            Rect.from_points(np.empty((0, 2)))
+
+    def test_immutability(self):
+        r = Rect([0, 0], [1, 1])
+        with pytest.raises(ValueError):
+            r.lo[0] = 5
+
+    def test_repr_and_equality(self):
+        a = Rect([0, 0], [1, 1])
+        b = Rect([0.0, 0.0], [1.0, 1.0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert "Rect" in repr(a)
+        assert a != Rect([0, 0], [1, 2])
+
+
+class TestRectPredicates:
+    def test_contains_point(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.contains_point([0.5, 0.5])
+        assert r.contains_point([0, 1])  # boundary inclusive
+        assert not r.contains_point([1.01, 0.5])
+
+    def test_contains_rect(self):
+        outer = Rect([0, 0], [10, 10])
+        inner = Rect([2, 2], [3, 3])
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+        assert outer.contains_rect(outer)
+
+    def test_intersects(self):
+        a = Rect([0, 0], [2, 2])
+        assert a.intersects(Rect([1, 1], [3, 3]))
+        assert a.intersects(Rect([2, 0], [3, 1]))  # touching counts
+        assert not a.intersects(Rect([2.1, 0], [3, 1]))
+
+    def test_intersection_and_overlap(self):
+        a = Rect([0, 0], [2, 2])
+        b = Rect([1, 1], [3, 3])
+        inter = a.intersection(b)
+        assert inter == Rect([1, 1], [2, 2])
+        assert a.overlap_area(b) == pytest.approx(1.0)
+        assert a.intersection(Rect([5, 5], [6, 6])) is None
+        assert a.overlap_area(Rect([5, 5], [6, 6])) == 0.0
+
+
+class TestRectCombination:
+    def test_union(self):
+        u = Rect([0, 0], [1, 1]).union(Rect([2, -1], [3, 0]))
+        assert u == Rect([0, -1], [3, 1])
+
+    def test_union_point(self):
+        u = Rect([0, 0], [1, 1]).union_point([5, 0.5])
+        assert u == Rect([0, 0], [5, 1])
+
+    def test_enlargement(self):
+        r = Rect([0, 0], [1, 1])
+        assert r.enlargement(Rect([0, 0], [1, 1])) == 0
+        assert r.enlargement(Rect([0, 0], [2, 1])) == pytest.approx(1.0)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=50)
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a)
+        assert u.contains_rect(b)
+
+
+class TestQuadrants:
+    def test_2d_quadrants_partition(self):
+        r = Rect([0, 0], [2, 2])
+        quads = r.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area() for q in quads) == pytest.approx(r.area())
+        # Binary-code layout: bit d set => upper half in dimension d.
+        assert quads[0] == Rect([0, 0], [1, 1])
+        assert quads[3] == Rect([1, 1], [2, 2])
+
+    def test_quadrant_of_point_matches_cells(self):
+        r = Rect([0, 0], [4, 4])
+        quads = r.quadrants()
+        rng = np.random.default_rng(0)
+        for p in rng.random((50, 2)) * 4:
+            code = r.quadrant_of_point(p)
+            assert quads[code].contains_point(p)
+
+    def test_quadrant_codes_vectorised_matches_scalar(self, rng):
+        r = Rect([-1, -1, -1], [1, 1, 1])
+        pts = rng.random((100, 3)) * 2 - 1
+        codes = r.quadrant_codes_of_points(pts)
+        for p, c in zip(pts, codes):
+            assert r.quadrant_of_point(p) == c
+
+    def test_3d_has_eight_cells(self):
+        assert len(Rect([0] * 3, [1] * 3).quadrants()) == 8
+
+
+class TestRectArray:
+    def test_roundtrip(self):
+        rects = [Rect([0, 0], [1, 1]), Rect([2, 2], [3, 4])]
+        arr = RectArray.from_rects(rects)
+        assert len(arr) == 2
+        assert arr.dims == 2
+        assert list(arr) == rects
+        assert arr[1] == rects[1]
+
+    def test_from_points_degenerate(self):
+        pts = np.array([[1.0, 2.0], [3.0, 4.0]])
+        arr = RectArray.from_points(pts)
+        assert arr[0].is_point
+        assert arr.bounding_rect() == Rect([1, 2], [3, 4])
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            RectArray(np.zeros((2, 2)), np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            RectArray(np.ones((2, 2)), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            RectArray.from_rects([])

@@ -1,0 +1,187 @@
+"""Tests for the Local Priority Queue (Section 3.3.1 / 3.3.3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.core.lpq import LPQ, NODE, OBJECT, make_node_lpq, make_object_lpq
+from repro.core.stats import QueryStats
+
+
+def node_lpq(bound=math.inf, need=1, counts_valid=False, filter_enabled=True):
+    stats = QueryStats()
+    lpq = make_node_lpq(
+        Rect([0, 0], [1, 1]),
+        owner_node_id=0,
+        inherited_bound=bound,
+        stats=stats,
+        need_count=need,
+        counts_valid=counts_valid,
+        filter_enabled=filter_enabled,
+    )
+    return lpq, stats
+
+
+def push(lpq, *entries):
+    """entries: (node_id, count, mind, maxd)"""
+    arr = np.array(entries, dtype=np.float64).reshape(-1, 4)
+    lpq.push_nodes(
+        arr[:, 0].astype(np.int64), arr[:, 1].astype(np.int64), arr[:, 2], arr[:, 3]
+    )
+
+
+class TestOrderingAndPop:
+    def test_pops_in_mind_order(self):
+        lpq, __ = node_lpq()
+        push(lpq, (1, 5, 3.0, 10.0), (2, 5, 1.0, 10.0), (3, 5, 2.0, 10.0))
+        ids = [lpq.pop()[2] for _ in range(3)]
+        assert ids == [2, 3, 1]
+        assert lpq.pop() is None
+        assert lpq.empty
+
+    def test_mind_tie_broken_by_maxd(self):
+        lpq, __ = node_lpq()
+        push(lpq, (1, 5, 1.0, 9.0), (2, 5, 1.0, 4.0))
+        first = lpq.pop()
+        assert first[2] == 2  # smaller MAXD wins the tie
+
+    def test_object_entries(self):
+        lpq, __ = node_lpq()
+        pts = np.array([[0.1, 0.1], [0.9, 0.9]])
+        lpq.push_objects(
+            np.array([7, 8]), np.array([0.5, 0.2]), np.array([0.5, 0.2]), pts
+        )
+        mind, kind, ident, count, maxd, extra = lpq.pop()
+        assert kind == OBJECT and ident == 8 and count == 1
+        assert np.array_equal(extra, pts[1])
+
+
+class TestBound:
+    def test_bound_is_min_live_maxd_for_ann(self):
+        lpq, __ = node_lpq()
+        assert lpq.bound == math.inf
+        push(lpq, (1, 5, 0.0, 7.0), (2, 5, 0.0, 3.0))
+        assert lpq.bound == 3.0
+
+    def test_bound_loosens_when_entry_pops(self):
+        # The paper defines MAXD over entries currently in the queue.
+        lpq, __ = node_lpq()
+        push(lpq, (1, 5, 0.0, 3.0), (2, 5, 1.0, 7.0))
+        assert lpq.bound == 3.0
+        lpq.pop()  # removes the maxd=3 entry
+        assert lpq.bound == 7.0
+
+    def test_inherited_bound_caps(self):
+        lpq, __ = node_lpq(bound=5.0)
+        assert lpq.bound == 5.0
+        push(lpq, (1, 5, 0.0, 9.0))
+        assert lpq.bound == 5.0  # inherited stays if tighter
+
+    def test_aknn_bound_uses_kth_entry_without_counts(self):
+        # NXNDIST semantics: each entry guarantees one point.
+        lpq, __ = node_lpq(need=3, counts_valid=False)
+        push(lpq, (1, 100, 0.0, 2.0), (2, 100, 0.0, 5.0))
+        assert lpq.bound == math.inf  # only two entries, need 3
+        push(lpq, (3, 100, 0.0, 4.0))
+        assert lpq.bound == 5.0  # 3rd smallest maxd
+
+    def test_aknn_bound_uses_counts_when_valid(self):
+        # MAXMAXDIST semantics: one entry proves `count` points.
+        lpq, __ = node_lpq(need=3, counts_valid=True)
+        push(lpq, (1, 100, 0.0, 2.0))
+        assert lpq.bound == 2.0
+
+    def test_batch_bound_ann(self):
+        lpq, __ = node_lpq()
+        assert lpq.batch_bound(np.array([4.0, 2.0, 9.0])) == 2.0
+        push(lpq, (1, 1, 0.0, 1.0))
+        assert lpq.batch_bound(np.array([4.0])) == 1.0
+        assert lpq.batch_bound(np.array([])) == 1.0
+
+    def test_batch_bound_aknn_entry_counting(self):
+        lpq, __ = node_lpq(need=2, counts_valid=False)
+        maxds = np.array([3.0, 1.0, 8.0])
+        counts = np.array([50, 50, 50])
+        # Without count validity: 2nd smallest maxd.
+        assert lpq.batch_bound(maxds, counts) == 3.0
+
+    def test_batch_bound_aknn_count_aware(self):
+        lpq, __ = node_lpq(need=2, counts_valid=True)
+        maxds = np.array([3.0, 1.0, 8.0])
+        counts = np.array([50, 50, 50])
+        # One 50-point entry within 1.0 proves two points under MAXMAXDIST.
+        assert lpq.batch_bound(maxds, counts) == 1.0
+
+    def test_batch_bound_insufficient_entries(self):
+        lpq, __ = node_lpq(need=5)
+        assert lpq.batch_bound(np.array([1.0, 2.0])) == math.inf
+
+
+class TestFilterStage:
+    def test_lazy_discard_at_pop(self):
+        lpq, stats = node_lpq()
+        push(lpq, (1, 5, 6.0, 20.0))   # loose early entry
+        push(lpq, (2, 5, 0.0, 2.0))    # tight later entry -> bound=2
+        got = lpq.pop()
+        assert got[2] == 2
+        # Entry 1 now has mind 6 > bound... but bound loosened after pop of
+        # entry 2 (live set empty -> inherited inf). It survives:
+        assert lpq.pop()[2] == 1
+
+    def test_discard_counted_when_bound_stays_tight(self):
+        lpq, stats = node_lpq()
+        push(lpq, (1, 5, 6.0, 20.0), (2, 5, 0.0, 2.0), (3, 5, 0.1, 2.5))
+        assert lpq.pop()[2] == 2
+        # bound is now 2.5 (entry 3 live); popping entry 3 next:
+        assert lpq.pop()[2] == 3
+        # entry 1 has mind 6 > inherited inf? no live left -> inf; survives.
+        assert lpq.pop()[2] == 1
+        assert stats.lpq_filter_discards == 0
+
+    def test_filter_discards_with_persistent_tight_entry(self):
+        lpq, stats = node_lpq()
+        push(lpq, (1, 5, 6.0, 20.0), (2, 5, 0.0, 2.0), (3, 5, 5.0, 5.5))
+        got = lpq.pop()
+        assert got[2] == 2
+        # live: entry1(maxd 20), entry3(maxd 5.5) -> bound 5.5; entry3 pops
+        # (mind 5 <= 5.5), then entry1 (mind 6) vs bound 20 -> survives.
+        assert lpq.pop()[2] == 3
+        assert lpq.pop()[2] == 1
+
+    def test_filter_disabled_pops_everything(self):
+        lpq, stats = node_lpq(filter_enabled=False)
+        push(lpq, (1, 5, 6.0, 20.0), (2, 5, 0.0, 2.0), (3, 5, 3.0, 2.1))
+        ids = [lpq.pop()[2] for _ in range(3)]
+        assert ids == [2, 3, 1]
+        assert stats.lpq_filter_discards == 0
+
+    def test_compaction_discards_in_bulk(self):
+        lpq, stats = node_lpq()
+        # One tight anchor entry, then a flood of junk beyond its bound.
+        push(lpq, (0, 1, 0.0, 1.0))
+        junk = [(i, 1, 10.0 + i, 10.0 + i) for i in range(1, 200)]
+        push(lpq, *junk)
+        # Compaction keeps the queue from holding all 200 junk entries.
+        assert len(lpq) < 200
+        assert stats.lpq_filter_discards > 0
+
+
+class TestEnqueueAccounting:
+    def test_enqueue_counter(self):
+        lpq, stats = node_lpq()
+        push(lpq, (1, 5, 0.0, 1.0), (2, 5, 0.0, 1.0))
+        pts = np.zeros((3, 2))
+        lpq.push_objects(np.arange(3), np.zeros(3), np.zeros(3), pts)
+        assert stats.lpq_enqueues == 5
+
+    def test_owner_fields(self):
+        stats = QueryStats()
+        obj = make_object_lpq(np.array([0.5, 0.5]), 42, 1.0, stats)
+        assert obj.owner_kind == OBJECT
+        assert obj.owner_id == 42
+        assert obj.owner_rect.is_point
+        node = make_node_lpq(Rect([0, 0], [1, 1]), 7, 1.0, stats)
+        assert node.owner_kind == NODE
+        assert node.owner_node_id == 7

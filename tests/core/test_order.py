@@ -1,0 +1,49 @@
+"""Tests for Morton (Z-order) codes."""
+
+import numpy as np
+import pytest
+
+from repro.core.order import morton_codes, morton_order
+
+
+class TestMortonCodes:
+    def test_known_2d_layout(self):
+        # Quadrant order with y as the low interleaved bit at the top level.
+        pts = np.array([[0.1, 0.1], [0.9, 0.1], [0.1, 0.9], [0.9, 0.9]])
+        codes = morton_codes(pts, bits=1)
+        # bits=1: one bit per dim; code = x_bit then y_bit interleaved.
+        assert len(set(codes.tolist())) == 4
+        assert codes[0] == 0
+        assert codes[3] == 3
+
+    def test_locality_property(self, rng):
+        # Points sorted by Morton order should have much smaller average
+        # successive distance than a random order.
+        pts = rng.random((2000, 2))
+        order = morton_order(pts)
+        sorted_pts = pts[order]
+        z_dist = np.linalg.norm(np.diff(sorted_pts, axis=0), axis=1).mean()
+        rand_dist = np.linalg.norm(np.diff(pts, axis=0), axis=1).mean()
+        assert z_dist < rand_dist / 3
+
+    def test_high_dims_fit(self, rng):
+        pts = rng.random((100, 10))
+        codes = morton_codes(pts)
+        assert codes.dtype == np.uint64
+        assert len(codes) == 100
+
+    def test_degenerate_dimension(self):
+        pts = np.array([[0.0, 1.0], [1.0, 1.0], [0.5, 1.0]])
+        codes = morton_codes(pts, bits=4)  # constant dim must not divide by 0
+        assert len(codes) == 3
+
+    def test_order_is_permutation(self, rng):
+        pts = rng.random((500, 3))
+        order = morton_order(pts)
+        assert sorted(order.tolist()) == list(range(500))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            morton_codes(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            morton_codes(np.random.random((10, 4)), bits=30)  # 120 bits > 63

@@ -1,0 +1,56 @@
+"""Tests for the pluggable pruning metric switch."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect, RectArray
+from repro.core.metrics import (
+    maxmaxdist,
+    maxmaxdist_batch,
+    maxmaxdist_cross,
+    nxndist,
+    nxndist_batch,
+    nxndist_cross,
+)
+from repro.core.pruning import PruningMetric
+from tests.conftest import random_rect
+
+
+class TestDispatch:
+    def test_scalar_dispatch(self, rng):
+        m, n = random_rect(rng, 2), random_rect(rng, 2)
+        assert PruningMetric.NXNDIST.scalar(m, n) == nxndist(m, n)
+        assert PruningMetric.MAXMAXDIST.scalar(m, n) == maxmaxdist(m, n)
+
+    def test_batch_dispatch(self, rng):
+        m = random_rect(rng, 3)
+        targets = RectArray.from_rects([random_rect(rng, 3) for _ in range(5)])
+        assert np.array_equal(
+            PruningMetric.NXNDIST.batch(m, targets), nxndist_batch(m, targets)
+        )
+        assert np.array_equal(
+            PruningMetric.MAXMAXDIST.batch(m, targets), maxmaxdist_batch(m, targets)
+        )
+
+    def test_cross_dispatch(self, rng):
+        a = RectArray.from_rects([random_rect(rng, 2) for _ in range(3)])
+        b = RectArray.from_rects([random_rect(rng, 2) for _ in range(4)])
+        assert np.array_equal(PruningMetric.NXNDIST.cross(a, b), nxndist_cross(a, b))
+        assert np.array_equal(
+            PruningMetric.MAXMAXDIST.cross(a, b), maxmaxdist_cross(a, b)
+        )
+
+    def test_str_form(self):
+        assert str(PruningMetric.NXNDIST) == "NXNDIST"
+        assert str(PruningMetric.MAXMAXDIST) == "MAXMAXDIST"
+
+    def test_members(self):
+        assert set(PruningMetric) == {PruningMetric.NXNDIST, PruningMetric.MAXMAXDIST}
+
+    def test_nxndist_never_looser(self, rng):
+        # The whole point of the paper: per-pair, NXNDIST <= MAXMAXDIST.
+        for __ in range(50):
+            m, n = random_rect(rng, 4), random_rect(rng, 4)
+            assert PruningMetric.NXNDIST.scalar(m, n) <= (
+                PruningMetric.MAXMAXDIST.scalar(m, n) + 1e-9
+            )

@@ -1,0 +1,86 @@
+"""Tests for the NeighborResult container."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import NeighborResult
+
+
+class TestBasics:
+    def test_add_and_query(self):
+        r = NeighborResult(k=1)
+        r.add(0, 5, 1.5)
+        r.finalize()
+        assert r.nn_of(0) == (1.5, 5)
+        assert r.nn_of(99) is None
+        assert 0 in r and 99 not in r
+        assert len(r) == 1
+
+    def test_finalize_sorts_and_trims(self):
+        r = NeighborResult(k=2)
+        r.add(0, 1, 3.0)
+        r.add(0, 2, 1.0)
+        r.add(0, 3, 2.0)
+        r.finalize()
+        assert r.neighbors_of(0) == [(1.0, 2), (2.0, 3)]
+
+    def test_add_many(self):
+        r = NeighborResult(k=3)
+        r.add_many(1, np.array([10, 11]), np.array([0.5, 0.25]))
+        r.finalize()
+        assert r.neighbors_of(1) == [(0.25, 11), (0.5, 10)]
+
+    def test_pairs_sorted_by_query_id(self):
+        r = NeighborResult(k=1)
+        r.add(5, 1, 1.0)
+        r.add(2, 9, 2.0)
+        r.finalize()
+        assert list(r.pairs()) == [(2, 9, 2.0), (5, 1, 1.0)]
+        assert r.pair_count() == 2
+        assert r.total_distance() == pytest.approx(3.0)
+
+    def test_to_arrays(self):
+        r = NeighborResult(k=1)
+        r.add(1, 2, 0.5)
+        r.add(0, 3, 0.25)
+        r.finalize()
+        r_ids, s_ids, dists = r.to_arrays()
+        assert list(r_ids) == [0, 1]
+        assert list(s_ids) == [3, 2]
+        assert np.allclose(dists, [0.25, 0.5])
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            NeighborResult(k=0)
+
+
+class TestEquivalence:
+    def test_same_pairs_tolerates_ties(self):
+        a = NeighborResult(k=1)
+        b = NeighborResult(k=1)
+        a.add(0, 1, 1.0)
+        b.add(0, 2, 1.0)  # different id, same distance (a tie)
+        a.finalize()
+        b.finalize()
+        assert a.same_pairs_as(b)
+
+    def test_different_distances_rejected(self):
+        a = NeighborResult(k=1)
+        b = NeighborResult(k=1)
+        a.add(0, 1, 1.0)
+        b.add(0, 1, 1.1)
+        assert not a.finalize().same_pairs_as(b.finalize())
+
+    def test_missing_query_rejected(self):
+        a = NeighborResult(k=1)
+        b = NeighborResult(k=1)
+        a.add(0, 1, 1.0)
+        assert not a.finalize().same_pairs_as(b.finalize())
+
+    def test_count_mismatch_rejected(self):
+        a = NeighborResult(k=2)
+        b = NeighborResult(k=2)
+        a.add(0, 1, 1.0)
+        a.add(0, 2, 2.0)
+        b.add(0, 1, 1.0)
+        assert not a.finalize().same_pairs_as(b.finalize())

@@ -1,0 +1,38 @@
+"""Tests for the QueryStats counter bundle."""
+
+import pytest
+
+from repro.core.stats import QueryStats
+
+
+class TestQueryStats:
+    def test_defaults_zero(self):
+        s = QueryStats()
+        assert s.distance_evaluations == 0
+        assert s.total_time_s == 0.0
+
+    def test_record_distances(self):
+        s = QueryStats()
+        s.record_distances(10)
+        s.record_distances(5)
+        assert s.distance_evaluations == 15
+
+    def test_merge(self):
+        a = QueryStats(distance_evaluations=3, cpu_time_s=1.0)
+        b = QueryStats(distance_evaluations=4, io_time_s=2.0)
+        b.extra["note"] = 1
+        a.merge(b)
+        assert a.distance_evaluations == 7
+        assert a.total_time_s == pytest.approx(3.0)
+        assert a.extra["note"] == 1
+
+    def test_as_dict_includes_extra(self):
+        s = QueryStats()
+        s.extra["custom"] = 42
+        d = s.as_dict()
+        assert d["custom"] == 42
+        assert "distance_evaluations" in d
+
+    def test_str_is_compact(self):
+        text = str(QueryStats(distance_evaluations=5))
+        assert "dist=5" in text

@@ -1,0 +1,82 @@
+"""Tests for the Table 2 dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import fc_surrogate, table2_datasets, tac_surrogate
+
+
+class TestTacSurrogate:
+    def test_shape_and_ranges(self):
+        pts = tac_surrogate(5000)
+        assert pts.shape == (5000, 2)
+        assert pts[:, 0].min() >= 0 and pts[:, 0].max() < 360
+        assert pts[:, 1].min() >= -90 and pts[:, 1].max() <= 90
+
+    def test_star_catalogue_is_skewed(self):
+        # The band + clusters concentrate mass far beyond uniform.
+        pts = tac_surrogate(20000)
+        hist, __, __ = np.histogram2d(pts[:, 0], pts[:, 1], bins=12)
+        uniform_cell = 20000 / 144
+        assert hist.max() > 4 * uniform_cell
+        assert (hist < 0.25 * uniform_cell).sum() > 20  # many sparse cells
+
+    def test_determinism(self):
+        assert np.array_equal(tac_surrogate(100, seed=1), tac_surrogate(100, seed=1))
+        assert not np.array_equal(tac_surrogate(100, seed=1), tac_surrogate(100, seed=2))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            tac_surrogate(0)
+
+
+class TestFcSurrogate:
+    def test_shape(self):
+        pts = fc_surrogate(3000)
+        assert pts.shape == (3000, 10)
+
+    def test_attributes_are_correlated(self):
+        # The latent-factor model must leave strong cross-correlations,
+        # like the real Forest Cover attributes.
+        pts = fc_surrogate(5000)
+        corr = np.corrcoef(pts, rowvar=False)
+        off_diag = np.abs(corr[~np.eye(10, dtype=bool)])
+        assert off_diag.max() > 0.5
+        assert off_diag.mean() > 0.15
+
+    def test_varied_scales(self):
+        pts = fc_surrogate(3000)
+        spans = pts.max(axis=0) - pts.min(axis=0)
+        assert spans.max() / spans.min() > 5  # heterogeneous attribute ranges
+
+    def test_determinism(self):
+        assert np.array_equal(fc_surrogate(100, seed=3), fc_surrogate(100, seed=3))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            fc_surrogate(-1)
+
+
+class TestTable2:
+    def test_inventory_matches_paper(self):
+        data = table2_datasets(scale=0.01)
+        assert set(data) == {"500K2D", "500K4D", "500K6D", "TAC", "FC"}
+        assert data["500K2D"].shape == (5000, 2)
+        assert data["500K4D"].shape == (5000, 4)
+        assert data["500K6D"].shape == (5000, 6)
+        assert data["TAC"].shape == (7000, 2)
+        assert data["FC"].shape == (5800, 10)
+
+    def test_full_scale_cardinalities(self):
+        # Do not build them; just verify the arithmetic at scale=1.0 by
+        # checking a tiny scale maps proportionally.
+        data = table2_datasets(scale=0.002)
+        assert len(data["500K2D"]) == 1000
+        assert len(data["TAC"]) == 1400
+        assert len(data["FC"]) == 1160
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            table2_datasets(scale=0)
+        with pytest.raises(ValueError):
+            table2_datasets(scale=1.5)

@@ -1,0 +1,63 @@
+"""Tests for the GSTD-style synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import gstd
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", sorted(gstd.DISTRIBUTIONS))
+    @pytest.mark.parametrize("dims", [1, 2, 6])
+    def test_shape_and_range(self, name, dims):
+        pts = gstd.generate(500, dims, name, seed=7)
+        assert pts.shape == (500, dims)
+        assert pts.dtype == np.float64
+        assert np.all(pts >= 0.0) and np.all(pts <= 1.0)
+
+    @pytest.mark.parametrize("name", sorted(gstd.DISTRIBUTIONS))
+    def test_seed_determinism(self, name):
+        a = gstd.generate(200, 2, name, seed=13)
+        b = gstd.generate(200, 2, name, seed=13)
+        c = gstd.generate(200, 2, name, seed=14)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            gstd.generate(10, 2, "pareto")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            gstd.uniform(0, 2)
+        with pytest.raises(ValueError):
+            gstd.uniform(10, 0)
+
+
+class TestDistributionCharacter:
+    def test_uniform_fills_space(self):
+        pts = gstd.uniform(5000, 2, seed=0)
+        hist, __, __ = np.histogram2d(pts[:, 0], pts[:, 1], bins=4)
+        assert hist.min() > 5000 / 16 * 0.6  # no empty region
+
+    def test_gaussian_clusters_are_clustered(self):
+        pts = gstd.gaussian_clusters(5000, 2, seed=0, n_clusters=5, spread=0.02)
+        hist, __, __ = np.histogram2d(pts[:, 0], pts[:, 1], bins=10)
+        # Most mass concentrates in few cells.
+        top = np.sort(hist.ravel())[::-1]
+        assert top[:8].sum() > 0.7 * 5000
+
+    def test_skewed_mass_near_origin(self):
+        pts = gstd.skewed(5000, 2, seed=0, skew=3.0)
+        assert (pts < 0.3).mean() > 0.55
+
+    def test_correlated_near_diagonal(self):
+        pts = gstd.correlated(5000, 3, seed=0, noise=0.02)
+        spread = pts.max(axis=1) - pts.min(axis=1)
+        assert np.median(spread) < 0.15
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            gstd.gaussian_clusters(10, 2, n_clusters=0)
+        with pytest.raises(ValueError):
+            gstd.skewed(10, 2, skew=0)

@@ -1,0 +1,108 @@
+"""Tests for the shared paged-index machinery (Node, persist, read)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.index.base import BuildInternal, BuildLeaf, Node, PagedIndex
+from repro.storage.manager import StorageManager
+from repro.storage.serialization import encode_internal, encode_leaf
+
+
+def leaf(points, ids=None):
+    points = np.asarray(points, dtype=np.float64)
+    if ids is None:
+        ids = np.arange(len(points), dtype=np.int64)
+    return BuildLeaf(np.asarray(ids, dtype=np.int64), points, Rect.from_points(points))
+
+
+class TestBuildNodes:
+    def test_leaf_count(self):
+        node = leaf([[0, 0], [1, 1], [2, 2]])
+        assert node.count == 3
+        assert node.is_leaf
+
+    def test_internal_count_and_rect(self):
+        a = leaf([[0, 0], [1, 1]])
+        b = leaf([[5, 5], [6, 7]], ids=[2, 3])
+        parent = BuildInternal(children=[a, b])
+        parent.recompute_rect()
+        assert parent.count == 4
+        assert not parent.is_leaf
+        assert parent.rect == Rect([0, 0], [6, 7])
+
+
+class TestPersistAndRead:
+    def make_index(self, storage=None, pack=False):
+        storage = storage or StorageManager(page_size=512, pool_pages=8)
+        a = leaf([[0, 0], [1, 1]])
+        b = leaf([[5, 5], [6, 7]], ids=[2, 3])
+        parent = BuildInternal(children=[a, b])
+        parent.recompute_rect()
+        return PagedIndex.persist(parent, storage.create_file(pack_pages=pack), kind="test")
+
+    def test_metadata(self):
+        index = self.make_index()
+        assert index.size == 4
+        assert index.dims == 2
+        assert index.height == 2
+        assert index.kind == "test"
+        assert "test" in repr(index)
+
+    def test_read_structure(self):
+        index = self.make_index()
+        root = index.root_node()
+        assert not root.is_leaf
+        assert root.n_entries == 2
+        assert list(root.counts) == [2, 2]
+        child = index.node(int(root.child_ids[0]))
+        assert child.is_leaf
+        assert child.n_entries == 2
+
+    def test_leaf_rects_are_degenerate_points(self):
+        index = self.make_index()
+        root = index.root_node()
+        child = index.node(int(root.child_ids[0]))
+        rects = child.rects
+        assert np.array_equal(rects.lo, rects.hi)
+
+    def test_all_points_and_node_count(self):
+        index = self.make_index()
+        ids, pts = index.all_points()
+        assert sorted(ids.tolist()) == [0, 1, 2, 3]
+        assert index.node_count() == 3
+        assert len(list(index.iter_leaves())) == 2
+
+    def test_packed_and_unpacked_read_identically(self):
+        plain = self.make_index(pack=False)
+        packed = self.make_index(pack=True)
+        a = sorted(plain.all_points()[0].tolist())
+        b = sorted(packed.all_points()[0].tolist())
+        assert a == b
+
+    def test_unbalanced_tree_height(self):
+        storage = StorageManager(page_size=512, pool_pages=8)
+        deep = BuildInternal(children=[leaf([[0, 0]]), BuildInternal(children=[leaf([[2, 2]], ids=[1]), leaf([[3, 3]], ids=[2])])])
+        deep.children[1].recompute_rect()
+        deep.recompute_rect()
+        index = PagedIndex.persist(deep, storage.create_file(), kind="test")
+        assert index.height == 3
+        assert index.size == 3
+
+
+class TestNodeDecode:
+    def test_decode_internal(self):
+        payload = encode_internal(
+            np.array([7]), np.array([3]), np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])
+        )
+        node = Node.decode(payload)
+        assert not node.is_leaf
+        assert node.n_entries == 1
+        assert node.rects[0] == Rect([0, 0], [1, 1])
+
+    def test_decode_leaf(self):
+        payload = encode_leaf(np.array([9]), np.array([[2.0, 3.0]]))
+        node = Node.decode(payload)
+        assert node.is_leaf
+        assert node.n_entries == 1
+        assert np.array_equal(node.points[0], [2.0, 3.0])

@@ -1,0 +1,162 @@
+"""Tests for the MBRQT index (structure, MBR tightness, persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.data import gstd
+from repro.index.mbrqt import build_mbrqt
+from repro.storage.manager import StorageManager
+
+
+def collect_points(index):
+    ids, pts = index.all_points()
+    order = np.argsort(ids)
+    return ids[order], pts[order]
+
+
+class TestBuild:
+    def test_all_points_preserved(self, small_storage, rng):
+        pts = rng.random((500, 2))
+        index = build_mbrqt(pts, small_storage)
+        ids, got = collect_points(index)
+        assert np.array_equal(ids, np.arange(500))
+        assert np.allclose(got, pts)
+        assert index.size == 500
+        assert index.kind == "MBRQT"
+
+    def test_custom_point_ids(self, small_storage, rng):
+        pts = rng.random((50, 2))
+        ids_in = np.arange(1000, 1050)
+        index = build_mbrqt(pts, small_storage, point_ids=ids_in)
+        ids, __ = collect_points(index)
+        assert np.array_equal(ids, ids_in)
+
+    def test_bucket_capacity_respected(self, small_storage, rng):
+        pts = rng.random((400, 2))
+        index = build_mbrqt(pts, small_storage, bucket_capacity=16)
+        for leaf in index.iter_leaves():
+            assert leaf.n_entries <= 16
+
+    def test_single_point(self, small_storage):
+        index = build_mbrqt(np.array([[0.5, 0.5]]), small_storage)
+        assert index.size == 1
+        assert index.height == 1
+        assert index.root_rect.is_point
+
+    def test_coincident_points_terminate(self, small_storage):
+        # A pile of identical points cannot be split; the depth cap must
+        # produce one oversized bucket instead of infinite recursion.
+        pts = np.tile([[0.25, 0.75]], (300, 1))
+        index = build_mbrqt(pts, small_storage, bucket_capacity=16)
+        assert index.size == 300
+
+    def test_invalid_inputs(self, small_storage, rng):
+        with pytest.raises(ValueError):
+            build_mbrqt(np.empty((0, 2)), small_storage)
+        with pytest.raises(ValueError):
+            build_mbrqt(rng.random((10, 2)), small_storage, point_ids=np.arange(5))
+        with pytest.raises(ValueError):
+            build_mbrqt(rng.random(10), small_storage)
+        with pytest.raises(ValueError):
+            build_mbrqt(rng.random((10, 2)), small_storage, bucket_capacity=0)
+
+    def test_universe_must_cover(self, small_storage, rng):
+        pts = rng.random((20, 2)) + 5.0
+        with pytest.raises(ValueError):
+            build_mbrqt(pts, small_storage, universe=Rect([0, 0], [1, 1]))
+
+
+class TestStructure:
+    def test_mbrs_are_tight_and_nested(self, small_storage, rng):
+        pts = gstd.gaussian_clusters(800, 2, seed=rng)
+        index = build_mbrqt(pts, small_storage, bucket_capacity=16)
+
+        def check(node_id, parent_rect):
+            node = index.node(node_id)
+            if node.is_leaf:
+                tight = Rect.from_points(np.asarray(node.points))
+                # The stored parent entry must equal the tight MBR.
+                assert parent_rect is None or parent_rect == tight
+                return node.n_entries, tight
+            total = 0
+            child_rects = []
+            for i in range(node.n_entries):
+                cnt, crect = check(int(node.child_ids[i]), node.rects[i])
+                assert int(node.counts[i]) == cnt
+                total += cnt
+                child_rects.append(crect)
+            merged = Rect.from_rects(child_rects)
+            assert parent_rect is None or parent_rect == merged
+            return total, merged
+
+        total, root_rect = check(index.root_id, None)
+        assert total == 800
+        assert root_rect == index.root_rect
+
+    def test_children_disjoint_regular_decomposition(self, small_storage, rng):
+        # Sibling MBRs live in disjoint quadrant cells, so their interiors
+        # cannot overlap (they may touch at cell boundaries).
+        pts = rng.random((1000, 2))
+        index = build_mbrqt(pts, small_storage, bucket_capacity=8)
+        node = index.root_node()
+        for i in range(node.n_entries):
+            for j in range(i + 1, node.n_entries):
+                assert node.rects[i].overlap_area(node.rects[j]) < 1e-12
+
+    def test_shared_universe_aligns_partitions(self, small_storage, rng):
+        # Two MBRQTs over different data but the same universe must split
+        # at the same midpoints: root children occupy matching quadrants.
+        a = rng.random((300, 2))
+        b = rng.random((300, 2)) * 0.9 + 0.05
+        lo = np.minimum(a.min(axis=0), b.min(axis=0))
+        hi = np.maximum(a.max(axis=0), b.max(axis=0))
+        universe = Rect(lo, hi)
+        ia = build_mbrqt(a, small_storage, universe=universe, bucket_capacity=16)
+        ib = build_mbrqt(b, small_storage, universe=universe, bucket_capacity=16)
+        mid = universe.center
+        for index in (ia, ib):
+            root = index.root_node()
+            for rect in root.rects:
+                # Each child MBR stays on one side of each midline.
+                for d in range(2):
+                    assert rect.hi[d] <= mid[d] + 1e-12 or rect.lo[d] >= mid[d] - 1e-12
+
+    def test_deep_tree_from_skew(self, small_storage):
+        # Exponentially concentrated data forces deep decomposition.
+        rng = np.random.default_rng(1)
+        pts = rng.random((400, 2)) ** 8
+        index = build_mbrqt(pts, small_storage, bucket_capacity=4)
+        assert index.height > 3
+
+    @pytest.mark.parametrize("dims", [1, 3, 6])
+    def test_other_dimensionalities(self, small_storage, rng, dims):
+        pts = rng.random((300, dims))
+        index = build_mbrqt(pts, small_storage, bucket_capacity=32)
+        ids, got = collect_points(index)
+        assert np.array_equal(ids, np.arange(300))
+        assert np.allclose(got, pts)
+        assert index.dims == dims
+
+
+class TestPagedBehavior:
+    def test_queries_go_through_buffer_pool(self, small_storage, rng):
+        pts = rng.random((500, 2))
+        index = build_mbrqt(pts, small_storage, bucket_capacity=16)
+        small_storage.reset_counters()
+        small_storage.drop_caches()
+        index.root_node()
+        assert small_storage.pool.misses >= 1
+        before = small_storage.pool.misses
+        index.root_node()  # cached now
+        assert small_storage.pool.misses == before
+
+    def test_wide_node_spans_pages(self, rng):
+        # 10-D internal nodes can exceed one tiny page; they must span.
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = rng.random((2000, 10))
+        index = build_mbrqt(pts, storage, bucket_capacity=2)
+        widths = [index.file.node_pages(n) for n in range(len(index.file))]
+        assert max(widths) > 1  # at least one multi-page node
+        ids, __ = index.all_points()
+        assert len(ids) == 2000

@@ -1,0 +1,112 @@
+"""Tests for range/radius queries and incremental distance browsing."""
+
+import numpy as np
+import pytest
+
+from repro.api import build_index
+from repro.core.geometry import Rect
+from repro.data import gstd
+from repro.index.queries import nearest_iter, radius_query, range_query
+from repro.storage.manager import StorageManager
+
+
+@pytest.fixture(params=["mbrqt", "rstar"])
+def dataset(request, rng):
+    storage = StorageManager(page_size=512, pool_pages=64)
+    pts = gstd.gaussian_clusters(800, 2, seed=rng)
+    index = build_index(pts, storage, kind=request.param)
+    return pts, index
+
+
+class TestRangeQuery:
+    def test_matches_reference(self, dataset):
+        pts, index = dataset
+        window = Rect([0.2, 0.3], [0.6, 0.8])
+        ids, got = range_query(index, window)
+        expected = np.nonzero(
+            np.all((pts >= window.lo) & (pts <= window.hi), axis=1)
+        )[0]
+        assert set(ids.tolist()) == set(expected.tolist())
+        for p in got:
+            assert window.contains_point(p)
+
+    def test_empty_window(self, dataset):
+        __, index = dataset
+        ids, got = range_query(index, Rect([5, 5], [6, 6]))
+        assert len(ids) == 0
+        assert got.shape == (0, 2)
+
+    def test_whole_universe(self, dataset):
+        pts, index = dataset
+        ids, __ = range_query(index, index.root_rect)
+        assert len(ids) == len(pts)
+
+    def test_dim_mismatch(self, dataset):
+        __, index = dataset
+        with pytest.raises(ValueError):
+            range_query(index, Rect([0] * 3, [1] * 3))
+
+    def test_counts_expansions(self, dataset):
+        from repro.core.stats import QueryStats
+
+        __, index = dataset
+        stats = QueryStats()
+        range_query(index, Rect([0.4, 0.4], [0.5, 0.5]), stats=stats)
+        assert stats.node_expansions >= 1
+
+
+class TestRadiusQuery:
+    def test_matches_reference(self, dataset):
+        pts, index = dataset
+        center = np.array([0.5, 0.5])
+        radius = 0.15
+        ids, got = radius_query(index, center, radius)
+        dists = np.linalg.norm(pts - center, axis=1)
+        expected = np.nonzero(dists <= radius)[0]
+        assert set(ids.tolist()) == set(expected.tolist())
+
+    def test_zero_radius(self, dataset):
+        pts, index = dataset
+        ids, __ = radius_query(index, pts[17], 0.0)
+        assert 17 in ids.tolist()
+
+    def test_negative_radius_rejected(self, dataset):
+        __, index = dataset
+        with pytest.raises(ValueError):
+            radius_query(index, np.zeros(2), -1.0)
+
+
+class TestNearestIter:
+    def test_yields_in_distance_order(self, dataset):
+        pts, index = dataset
+        q = np.array([0.3, 0.7])
+        out = []
+        for dist, pid, p in nearest_iter(index, q):
+            out.append((dist, pid))
+            if len(out) == 25:
+                break
+        dists = [d for d, __ in out]
+        assert dists == sorted(dists)
+        ref = np.sort(np.linalg.norm(pts - q, axis=1))[:25]
+        assert np.allclose(dists, ref)
+
+    def test_exhausts_whole_dataset(self, dataset):
+        pts, index = dataset
+        seen = [pid for __, pid, __ in nearest_iter(index, np.array([0.1, 0.1]))]
+        assert sorted(seen) == list(range(len(pts)))
+
+    def test_yielded_points_match_ids(self, dataset):
+        pts, index = dataset
+        for dist, pid, p in nearest_iter(index, np.array([0.9, 0.2])):
+            assert np.allclose(p, pts[pid])
+            break
+
+    def test_lazy_cost(self, dataset):
+        # Consuming one result must not expand the entire index.
+        from repro.core.stats import QueryStats
+
+        __, index = dataset
+        stats = QueryStats()
+        gen = nearest_iter(index, np.array([0.5, 0.5]), stats=stats)
+        next(gen)
+        assert stats.node_expansions < index.node_count()

@@ -1,0 +1,151 @@
+"""Tests for the R*-tree: invariants, split quality, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.data import gstd
+from repro.index.rstar import RStarTreeBuilder, build_rstar
+from repro.storage.manager import StorageManager
+
+
+def check_invariants(index):
+    """Verify MBR containment, counts, and uniform leaf depth."""
+    leaf_depths = []
+
+    def walk(node_id, rect, depth):
+        node = index.node(node_id)
+        if node.is_leaf:
+            leaf_depths.append(depth)
+            tight = Rect.from_points(np.asarray(node.points))
+            assert rect is None or rect == tight
+            return node.n_entries
+        total = 0
+        for i in range(node.n_entries):
+            child_rect = node.rects[i]
+            assert rect is None or rect.contains_rect(child_rect)
+            cnt = walk(int(node.child_ids[i]), child_rect, depth + 1)
+            assert cnt == int(node.counts[i])
+            total += cnt
+        return total
+
+    total = walk(index.root_id, None, 1)
+    assert total == index.size
+    assert len(set(leaf_depths)) == 1  # R-trees are height-balanced
+    return leaf_depths[0]
+
+
+class TestDynamicBuild:
+    def test_points_preserved(self, small_storage, rng):
+        pts = rng.random((600, 2))
+        index = build_rstar(pts, small_storage)
+        ids, got = index.all_points()
+        order = np.argsort(ids)
+        assert np.array_equal(ids[order], np.arange(600))
+        assert np.allclose(got[order], pts)
+
+    def test_invariants_hold(self, small_storage, rng):
+        pts = gstd.gaussian_clusters(800, 2, seed=rng)
+        index = build_rstar(pts, small_storage)
+        check_invariants(index)
+
+    def test_balanced_after_many_splits(self, small_storage, rng):
+        pts = rng.random((1500, 2))
+        index = build_rstar(pts, small_storage, leaf_cap=8, internal_cap=8)
+        depth = check_invariants(index)
+        assert depth >= 3
+        assert index.height == depth
+
+    def test_node_capacities_respected(self, small_storage, rng):
+        pts = rng.random((700, 2))
+        index = build_rstar(pts, small_storage, leaf_cap=10, internal_cap=6)
+        stack = [index.root_id]
+        while stack:
+            node = index.node(stack.pop())
+            if node.is_leaf:
+                assert node.n_entries <= 10
+            else:
+                assert node.n_entries <= 6
+                stack.extend(int(c) for c in node.child_ids)
+
+    def test_duplicate_points(self, small_storage):
+        pts = np.tile([[0.3, 0.3]], (100, 1))
+        index = build_rstar(pts, small_storage, leaf_cap=8, internal_cap=8)
+        ids, __ = index.all_points()
+        assert len(ids) == 100
+        check_invariants(index)
+
+    def test_insertion_order_invariance_of_content(self, small_storage, rng):
+        pts = rng.random((300, 2))
+        a = build_rstar(pts, small_storage, shuffle_seed=1)
+        b = build_rstar(pts, small_storage, shuffle_seed=2)
+        ids_a, __ = a.all_points()
+        ids_b, __ = b.all_points()
+        assert np.array_equal(np.sort(ids_a), np.sort(ids_b))
+
+    @pytest.mark.parametrize("dims", [3, 6])
+    def test_higher_dims(self, small_storage, rng, dims):
+        pts = rng.random((300, dims))
+        index = build_rstar(pts, small_storage)
+        check_invariants(index)
+
+    def test_invalid_inputs(self, small_storage, rng):
+        with pytest.raises(ValueError):
+            build_rstar(np.empty((0, 2)), small_storage)
+        with pytest.raises(ValueError):
+            build_rstar(rng.random((10, 2)), small_storage, method="bogus")
+        with pytest.raises(ValueError):
+            build_rstar(rng.random((10, 2)), small_storage, point_ids=np.arange(3))
+        with pytest.raises(ValueError):
+            RStarTreeBuilder(2, leaf_cap=1, internal_cap=8)
+
+
+class TestStrBulkLoad:
+    def test_points_preserved(self, small_storage, rng):
+        pts = rng.random((900, 2))
+        index = build_rstar(pts, small_storage, method="str")
+        ids, got = index.all_points()
+        order = np.argsort(ids)
+        assert np.array_equal(ids[order], np.arange(900))
+        assert np.allclose(got[order], pts)
+
+    def test_invariants(self, small_storage, rng):
+        pts = rng.random((1200, 3))
+        index = build_rstar(pts, small_storage, method="str")
+        check_invariants(index)
+
+    def test_split_quality_of_dynamic_build(self, small_storage, rng):
+        # The R* split + forced reinsert should keep sibling overlap tiny
+        # on uniform data — a fraction of a percent of the data area.
+        pts = rng.random((800, 2))
+
+        def sibling_overlap(index):
+            overlap = 0.0
+            stack = [index.root_id]
+            while stack:
+                node = index.node(stack.pop())
+                if node.is_leaf:
+                    continue
+                rects = list(node.rects)
+                for i in range(len(rects)):
+                    for j in range(i + 1, len(rects)):
+                        overlap += rects[i].overlap_area(rects[j])
+                stack.extend(int(c) for c in node.child_ids)
+            return overlap
+
+        dyn = build_rstar(pts, small_storage, method="dynamic")
+        assert sibling_overlap(dyn) < 0.05 * dyn.root_rect.area()
+        # STR stays bounded too (its center-grouped internals overlap more).
+        packed = build_rstar(pts, small_storage, method="str")
+        assert sibling_overlap(packed) < 0.6 * packed.root_rect.area()
+
+
+class TestForcedReinsert:
+    def test_reinsertion_improves_over_naive_order(self, rng):
+        # Sorted insertion is the classic worst case; the R* forced
+        # reinsert should still yield reasonable sibling overlap vs a
+        # a plain comparison bound (sanity check that the machinery runs).
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = np.sort(rng.random((500, 2)), axis=0)
+        index = build_rstar(pts, storage, shuffle_seed=None)  # in sorted order
+        check_invariants(index)

@@ -1,0 +1,87 @@
+"""Tests for the BNN baseline (batched NN, Zhang et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.api import build_index
+from repro.core.pruning import PruningMetric
+from repro.data import gstd
+from repro.join.bnn import bnn_join
+from repro.join.naive import brute_force_join
+from repro.storage.manager import StorageManager
+
+
+def setup(rng, n_r=250, n_s=300, dims=2, kind="rstar"):
+    storage = StorageManager(page_size=512, pool_pages=64)
+    r = gstd.gaussian_clusters(n_r, dims, seed=rng)
+    s = gstd.gaussian_clusters(n_s, dims, seed=rng)
+    index_s = build_index(s, storage, kind=kind)
+    return r, s, index_s, storage
+
+
+class TestBnnCorrectness:
+    @pytest.mark.parametrize("metric", [PruningMetric.MAXMAXDIST, PruningMetric.NXNDIST])
+    def test_ann(self, rng, metric):
+        r, s, index_s, __ = setup(rng)
+        res, stats = bnn_join(index_s, r, metric=metric)
+        assert res.same_pairs_as(brute_force_join(r, s))
+        assert stats.result_pairs == len(r)
+
+    @pytest.mark.parametrize("k", [2, 7])
+    @pytest.mark.parametrize("metric", [PruningMetric.MAXMAXDIST, PruningMetric.NXNDIST])
+    def test_aknn(self, rng, k, metric):
+        r, s, index_s, __ = setup(rng)
+        res, __ = bnn_join(index_s, r, k=k, metric=metric)
+        assert res.same_pairs_as(brute_force_join(r, s, k=k))
+
+    def test_self_join(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = gstd.skewed(300, 2, seed=rng)
+        index = build_index(pts, storage, kind="rstar")
+        res, __ = bnn_join(index, pts, exclude_self=True)
+        assert res.same_pairs_as(brute_force_join(pts, pts, exclude_self=True))
+
+    def test_on_mbrqt_index_too(self, rng):
+        # BNN is index-agnostic here; verify it also runs over an MBRQT.
+        r, s, index_s, __ = setup(rng, kind="mbrqt")
+        res, __ = bnn_join(index_s, r)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    @pytest.mark.parametrize("group_size", [1, 16, 10_000])
+    def test_group_size_extremes(self, rng, group_size):
+        r, s, index_s, __ = setup(rng, n_r=120, n_s=150)
+        res, __ = bnn_join(index_s, r, group_size=group_size)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    @pytest.mark.parametrize("dims", [4, 6])
+    def test_higher_dims(self, rng, dims):
+        r, s, index_s, __ = setup(rng, dims=dims, n_r=150, n_s=180)
+        res, __ = bnn_join(index_s, r)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    def test_invalid_inputs(self, rng):
+        r, s, index_s, __ = setup(rng, n_r=20, n_s=20)
+        with pytest.raises(ValueError):
+            bnn_join(index_s, r, k=0)
+        with pytest.raises(ValueError):
+            bnn_join(index_s, r, group_size=0)
+
+
+class TestBnnBehaviour:
+    def test_batching_reduces_expansions_vs_mnn(self, rng):
+        from repro.join.mnn import mnn_join
+
+        storage = StorageManager(page_size=512, pool_pages=64)
+        s = gstd.gaussian_clusters(2000, 2, seed=rng)
+        r = gstd.gaussian_clusters(1000, 2, seed=rng)
+        index_s = build_index(s, storage, kind="rstar")
+
+        __, bnn_stats = bnn_join(index_s, r, group_size=256)
+        __, mnn_stats = mnn_join(index_s, r)
+        # The whole point of BNN: one traversal per group, not per point.
+        assert bnn_stats.node_expansions < mnn_stats.node_expansions / 3
+
+    def test_pruning_is_active(self, rng):
+        r, s, index_s, __ = setup(rng, n_r=500, n_s=2000)
+        __, stats = bnn_join(index_s, r)
+        assert stats.pruned_entries > 0

@@ -1,0 +1,106 @@
+"""Tests for the distance-join family (distance join, k-CPQ, semi-join)."""
+
+import numpy as np
+import pytest
+
+from repro.api import build_index, build_join_indexes
+from repro.data import gstd
+from repro.join.distance_join import closest_pairs, distance_join, distance_semi_join
+from repro.storage.manager import StorageManager
+
+
+def setup(rng, n_r=250, n_s=280, dims=2, kind="mbrqt"):
+    storage = StorageManager(page_size=512, pool_pages=64)
+    r = gstd.gaussian_clusters(n_r, dims, seed=rng)
+    s = gstd.gaussian_clusters(n_s, dims, seed=rng)
+    ir, is_ = build_join_indexes(r, s, storage, kind=kind)
+    d = np.sqrt(((r[:, None, :] - s[None, :, :]) ** 2).sum(axis=2))
+    return r, s, ir, is_, d
+
+
+class TestDistanceJoin:
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    @pytest.mark.parametrize("eps", [0.0, 0.02, 0.1])
+    def test_matches_reference(self, rng, kind, eps):
+        __, __, ir, is_, d = setup(rng, kind=kind)
+        got = {(ri, si) for ri, si, __ in distance_join(ir, is_, eps)}
+        expected = {(int(i), int(j)) for i, j in zip(*np.nonzero(d <= eps))}
+        assert got == expected
+
+    def test_reported_distances_correct(self, rng):
+        __, __, ir, is_, d = setup(rng)
+        for ri, si, dist in distance_join(ir, is_, 0.05):
+            assert dist == pytest.approx(d[ri, si], abs=1e-12)
+
+    def test_self_join_excludes_self(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = gstd.uniform(200, 2, seed=rng)
+        index = build_index(pts, storage)
+        pairs = distance_join(index, index, 0.05, exclude_self=True)
+        assert all(ri != si for ri, si, __ in pairs)
+
+    def test_negative_epsilon_rejected(self, rng):
+        __, __, ir, is_, __ = setup(rng, n_r=20, n_s=20)
+        with pytest.raises(ValueError):
+            distance_join(ir, is_, -0.1)
+
+    def test_disjoint_far_datasets_empty(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        r = rng.random((50, 2))
+        s = rng.random((50, 2)) + 100.0
+        ir, is_ = build_join_indexes(r, s, storage)
+        assert distance_join(ir, is_, 1.0) == []
+
+
+class TestClosestPairs:
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    @pytest.mark.parametrize("k", [1, 5, 20])
+    def test_matches_reference(self, rng, kind, k):
+        __, __, ir, is_, d = setup(rng, kind=kind)
+        got = closest_pairs(ir, is_, k=k)
+        assert len(got) == k
+        expected = np.sort(d.ravel())[:k]
+        assert np.allclose([dist for dist, __, __ in got], expected)
+
+    def test_pair_ids_valid(self, rng):
+        __, __, ir, is_, d = setup(rng, n_r=100, n_s=120)
+        for dist, ri, si in closest_pairs(ir, is_, k=3):
+            assert dist == pytest.approx(d[ri, si], abs=1e-12)
+
+    def test_k_larger_than_pairs(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        r = rng.random((3, 2))
+        s = rng.random((4, 2))
+        ir, is_ = build_join_indexes(r, s, storage)
+        got = closest_pairs(ir, is_, k=50)
+        assert len(got) == 12
+
+    def test_exclude_self(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = rng.random((120, 2))
+        index = build_index(pts, storage)
+        got = closest_pairs(index, index, k=4, exclude_self=True)
+        assert all(ri != si for __, ri, si in got)
+        assert all(dist > 0 or True for dist, __, __ in got)
+
+    def test_invalid_k(self, rng):
+        __, __, ir, is_, __ = setup(rng, n_r=10, n_s=10)
+        with pytest.raises(ValueError):
+            closest_pairs(ir, is_, k=0)
+
+
+class TestDistanceSemiJoin:
+    def test_matches_ann_filtered(self, rng):
+        __, __, ir, is_, d = setup(rng)
+        eps = 0.05
+        semi = distance_semi_join(ir, is_, eps)
+        nn = d.min(axis=1)
+        expected = {i for i in range(d.shape[0]) if nn[i] <= eps}
+        assert {rid for rid, __, __ in semi.pairs()} == expected
+        for rid, __, dist in semi.pairs():
+            assert dist == pytest.approx(nn[rid], abs=1e-12)
+
+    def test_epsilon_zero(self, rng):
+        __, __, ir, is_, d = setup(rng, n_r=50, n_s=60)
+        semi = distance_semi_join(ir, is_, 0.0)
+        assert semi.pair_count() == int((d.min(axis=1) == 0).sum())

@@ -1,0 +1,150 @@
+"""Tests for the GORDER baseline (Xia et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.data import gstd
+from repro.join.gorder import GOrderedFile, gorder_join, grid_order, pca_transform
+from repro.join.naive import brute_force_join
+from repro.storage.manager import StorageManager
+
+
+class TestPcaTransform:
+    def test_distances_preserved(self, rng):
+        r = rng.random((100, 4))
+        s = rng.random((120, 4))
+        rt, st = pca_transform(r, s)
+        d_before = np.linalg.norm(r[0] - s[0])
+        d_after = np.linalg.norm(rt[0] - st[0])
+        assert d_after == pytest.approx(d_before)
+
+    def test_first_component_has_max_variance(self, rng):
+        # Stretch one direction; PCA must put it first.
+        base = rng.random((500, 3))
+        base[:, 2] *= 50
+        rt, st = pca_transform(base, base)
+        variances = rt.var(axis=0)
+        assert variances[0] == pytest.approx(variances.max())
+        assert variances[0] > 100 * variances[-1]
+
+    def test_1d_data(self, rng):
+        r = rng.random((50, 1))
+        s = rng.random((50, 1))
+        rt, st = pca_transform(r, s)
+        assert rt.shape == (50, 1)
+
+
+class TestGridOrder:
+    def test_orders_by_primary_dimension_first(self):
+        pts = np.array([[0.9, 0.1], [0.1, 0.9], [0.1, 0.1], [0.9, 0.9]])
+        lo, hi = np.zeros(2), np.ones(2)
+        order = grid_order(pts, lo, hi, segments=2)
+        primary = pts[order][:, 0]
+        assert (np.diff(primary) >= 0).all()
+
+    def test_is_permutation(self, rng):
+        pts = rng.random((200, 3))
+        order = grid_order(pts, pts.min(0), pts.max(0), segments=16)
+        assert sorted(order.tolist()) == list(range(200))
+
+    def test_degenerate_extent(self):
+        pts = np.array([[0.5, 1.0], [0.2, 1.0]])
+        order = grid_order(pts, pts.min(0), pts.max(0), segments=4)
+        assert len(order) == 2
+
+
+class TestGOrderedFile:
+    def test_blocks_cover_data_and_pages_written(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = rng.random((300, 2))
+        ids = np.arange(300)
+        before = storage.store.physical_writes
+        f = GOrderedFile(storage, pts, ids, points_per_block=64)
+        assert storage.store.physical_writes > before
+        assert f.n_blocks == int(np.ceil(300 / 64))
+        got = [f.read_block(b) for b in range(f.n_blocks)]
+        all_ids = np.concatenate([g[0] for g in got])
+        assert np.array_equal(np.sort(all_ids), ids)
+
+    def test_block_rects_bound_their_points(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = rng.random((200, 3))
+        f = GOrderedFile(storage, pts, np.arange(200), points_per_block=50)
+        for b in range(f.n_blocks):
+            __, block_pts = f.read_block(b)
+            rect = f.block_rect(b)
+            assert np.all(block_pts >= rect.lo - 1e-12)
+            assert np.all(block_pts <= rect.hi + 1e-12)
+
+    def test_reads_go_through_pool(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=16)
+        pts = rng.random((500, 2))
+        f = GOrderedFile(storage, pts, np.arange(500), points_per_block=100)
+        storage.reset_counters()
+        storage.drop_caches()
+        f.read_block(0)
+        assert storage.pool.misses > 0
+        before = storage.pool.misses
+        f.read_block(0)
+        assert storage.pool.misses == before  # cached
+
+
+class TestGorderJoinCorrectness:
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_matches_brute_force(self, rng, k):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        r = gstd.gaussian_clusters(250, 2, seed=rng)
+        s = gstd.gaussian_clusters(300, 2, seed=rng)
+        res, stats = gorder_join(r, s, storage, k=k)
+        assert res.same_pairs_as(brute_force_join(r, s, k=k))
+        assert stats.result_pairs == 250 * k
+
+    @pytest.mark.parametrize("dims", [1, 5, 10])
+    def test_dimensionalities(self, rng, dims):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        r = rng.random((150, dims))
+        s = rng.random((180, dims))
+        res, __ = gorder_join(r, s, storage)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    def test_self_join(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        pts = gstd.skewed(300, 2, seed=rng)
+        res, __ = gorder_join(pts, pts, storage, exclude_self=True)
+        assert res.same_pairs_as(brute_force_join(pts, pts, exclude_self=True))
+
+    def test_block_size_extremes(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        r = rng.random((100, 2))
+        s = rng.random((120, 2))
+        for ppb in (1, 16, 10_000):
+            res, __ = gorder_join(r, s, storage, points_per_block=ppb)
+            assert res.same_pairs_as(brute_force_join(r, s))
+
+    def test_invalid_k(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        with pytest.raises(ValueError):
+            gorder_join(rng.random((5, 2)), rng.random((5, 2)), storage, k=0)
+
+
+class TestGorderBehaviour:
+    def test_block_pruning_active(self, rng):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        r = gstd.gaussian_clusters(1000, 2, seed=rng, n_clusters=20, spread=0.01)
+        s = gstd.gaussian_clusters(1200, 2, seed=rng, n_clusters=20, spread=0.01)
+        __, stats = gorder_join(r, s, storage)
+        # Clustered data => most block pairs prune.
+        assert stats.pruned_entries > 0
+        n_blocks_r = int(np.ceil(1000 / 256))
+        n_blocks_s = int(np.ceil(1200 / 256))
+        assert stats.distance_evaluations < 1000 * 1200  # better than BNL
+
+    def test_more_buffer_fewer_misses(self, rng):
+        r = gstd.gaussian_clusters(2000, 6, seed=rng)
+        s = gstd.gaussian_clusters(2000, 6, seed=rng)
+        misses = {}
+        for pool in (8, 256):
+            storage = StorageManager(page_size=512, pool_pages=pool)
+            gorder_join(r, s, storage)
+            misses[pool] = storage.pool.misses
+        assert misses[256] < misses[8]

@@ -1,0 +1,73 @@
+"""Tests for the hash-based HNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.data import gstd
+from repro.join.hnn import hnn_join
+from repro.join.naive import brute_force_join
+from repro.storage.manager import StorageManager
+
+
+def storage():
+    return StorageManager(page_size=512, pool_pages=64)
+
+
+class TestHnnCorrectness:
+    @pytest.mark.parametrize("distribution", ["uniform", "gaussian", "skewed"])
+    def test_matches_brute_force(self, rng, distribution):
+        r = gstd.generate(400, 2, distribution, seed=rng)
+        s = gstd.generate(450, 2, distribution, seed=rng)
+        res, stats = hnn_join(r, s, storage())
+        assert res.same_pairs_as(brute_force_join(r, s))
+        assert stats.result_pairs == 400
+
+    @pytest.mark.parametrize("k", [2, 5])
+    def test_aknn(self, rng, k):
+        r = gstd.gaussian_clusters(250, 3, seed=rng)
+        s = gstd.gaussian_clusters(260, 3, seed=rng)
+        res, __ = hnn_join(r, s, storage(), k=k)
+        assert res.same_pairs_as(brute_force_join(r, s, k=k))
+
+    def test_self_join(self, rng):
+        pts = gstd.skewed(300, 2, seed=rng)
+        res, __ = hnn_join(pts, pts, storage(), exclude_self=True)
+        assert res.same_pairs_as(brute_force_join(pts, pts, exclude_self=True))
+
+    def test_coarse_grid_still_correct(self, rng):
+        r = rng.random((150, 2))
+        s = rng.random((150, 2))
+        res, __ = hnn_join(r, s, storage(), cells_per_dim=1)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    def test_fine_grid_still_correct(self, rng):
+        r = rng.random((150, 2))
+        s = rng.random((150, 2))
+        res, __ = hnn_join(r, s, storage(), cells_per_dim=40)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    def test_empty_cells_handled(self, rng):
+        # Two far-apart clusters leave most grid cells empty.
+        r = np.vstack([rng.random((60, 2)), rng.random((60, 2)) + 50])
+        s = np.vstack([rng.random((60, 2)), rng.random((60, 2)) + 50])
+        res, __ = hnn_join(r, s, storage(), cells_per_dim=8)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            hnn_join(rng.random((10, 2)), rng.random((10, 2)), storage(), k=0)
+        with pytest.raises(ValueError):
+            hnn_join(rng.random((10, 2)), rng.random((10, 3)), storage())
+
+
+class TestHnnBehaviour:
+    def test_skew_degrades_hnn(self, rng):
+        """The paper's Section 2 claim: HNN suffers on skewed data."""
+        n = 1500
+        uniform = gstd.uniform(n, 2, seed=1)
+        skewed = gstd.skewed(n, 2, seed=1, skew=5.0)
+
+        __, stats_u = hnn_join(uniform, uniform, storage(), exclude_self=True)
+        __, stats_s = hnn_join(skewed, skewed, storage(), exclude_self=True)
+        # Skew concentrates points into few buckets -> far more pairwise work.
+        assert stats_s.distance_evaluations > 1.5 * stats_u.distance_evaluations

@@ -1,0 +1,54 @@
+"""Cross-checks between the two independent reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.join.naive import brute_force_join, kdtree_join
+
+
+class TestReferencesAgree:
+    @pytest.mark.parametrize("dims", [1, 2, 5])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_cross_check(self, rng, dims, k):
+        r = rng.random((150, dims))
+        s = rng.random((170, dims))
+        assert brute_force_join(r, s, k=k).same_pairs_as(kdtree_join(r, s, k=k))
+
+    def test_cross_check_self_join(self, rng):
+        pts = rng.random((120, 2))
+        a = brute_force_join(pts, pts, exclude_self=True)
+        b = kdtree_join(pts, pts, exclude_self=True)
+        assert a.same_pairs_as(b)
+
+    def test_known_answer(self):
+        r = np.array([[0.0, 0.0], [10.0, 10.0]])
+        s = np.array([[1.0, 0.0], [10.0, 9.0], [5.0, 5.0]])
+        res = brute_force_join(r, s)
+        assert res.nn_of(0) == (pytest.approx(1.0), 0)
+        assert res.nn_of(1) == (pytest.approx(1.0), 1)
+
+    def test_custom_ids(self, rng):
+        r = rng.random((10, 2))
+        s = rng.random((10, 2))
+        res = brute_force_join(r, s, r_ids=np.arange(100, 110), s_ids=np.arange(7, 17))
+        assert set(rid for rid, __, __ in res.pairs()) == set(range(100, 110))
+        assert all(7 <= sid < 17 for __, sid, __ in res.pairs())
+
+    def test_exclude_self_with_duplicates(self):
+        # Duplicate coordinates: excluding self must still allow the twin.
+        pts = np.array([[0.5, 0.5], [0.5, 0.5], [3.0, 3.0]])
+        res = brute_force_join(pts, pts, exclude_self=True)
+        assert res.nn_of(0) == (pytest.approx(0.0), 1)
+        assert res.nn_of(1) == (pytest.approx(0.0), 0)
+
+    def test_k_capped_at_dataset_size(self, rng):
+        r = rng.random((5, 2))
+        s = rng.random((3, 2))
+        res = brute_force_join(r, s, k=10)
+        assert all(len(res.neighbors_of(i)) == 3 for i in range(5))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            brute_force_join(np.empty((0, 2)), np.ones((3, 2)))
+        with pytest.raises(ValueError):
+            kdtree_join(np.ones(4), np.ones((3, 2)))

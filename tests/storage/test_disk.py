@@ -1,0 +1,67 @@
+"""Tests for the simulated disk (PageStore + DiskModel)."""
+
+import pytest
+
+from repro.storage.disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
+
+
+class TestDiskModel:
+    def test_access_time_positive_and_sane(self):
+        model = DiskModel()
+        t = model.access_time_s()
+        assert 0.005 < t < 0.05  # ~8ms seek + small transfer
+
+    def test_transfer_component_scales_with_page_size(self):
+        small = DiskModel(page_size=4096).access_time_s()
+        large = DiskModel(page_size=65536).access_time_s()
+        assert large > small
+
+
+class TestPageStore:
+    def test_allocate_write_read_roundtrip(self):
+        store = PageStore(page_size=128)
+        pid = store.allocate(b"hello")
+        assert store.read(pid) == b"hello"
+        store.write(pid, b"world")
+        assert store.read(pid) == b"world"
+
+    def test_counters_and_io_time(self):
+        store = PageStore(page_size=128)
+        pid = store.allocate(b"x")  # one write
+        store.read(pid)
+        store.read(pid)
+        assert store.physical_writes == 1
+        assert store.physical_reads == 2
+        expected = 3 * store.disk.access_time_s()
+        assert store.io_time_s == pytest.approx(expected)
+
+    def test_reset_counters(self):
+        store = PageStore(page_size=128)
+        pid = store.allocate(b"x")
+        store.read(pid)
+        store.reset_counters()
+        assert store.physical_reads == 0
+        assert store.physical_writes == 0
+        assert store.io_time_s == 0.0
+        # data survives the counter reset
+        assert store.read(pid) == b"x"
+
+    def test_oversized_payload_rejected(self):
+        store = PageStore(page_size=16)
+        with pytest.raises(ValueError):
+            store.allocate(b"x" * 17)
+
+    def test_bad_page_id_rejected(self):
+        store = PageStore(page_size=16)
+        with pytest.raises(IndexError):
+            store.read(0)
+        store.allocate(b"a")
+        with pytest.raises(IndexError):
+            store.read(1)
+
+    def test_default_page_size_is_8k(self):
+        assert PageStore().page_size == DEFAULT_PAGE_SIZE == 8192
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageStore(page_size=0)

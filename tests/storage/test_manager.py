@@ -1,0 +1,65 @@
+"""Tests for the StorageManager facade."""
+
+import pytest
+
+from repro.storage.manager import DEFAULT_POOL_PAGES, StorageManager
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        m = StorageManager()
+        assert m.page_size == 8192
+        assert m.pool.capacity_pages == DEFAULT_POOL_PAGES == 64  # 512 KB
+
+    def test_with_pool_bytes(self):
+        m = StorageManager.with_pool_bytes(1024 * 1024, page_size=2048)
+        assert m.pool.capacity_pages == 512
+
+    def test_pool_smaller_than_page_rejected(self):
+        with pytest.raises(ValueError):
+            StorageManager.with_pool_bytes(100, page_size=8192)
+
+
+class TestFiles:
+    def test_files_share_disk_and_pool(self):
+        m = StorageManager(page_size=64, pool_pages=8)
+        f1 = m.create_file()
+        f2 = m.create_file(pack_pages=True)
+        f1.append_node(b"abc")
+        f2.append_node(b"xyz")
+        f2.flush()
+        assert len(m.store) == 2
+        assert f1.pool is f2.pool is m.pool
+
+    def test_pack_pages_flag(self):
+        m = StorageManager(page_size=64, pool_pages=8)
+        assert m.create_file().pack_pages is False
+        assert m.create_file(pack_pages=True).pack_pages is True
+
+
+class TestAccounting:
+    def test_io_snapshot_fields(self):
+        m = StorageManager(page_size=64, pool_pages=8)
+        f = m.create_file()
+        nid = f.append_node(b"payload")
+        f.read_node(nid, bytes)
+        snap = m.io_snapshot()
+        assert snap["physical_writes"] == 1
+        assert snap["page_misses"] == 1
+        assert snap["logical_reads"] == 1
+        assert snap["io_time_s"] > 0
+
+    def test_reset_and_drop(self):
+        m = StorageManager(page_size=64, pool_pages=8)
+        f = m.create_file()
+        nid = f.append_node(b"x")
+        f.read_node(nid, bytes)
+        m.reset_counters()
+        assert m.io_snapshot()["page_misses"] == 0
+        # Data still cached: next read is a hit.
+        f.read_node(nid, bytes)
+        assert m.io_snapshot()["page_misses"] == 0
+        # After dropping caches it misses again.
+        m.drop_caches()
+        f.read_node(nid, bytes)
+        assert m.io_snapshot()["page_misses"] == 1

@@ -1,0 +1,129 @@
+"""Tests for NodeFile: multi-page nodes and buffer-pool integration."""
+
+from repro.storage.buffer_pool import BufferPool
+from repro.storage.disk import PageStore
+from repro.storage.node_file import NodeFile
+
+
+def make_file(page_size=32, capacity=4):
+    store = PageStore(page_size=page_size)
+    pool = BufferPool(store, capacity_pages=capacity)
+    return store, pool, NodeFile(pool)
+
+
+class TestNodeFile:
+    def test_single_page_roundtrip(self):
+        __, __, f = make_file()
+        nid = f.append_node(b"hello")
+        assert f.node_pages(nid) == 1
+        assert f.read_node(nid, bytes) == b"hello"
+
+    def test_multi_page_node_chunks(self):
+        store, pool, f = make_file(page_size=8)
+        payload = bytes(range(20))  # 3 pages of 8
+        nid = f.append_node(payload)
+        assert f.node_pages(nid) == 3
+        assert f.read_node(nid, bytes) == payload
+
+    def test_empty_node(self):
+        __, __, f = make_file()
+        nid = f.append_node(b"")
+        assert f.node_pages(nid) == 1
+        assert f.read_node(nid, bytes) == b""
+
+    def test_read_counts_pages_not_nodes(self):
+        store, pool, f = make_file(page_size=8, capacity=10)
+        nid = f.append_node(bytes(16))  # 2 pages
+        store.reset_counters()
+        pool.reset_counters()
+        f.read_node(nid, bytes)
+        assert pool.logical_reads == 2
+        assert pool.misses == 2
+        # Second read hits the decoded-node memo on the resident first page.
+        f.read_node(nid, bytes)
+        assert pool.logical_reads == 3
+        assert pool.misses == 2
+
+    def test_files_share_pool_but_not_ids(self):
+        store = PageStore(page_size=32)
+        pool = BufferPool(store, capacity_pages=4)
+        f1, f2 = NodeFile(pool), NodeFile(pool)
+        a = f1.append_node(b"one")
+        b = f2.append_node(b"two")
+        assert a == b == 0  # per-file node ids
+        assert f1.read_node(a, bytes) == b"one"
+        assert f2.read_node(b, bytes) == b"two"
+
+    def test_total_pages(self):
+        __, __, f = make_file(page_size=8)
+        f.append_node(bytes(16))
+        f.append_node(bytes(4))
+        assert f.total_pages == 3
+        assert len(f) == 2
+
+
+class TestPackedPages:
+    def test_small_nodes_share_pages(self):
+        store = PageStore(page_size=64)
+        pool = BufferPool(store, capacity_pages=8)
+        f = NodeFile(pool, pack_pages=True)
+        ids = [f.append_node(bytes([i]) * 16) for i in range(4)]
+        f.flush()
+        # Four 16-byte nodes fit one 64-byte page.
+        assert f.total_pages == 1
+        for i, nid in enumerate(ids):
+            assert f.read_node(nid, bytes) == bytes([i]) * 16
+
+    def test_packed_overflow_opens_new_page(self):
+        store = PageStore(page_size=64)
+        pool = BufferPool(store, capacity_pages=8)
+        f = NodeFile(pool, pack_pages=True)
+        ids = [f.append_node(bytes([i]) * 40) for i in range(3)]
+        f.flush()
+        assert f.total_pages == 3  # 40B nodes cannot share a 64B page
+        for i, nid in enumerate(ids):
+            assert f.read_node(nid, bytes) == bytes([i]) * 40
+
+    def test_wide_node_in_packed_file(self):
+        store = PageStore(page_size=32)
+        pool = BufferPool(store, capacity_pages=8)
+        f = NodeFile(pool, pack_pages=True)
+        small = f.append_node(b"tiny")
+        wide = f.append_node(bytes(range(80)))  # 3 pages
+        f.flush()
+        assert f.node_pages(wide) == 3
+        assert f.read_node(small, bytes) == b"tiny"
+        assert f.read_node(wide, bytes) == bytes(range(80))
+
+    def test_shared_page_one_miss_for_both_nodes(self):
+        store = PageStore(page_size=64)
+        pool = BufferPool(store, capacity_pages=8)
+        f = NodeFile(pool, pack_pages=True)
+        a = f.append_node(b"a" * 20)
+        b = f.append_node(b"b" * 20)
+        f.flush()
+        store.reset_counters()
+        pool.reset_counters()
+        f.read_node(a, bytes)
+        f.read_node(b, bytes)
+        assert pool.misses == 1  # both live on the same page
+
+    def test_memoised_decode(self):
+        store = PageStore(page_size=64)
+        pool = BufferPool(store, capacity_pages=8)
+        f = NodeFile(pool, pack_pages=True)
+        nid = f.append_node(b"payload")
+        f.flush()
+        calls = []
+
+        def decode(b):
+            calls.append(b)
+            return b.decode()
+
+        assert f.read_node(nid, decode) == "payload"
+        assert f.read_node(nid, decode) == "payload"
+        assert len(calls) == 1
+        # After eviction, decode runs again.
+        pool.clear()
+        assert f.read_node(nid, decode) == "payload"
+        assert len(calls) == 2

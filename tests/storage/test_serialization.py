@@ -1,0 +1,97 @@
+"""Round-trip and capacity tests for the binary page layout."""
+
+import numpy as np
+import pytest
+
+from repro.storage.serialization import (
+    HEADER_SIZE,
+    KIND_INTERNAL,
+    KIND_LEAF,
+    decode_internal,
+    decode_leaf,
+    encode_internal,
+    encode_leaf,
+    internal_capacity,
+    internal_entry_size,
+    leaf_capacity,
+    leaf_entry_size,
+    page_kind,
+)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("dims", [1, 2, 4, 10])
+    def test_internal_roundtrip(self, rng, dims):
+        n = 7
+        child_ids = rng.integers(0, 1000, n)
+        counts = rng.integers(1, 500, n)
+        lo = rng.random((n, dims))
+        hi = lo + rng.random((n, dims))
+        payload = encode_internal(child_ids, counts, lo, hi)
+        assert page_kind(payload) == KIND_INTERNAL
+        got_ids, got_counts, got_lo, got_hi = decode_internal(payload)
+        assert np.array_equal(got_ids, child_ids)
+        assert np.array_equal(got_counts, counts)
+        assert np.array_equal(got_lo, lo)
+        assert np.array_equal(got_hi, hi)
+
+    @pytest.mark.parametrize("dims", [1, 2, 6, 10])
+    def test_leaf_roundtrip(self, rng, dims):
+        n = 13
+        ids = rng.integers(0, 10**9, n)
+        pts = rng.normal(size=(n, dims)) * 1e6
+        payload = encode_leaf(ids, pts)
+        assert page_kind(payload) == KIND_LEAF
+        got_ids, got_pts = decode_leaf(payload)
+        assert np.array_equal(got_ids, ids)
+        assert np.array_equal(got_pts, pts)
+
+    def test_kind_mismatch_raises(self):
+        leaf = encode_leaf(np.array([1]), np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            decode_internal(leaf)
+        internal = encode_internal(
+            np.array([1]), np.array([2]), np.array([[0.0, 0.0]]), np.array([[1.0, 1.0]])
+        )
+        with pytest.raises(ValueError):
+            decode_leaf(internal)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            encode_leaf(np.array([1, 2]), np.array([[0.0, 0.0]]))
+        with pytest.raises(ValueError):
+            encode_internal(
+                np.array([1]), np.array([2, 3]), np.array([[0.0]]), np.array([[1.0]])
+            )
+
+
+class TestCapacities:
+    def test_paper_configuration_2d(self):
+        # 8 KB page, 2-D: entries are 48 B internal / 24 B leaf.
+        assert internal_entry_size(2) == 48
+        assert leaf_entry_size(2) == 24
+        assert internal_capacity(8192, 2) == (8192 - HEADER_SIZE) // 48
+        assert leaf_capacity(8192, 2) == (8192 - HEADER_SIZE) // 24
+
+    def test_capacity_decreases_with_dims(self):
+        caps = [internal_capacity(8192, d) for d in (2, 4, 6, 10)]
+        assert caps == sorted(caps, reverse=True)
+
+    def test_encoded_sizes_match_declared(self, rng):
+        for dims in (2, 5, 10):
+            n = 4
+            payload = encode_internal(
+                np.arange(n),
+                np.ones(n, dtype=np.int64),
+                rng.random((n, dims)),
+                rng.random((n, dims)) + 1.5,
+            )
+            assert len(payload) == HEADER_SIZE + n * internal_entry_size(dims)
+            leaf = encode_leaf(np.arange(n), rng.random((n, dims)))
+            assert len(leaf) == HEADER_SIZE + n * leaf_entry_size(dims)
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(ValueError):
+            internal_capacity(40, 10)
+        with pytest.raises(ValueError):
+            leaf_capacity(16, 10)

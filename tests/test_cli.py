@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_join_defaults(self):
+        args = build_parser().parse_args(["join"])
+        assert args.method == "mba"
+        assert args.k == 1
+        assert args.metric == "nxndist"
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["join", "--method", "quantum"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "TAC" in out and "FC" in out and "500K6D" in out
+
+    @pytest.mark.parametrize("method", ["mba", "rba", "bnn", "mnn", "gorder", "hnn"])
+    def test_join_all_methods(self, capsys, method):
+        assert main(["join", "--method", method, "--dataset", "uniform", "-n", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "result pairs     : 300" in out
+
+    def test_join_with_k_and_metric(self, capsys):
+        code = main(
+            ["join", "--method", "mba", "--dataset", "gaussian",
+             "-n", "200", "-k", "3", "--metric", "maxmaxdist"]
+        )
+        assert code == 0
+        assert "result pairs     : 600" in capsys.readouterr().out
+
+    def test_join_unknown_dataset(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["join", "--dataset", "mars", "-n", "10"])
+
+    def test_experiment_unknown(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["experiment", "fig99"])
+
+    def test_join_checksum_deterministic(self, capsys):
+        main(["join", "--method", "mba", "--dataset", "uniform", "-n", "200"])
+        first = capsys.readouterr().out
+        main(["join", "--method", "mba", "--dataset", "uniform", "-n", "200"])
+        second = capsys.readouterr().out
+        checksum = [l for l in first.splitlines() if "checksum" in l]
+        assert checksum == [l for l in second.splitlines() if "checksum" in l]

@@ -1,0 +1,146 @@
+"""End-to-end integration tests: the whole system, one workload.
+
+A miniature version of the paper's evaluation pipeline: generate a
+workload, build both index structures, run every join algorithm, and
+check that (a) they all agree exactly, (b) the storage layer accounted
+I/O for each, and (c) the counters are internally consistent.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    PruningMetric,
+    StorageManager,
+    all_nearest_neighbors,
+    bnn_join,
+    brute_force_join,
+    build_index,
+    gorder_join,
+    hnn_join,
+    mba_join,
+    mnn_join,
+    mux_knn_join,
+    tac_surrogate,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pts = tac_surrogate(1200, seed=13)
+    ref = brute_force_join(pts, pts, k=3, exclude_self=True)
+    return pts, ref
+
+
+class TestAllMethodsAgree:
+    def test_mba_mbrqt(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage, kind="mbrqt")
+        res, stats = mba_join(index, index, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+        assert storage.pool.misses > 0
+
+    def test_rba_rstar(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage, kind="rstar")
+        res, __ = mba_join(index, index, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+    def test_mba_maxmaxdist(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage, kind="mbrqt")
+        res, __ = mba_join(
+            index, index, k=3, exclude_self=True, metric=PruningMetric.MAXMAXDIST
+        )
+        assert res.same_pairs_as(ref)
+
+    def test_bnn(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage, kind="rstar")
+        res, __ = bnn_join(index, pts, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+    def test_mnn(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage, kind="mbrqt")
+        res, __ = mnn_join(index, pts, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+    def test_gorder(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        res, __ = gorder_join(pts, pts, storage, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+    def test_gorder_mindist_schedule(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        res, __ = gorder_join(pts, pts, storage, k=3, exclude_self=True, schedule="mindist")
+        assert res.same_pairs_as(ref)
+
+    def test_hnn(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        res, __ = hnn_join(pts, pts, storage, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+    def test_mux(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        res, __ = mux_knn_join(pts, pts, storage, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet(self):
+        r = np.random.default_rng(0).random((1_000, 2))
+        s = np.random.default_rng(1).random((1_000, 2))
+        result, stats = all_nearest_neighbors(r, s)
+        pairs = list(result.pairs())[:3]
+        assert len(pairs) == 3
+        assert stats.distance_evaluations > 0
+        assert result.same_pairs_as(brute_force_join(r, s))
+
+
+class TestCounterConsistency:
+    def test_result_pairs_counter(self, workload):
+        pts, __ = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage)
+        res, stats = mba_join(index, index, k=3, exclude_self=True)
+        assert stats.result_pairs == res.pair_count() == 3 * len(pts)
+
+    def test_misses_bounded_by_logical_reads(self, workload):
+        pts, __ = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage)
+        storage.reset_counters()
+        storage.drop_caches()
+        mba_join(index, index, exclude_self=True)
+        assert 0 < storage.pool.misses <= storage.pool.logical_reads
+        assert storage.store.physical_reads == storage.pool.misses
+
+
+class TestMixedIndexJoin:
+    """The traversal is index-agnostic: R and S may use different indexes."""
+
+    def test_mbrqt_query_against_rstar_target(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index_r = build_index(pts, storage, kind="mbrqt")
+        index_s = build_index(pts, storage, kind="rstar")
+        res, __ = mba_join(index_r, index_s, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+    def test_rstar_query_against_mbrqt_target(self, workload):
+        pts, ref = workload
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index_r = build_index(pts, storage, kind="rstar")
+        index_s = build_index(pts, storage, kind="mbrqt")
+        res, __ = mba_join(index_r, index_s, k=3, exclude_self=True)
+        assert res.same_pairs_as(ref)

@@ -1,0 +1,181 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These complement the per-module unit tests with randomized invariants
+spanning module boundaries: all join algorithms must agree with each
+other on arbitrary inputs, the metric lemmas must hold over arbitrary
+rectangles, indexes must preserve arbitrary point multisets, and the
+page codecs must round-trip arbitrary values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.api import build_index, build_join_indexes
+from repro.core.geometry import Rect
+from repro.core.mba import mba_join
+from repro.core.metrics import maxmaxdist, minmindist, nxndist
+from repro.core.order import morton_codes
+from repro.join.bnn import bnn_join
+from repro.join.gorder import gorder_join
+from repro.join.hnn import hnn_join
+from repro.join.naive import brute_force_join
+from repro.storage.manager import StorageManager
+from repro.storage.serialization import (
+    decode_internal,
+    decode_leaf,
+    encode_internal,
+    encode_leaf,
+)
+
+_slow = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def point_sets(min_n=5, max_n=60, dims=2):
+    return hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(min_n, max_n), st.just(dims)),
+        elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=32),
+    )
+
+
+def rects(dims=2):
+    coord = st.floats(-50, 50, allow_nan=False, width=32)
+    side = st.floats(0, 30, allow_nan=False, width=32)
+    lists = lambda s: st.lists(s, min_size=dims, max_size=dims)
+    return st.tuples(lists(coord), lists(side)).map(
+        lambda t: Rect(np.array(t[0]), np.array(t[0]) + np.array(t[1]))
+    )
+
+
+class TestMetricInvariants:
+    @given(rects(2), rects(2))
+    @settings(max_examples=300, deadline=None)
+    def test_sandwich_2d(self, m, n):
+        assert minmindist(m, n) <= nxndist(m, n)  # bit-exact by construction
+        assert nxndist(m, n) <= maxmaxdist(m, n) + 1e-9
+
+    @given(rects(5), rects(5))
+    @settings(max_examples=150, deadline=None)
+    def test_sandwich_5d(self, m, n):
+        assert minmindist(m, n) <= nxndist(m, n)
+        assert nxndist(m, n) <= maxmaxdist(m, n) + 1e-9
+
+    @given(rects(3))
+    @settings(max_examples=100, deadline=None)
+    def test_self_distance(self, m):
+        assert minmindist(m, m) == 0.0
+        # NXNDIST of a rect to itself is at most its diagonal.
+        assert nxndist(m, m) <= m.diagonal() + 1e-9
+
+
+class TestAlgorithmsAgree:
+    @given(point_sets(), point_sets())
+    @_slow
+    def test_mba_matches_brute_force(self, r, s):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        ir, is_ = build_join_indexes(r, s, storage)
+        res, __ = mba_join(ir, is_)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    @given(point_sets(min_n=10, max_n=50))
+    @_slow
+    def test_all_methods_agree_on_self_join(self, pts):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        ref = brute_force_join(pts, pts, exclude_self=True)
+
+        index_q = build_index(pts, storage, kind="mbrqt")
+        res, __ = mba_join(index_q, index_q, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+        index_r = build_index(pts, storage, kind="rstar")
+        res, __ = bnn_join(index_r, pts, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+        res, __ = gorder_join(pts, pts, storage, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+        res, __ = hnn_join(pts, pts, storage, exclude_self=True)
+        assert res.same_pairs_as(ref)
+
+    @given(point_sets(min_n=8, max_n=40), st.integers(1, 6))
+    @_slow
+    def test_aknn_matches_brute_force(self, pts, k):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage)
+        res, __ = mba_join(index, index, k=k, exclude_self=True)
+        assert res.same_pairs_as(brute_force_join(pts, pts, k=k, exclude_self=True))
+
+
+class TestIndexInvariants:
+    @given(point_sets(min_n=5, max_n=120), st.sampled_from(["mbrqt", "rstar"]))
+    @_slow
+    def test_indexes_preserve_points(self, pts, kind):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage, kind=kind)
+        ids, got = index.all_points()
+        order = np.argsort(ids)
+        assert np.array_equal(ids[order], np.arange(len(pts)))
+        assert np.allclose(got[order], pts)
+        assert index.size == len(pts)
+
+    @given(point_sets(min_n=5, max_n=120))
+    @_slow
+    def test_root_rect_is_tight(self, pts):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage)
+        assert np.allclose(index.root_rect.lo, pts.min(axis=0))
+        assert np.allclose(index.root_rect.hi, pts.max(axis=0))
+
+
+class TestSerializationFuzz:
+    @given(
+        st.integers(1, 40),
+        st.integers(1, 12),
+        st.floats(-1e12, 1e12, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_internal_roundtrip(self, n, dims, scale):
+        rng = np.random.default_rng(0)
+        lo = rng.random((n, dims)) * scale
+        hi = lo + rng.random((n, dims))
+        ids = rng.integers(0, 2**62, n)
+        counts = rng.integers(1, 2**40, n)
+        got = decode_internal(encode_internal(ids, counts, lo, hi))
+        assert np.array_equal(got[0], ids)
+        assert np.array_equal(got[1], counts)
+        assert np.array_equal(got[2], lo)
+        assert np.array_equal(got[3], hi)
+
+    @given(st.integers(1, 50), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_leaf_roundtrip(self, n, dims):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(scale=1e6, size=(n, dims))
+        ids = rng.integers(-(2**62), 2**62, n)
+        got_ids, got_pts = decode_leaf(encode_leaf(ids, pts))
+        assert np.array_equal(got_ids, ids)
+        assert np.array_equal(got_pts, pts)
+
+
+class TestMortonProperties:
+    @given(point_sets(min_n=4, max_n=200))
+    @settings(max_examples=40, deadline=None)
+    def test_codes_shape_and_type(self, pts):
+        codes = morton_codes(pts)
+        assert codes.shape == (len(pts),)
+        assert codes.dtype == np.uint64
+
+    @given(point_sets(min_n=4, max_n=100))
+    @settings(max_examples=40, deadline=None)
+    def test_translation_invariance(self, pts):
+        # Z-order depends only on relative positions inside the bbox.
+        a = morton_codes(pts, bits=8)
+        b = morton_codes(pts + 1234.5, bits=8)
+        assert np.array_equal(a, b)
