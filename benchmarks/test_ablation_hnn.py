@@ -7,8 +7,6 @@ distributions".  Neither claim gets a figure in the paper; this bench
 regenerates both as an extension experiment.
 """
 
-import time
-
 from conftest import emit
 
 from repro.bench import BenchConfig, format_table, run_method

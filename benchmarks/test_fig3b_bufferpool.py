@@ -22,7 +22,11 @@ def test_fig3b(benchmark, results_dir):
             "Figure 3(b) — page misses vs pool size",
             "pool_kb",
             {
-                label: [(r.params["pool_kb"], r.stats.page_misses) for r in runs if r.label == label]
+                label: [
+                    (r.params["pool_kb"], r.stats.page_misses)
+                    for r in runs
+                    if r.label == label
+                ]
                 for label in ("MBA", "GORDER")
             },
             unit="misses",

@@ -1,0 +1,45 @@
+"""Domain-aware static analysis for the reproduction.
+
+The correctness of this reproduction rests on invariants the paper states
+but Python cannot enforce by itself:
+
+* NXNDIST is **asymmetric** (Lemma 3.1) — swapping the query and target
+  MBR silently yields a bound that is *not* valid for pruning.
+* The machine-independent cost counters only mean anything if every
+  algorithm updates the *same* :class:`~repro.core.stats.QueryStats`
+  fields; a typo'd counter name would silently vanish from benchmark
+  output.
+* The I/O model (Figure 3(b)) is void if code bypasses the
+  :class:`~repro.storage.buffer_pool.BufferPool` and reads the
+  :class:`~repro.storage.disk.PageStore` directly.
+* Pruning must compare **squared** distances on hot paths; a stray
+  ``sqrt`` inside a comparison wastes the very cycles the paper counts.
+* Benchmarks must be replayable, so unseeded randomness is banned.
+
+This package is a small AST-walking lint framework that encodes those
+invariants as rules.  Run it with ``python -m repro.lint <paths>``; see
+:mod:`repro.analysis.engine` for the framework and
+:mod:`repro.analysis.rules` for the rule catalogue.
+"""
+
+from .engine import (
+    Diagnostic,
+    FileContext,
+    Rule,
+    RuleRegistry,
+    Severity,
+    default_registry,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Diagnostic",
+    "FileContext",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "default_registry",
+    "lint_paths",
+    "lint_source",
+]

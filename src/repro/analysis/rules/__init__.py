@@ -1,0 +1,45 @@
+"""The built-in rule catalogue.
+
+Each module encodes one invariant of the reproduction; see the class
+docstrings (and DESIGN.md) for the paper sections they guard.
+"""
+
+from __future__ import annotations
+
+from ..engine import RuleRegistry
+from .counters import CounterDiscipline
+from .determinism import Nondeterminism
+from .hygiene import BareExcept, MutableDefaultArg
+from .metric_order import NxndistArgOrder
+from .sqrt_discipline import SqrtDiscipline
+from .storage_bypass import BufferPoolBypass
+
+__all__ = [
+    "SqrtDiscipline",
+    "CounterDiscipline",
+    "BufferPoolBypass",
+    "Nondeterminism",
+    "MutableDefaultArg",
+    "BareExcept",
+    "NxndistArgOrder",
+    "ALL_RULES",
+    "build_registry",
+]
+
+ALL_RULES = (
+    SqrtDiscipline,
+    CounterDiscipline,
+    BufferPoolBypass,
+    Nondeterminism,
+    MutableDefaultArg,
+    BareExcept,
+    NxndistArgOrder,
+)
+
+
+def build_registry() -> RuleRegistry:
+    """Registry holding one instance of every built-in rule."""
+    registry = RuleRegistry()
+    for rule_cls in ALL_RULES:
+        registry.register(rule_cls())
+    return registry

@@ -1,0 +1,92 @@
+"""Rule: writes to ``stats.<counter>`` must hit a declared QueryStats field.
+
+The benchmark harness reports *machine-independent* counters; the
+paper's figures are only comparable across methods because every
+algorithm updates the same :class:`~repro.core.stats.QueryStats`
+fields.  A typo'd counter name (``stats.node_expansion += 1``) would —
+on a plain dataclass — create a fresh attribute, silently dropping the
+cost from the benchmark output.  ``QueryStats`` is now ``slots=True``
+so this is a runtime error too; this rule catches it at review time,
+including on code paths no test exercises.
+
+The receiver heuristic: any attribute write whose receiver is a name or
+attribute ending in ``stats`` (``stats``, ``self.stats``,
+``query_stats``).  Ad-hoc payloads belong in the typed escape hatch
+``stats.extra[...]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import fields as dataclass_fields
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["CounterDiscipline"]
+
+
+def _query_stats_fields() -> frozenset[str]:
+    from repro.core.stats import QueryStats
+
+    return frozenset(f.name for f in dataclass_fields(QueryStats))
+
+
+def _receiver_is_stats(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id.lower().endswith("stats")
+    if isinstance(node, ast.Attribute):
+        return node.attr.lower().endswith("stats")
+    return False
+
+
+class CounterDiscipline(Rule):
+    """Flag writes to undeclared counters on a ``*stats`` receiver."""
+
+    name = "counter-discipline"
+    summary = "attribute written on a stats object is not a declared QueryStats field"
+    rationale = "QueryStats docstring: counters are the paper's machine-independent costs"
+
+    def __init__(self, known_fields: frozenset[str] | None = None) -> None:
+        self.known_fields = known_fields if known_fields is not None else _query_stats_fields()
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr]
+            if isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.Call):
+                yield from self._check_constructor(ctx, node)
+                continue
+            else:
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and _receiver_is_stats(target.value)
+                    and target.attr not in self.known_fields
+                ):
+                    yield ctx.flag(
+                        target,
+                        self,
+                        f"write to undeclared counter {target.attr!r}; QueryStats fields "
+                        f"are {{{', '.join(sorted(self.known_fields))}}} — use "
+                        "stats.extra[...] for ad-hoc values",
+                    )
+
+    def _check_constructor(self, ctx: FileContext, node: ast.Call) -> Iterator[Diagnostic]:
+        """``QueryStats(typo=1)`` is the same bug at construction time."""
+        fname = ctx.dotted_name(node.func)
+        if fname is None or fname.split(".")[-1] != "QueryStats":
+            return
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg not in self.known_fields:
+                yield ctx.flag(
+                    node,
+                    self,
+                    f"QueryStats(...) called with unknown field {kw.arg!r}",
+                )

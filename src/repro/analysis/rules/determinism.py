@@ -1,0 +1,119 @@
+"""Rule: no unseeded randomness — benchmarks must be replayable.
+
+Every figure in EXPERIMENTS.md is regenerated from code; the numbers
+are only reviewable if a rerun produces the same datasets, the same
+tree shapes, and therefore the same counters.  Global RNG state
+(``np.random.random``, ``random.shuffle``) breaks that: results then
+depend on import order and on whatever ran earlier in the process.
+
+Allowed: explicitly seeded generator objects —
+``np.random.default_rng(seed)``, ``np.random.RandomState(seed)``,
+``random.Random(seed)`` — and passing generators around.  Flagged:
+legacy module-level draws, ``random.seed()`` reseeding global state,
+and seedless generator construction (``default_rng()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["Nondeterminism"]
+
+# numpy.random.* constructors that are fine *if* given a seed argument.
+_NP_SEEDABLE = frozenset({"default_rng", "RandomState", "SeedSequence", "Generator"})
+
+# Legacy numpy module-level draws (always global state, never OK).
+_NP_LEGACY = frozenset(
+    {
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "ranf",
+        "sample",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "choice",
+        "permutation",
+        "shuffle",
+        "bytes",
+        "seed",
+        "get_state",
+        "set_state",
+    }
+)
+
+# stdlib random module-level functions (global Mersenne Twister).
+_STDLIB_RANDOM = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "betavariate",
+        "expovariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "lognormvariate",
+        "getrandbits",
+        "randbytes",
+        "seed",
+    }
+)
+
+
+class Nondeterminism(Rule):
+    """Flag unseeded / module-level RNG use in src, benchmarks, and tests."""
+
+    name = "nondeterminism"
+    summary = "module-level or unseeded RNG call; benchmarks must be replayable"
+    rationale = "EXPERIMENTS.md regenerates figures; global RNG state breaks reruns"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = ctx.dotted_name(node.func)
+            if fname is None:
+                continue
+            if fname.startswith("numpy.random."):
+                tail = fname.removeprefix("numpy.random.")
+                if tail in _NP_SEEDABLE:
+                    if not node.args and not node.keywords:
+                        yield ctx.flag(
+                            node,
+                            self,
+                            f"numpy.random.{tail}() without a seed; pass an explicit "
+                            "seed so runs are replayable",
+                        )
+                elif tail in _NP_LEGACY:
+                    yield ctx.flag(
+                        node,
+                        self,
+                        f"numpy.random.{tail}() uses global RNG state; use a seeded "
+                        "np.random.default_rng(seed) generator",
+                    )
+            elif fname.startswith("random."):
+                tail = fname.removeprefix("random.")
+                if tail in _STDLIB_RANDOM:
+                    yield ctx.flag(
+                        node,
+                        self,
+                        f"random.{tail}() uses the global Mersenne Twister; use a "
+                        "seeded random.Random(seed) instance",
+                    )
+                elif tail == "Random" and not node.args and not node.keywords:
+                    yield ctx.flag(node, self, "random.Random() without a seed")

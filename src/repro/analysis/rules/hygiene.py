@@ -1,0 +1,73 @@
+"""Generic hygiene rules: mutable default arguments and bare excepts.
+
+These two are the classic Python foot-guns that have bitten tree-join
+codebases in particular: a mutable default on a recursive build helper
+(``children: list = []``) aliases state across *builds*, and a bare
+``except:`` around a traversal step can swallow the very
+``KeyboardInterrupt`` you need when a benchmark run hangs.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["MutableDefaultArg", "BareExcept"]
+
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "collections.defaultdict", "collections.OrderedDict"}
+)
+
+
+class MutableDefaultArg(Rule):
+    """Flag ``def f(x=[])`` / ``def f(x={})`` style defaults."""
+
+    name = "mutable-default-arg"
+    summary = "mutable default argument is shared across calls"
+    rationale = "default is evaluated once; recursive build helpers alias state across builds"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults: list[ast.expr] = list(node.args.defaults)
+            defaults.extend(d for d in node.args.kw_defaults if d is not None)
+            for default in defaults:
+                if self._is_mutable(ctx, default):
+                    label = (
+                        "<lambda>" if isinstance(node, ast.Lambda) else node.name
+                    )
+                    yield ctx.flag(
+                        default,
+                        self,
+                        f"mutable default argument in {label}(); default to None and "
+                        "construct inside the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(ctx: FileContext, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if isinstance(node, ast.Call):
+            fname = ctx.dotted_name(node.func)
+            return fname in _MUTABLE_CTORS
+        return False
+
+
+class BareExcept(Rule):
+    """Flag ``except:`` with no exception type."""
+
+    name = "bare-except"
+    summary = "bare except swallows SystemExit/KeyboardInterrupt"
+    rationale = "a hung benchmark must stay interruptible; catch Exception at most"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.flag(
+                    node,
+                    self,
+                    "bare except; catch a specific exception (or at most Exception)",
+                )

@@ -1,0 +1,78 @@
+"""Rule: asymmetric metric calls must keep (query, target) order.
+
+NXNDIST is *not* symmetric (Lemma 3.1 and the paper's Figure 2):
+``NXNDIST(M, N)`` bounds the distance from **every** point of the query
+MBR ``M`` to its nearest neighbour inside the target MBR ``N``.
+Swapping the arguments yields a number that is not a valid ANN bound,
+and nothing crashes — pruning simply becomes silently incorrect (or
+silently too loose).  The self-test suite guards the kernels; this rule
+guards *call sites*.
+
+Statically we cannot know which variable is the query, so the check is
+a vocabulary heuristic: if the first positional argument is named like
+a target (``n``, ``s``, ``target…``, ``cand…``) *and* the second like a
+query (``m``, ``q``, ``r``, ``query…``), the call is flagged as
+swapped.  Neutral names pass; keyword calls (``nxndist(m=…, n=…)``)
+always pass because the binding is explicit — prefer keywords in new
+call sites.  A deliberate swap (e.g. an asymmetry test) carries a
+``# repro-lint: ignore[nxndist-arg-order]`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["NxndistArgOrder"]
+
+_ASYMMETRIC = frozenset({"nxndist", "nxndist_batch", "nxndist_cross", "minmaxmindist"})
+
+# Vocabulary follows the paper's notation: M/m is the query MBR, r its
+# points; N/n is the target MBR, s its points.
+_QUERY_NAMES = frozenset({"m", "q", "r", "query", "query_mbr", "query_rect", "qrect", "mrect"})
+_TARGET_NAMES = frozenset(
+    {"n", "s", "t", "target", "target_mbr", "target_rect", "trect", "nrect", "cand", "candidate"}
+)
+
+
+def _role(name: str) -> str | None:
+    lowered = name.lower()
+    if lowered in _QUERY_NAMES:
+        return "query"
+    if lowered in _TARGET_NAMES:
+        return "target"
+    return None
+
+
+class NxndistArgOrder(Rule):
+    """Flag NXNDIST-family calls whose positional args look swapped."""
+
+    name = "nxndist-arg-order"
+    summary = "asymmetric metric called with (target, query)-looking argument order"
+    rationale = "Lemma 3.1: NXNDIST(M, N) is asymmetric; swapped args give an invalid bound"
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = ctx.dotted_name(node.func)
+            if fname is None or fname.split(".")[-1] not in _ASYMMETRIC:
+                continue
+            if len(node.args) < 2:
+                continue
+            first, second = node.args[0], node.args[1]
+            if not (isinstance(first, ast.Name) and isinstance(second, ast.Name)):
+                continue
+            if first.id == second.id:
+                continue  # nxndist(m, m): self-distance, order moot
+            if _role(first.id) == "target" and _role(second.id) == "query":
+                metric = fname.split(".")[-1]
+                yield ctx.flag(
+                    node,
+                    self,
+                    f"{metric}({first.id}, {second.id}) looks swapped: the asymmetric "
+                    f"metrics take (query_mbr, target_mbr); pass keywords "
+                    f"({metric}(m=…, n=…)) to make the binding explicit",
+                )

@@ -1,0 +1,88 @@
+"""Rule: no ``sqrt`` inside comparisons on candidate hot paths.
+
+Every pruning decision in the paper compares a *distance bound* against
+another bound or a current best.  Because ``sqrt`` is monotone, those
+comparisons are equivalent on squared values — and the squared forms are
+both cheaper and immune to the catastrophic-cancellation issue that
+:func:`repro.core.metrics.nxndist` documents.  A ``sqrt`` that feeds
+directly into a comparison (or a ``min``/``max``/heap push) is therefore
+either wasted work on a hot path or a symptom of mixing rooted and
+squared quantities; both deserve review.
+
+Only :mod:`repro.core.metrics` and :mod:`repro.core.geometry` — the
+modules that *define* the rooted metric surface — are exempt.  Computing
+a rooted distance to *report* it (e.g. building result pairs) is fine:
+the rule only fires when the ``sqrt`` value is consumed by a comparison
+context in the same expression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["SqrtDiscipline"]
+
+_SQRT_FUNCS = frozenset({"numpy.sqrt", "math.sqrt"})
+
+# Calls whose arguments are ordered/compared: feeding a fresh sqrt into
+# them is the same smell as a direct comparison.
+_ORDERING_CALLS = frozenset({"min", "max", "sorted", "heapq.heappush", "heapq.heappushpop"})
+
+# Expression wrappers the sqrt value may sit inside while still being
+# "the thing compared" (tuple heap entries, negation, arithmetic).
+_TRANSPARENT = (ast.Tuple, ast.UnaryOp, ast.BinOp, ast.Starred)
+
+
+class SqrtDiscipline(Rule):
+    """Flag ``np.sqrt``/``math.sqrt`` feeding a comparison outside core metrics."""
+
+    name = "sqrt-discipline"
+    summary = "sqrt result compared directly; hot paths must compare squared distances"
+    rationale = "Section 3.1 / nxndist docstring: pruning compares squared forms"
+
+    _EXEMPT_SUFFIXES = ("repro/core/metrics.py", "repro/core/geometry.py")
+
+    def applies_to(self, path: str) -> bool:
+        return not path.endswith(self._EXEMPT_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fname = ctx.dotted_name(node.func)
+            if fname not in _SQRT_FUNCS:
+                continue
+            context = self._comparison_context(ctx, node)
+            if context is not None:
+                yield ctx.flag(
+                    node,
+                    self,
+                    f"{fname} used inside {context}; compare squared distances on "
+                    "candidate hot paths (sqrt only when materialising results)",
+                )
+
+    @staticmethod
+    def _comparison_context(ctx: FileContext, call: ast.Call) -> str | None:
+        """Name of the comparing construct the sqrt value flows into, if any."""
+        for anc in ctx.ancestors(call):
+            if isinstance(anc, ast.Compare):
+                return "a comparison"
+            if isinstance(anc, (ast.If, ast.While, ast.IfExp, ast.Assert)):
+                # Only when the call sits in the condition, which the
+                # Compare case usually catches first; a bare truthiness
+                # test on a distance is equally suspect.
+                test = anc.test
+                if any(sub is call for sub in ast.walk(test)):
+                    return "a branch condition"
+                return None
+            if isinstance(anc, ast.Call):
+                callee = ctx.dotted_name(anc.func)
+                if callee in _ORDERING_CALLS:
+                    return f"{callee}()"
+                return None  # consumed by some other call: not a comparison
+            if not isinstance(anc, _TRANSPARENT):
+                return None  # statement boundary or opaque expression
+        return None

@@ -1,0 +1,68 @@
+"""Rule: algorithm code must not read the PageStore directly.
+
+The reproduction's I/O numbers (Figure 3(b): misses vs. buffer-pool
+size) come from the :class:`~repro.storage.buffer_pool.BufferPool`
+counters.  A direct ``PageStore.read`` skips the pool, so the page is
+neither counted as a logical read nor cached — the cost model silently
+under-reports exactly the quantity the experiment sweeps.  All page
+access outside :mod:`repro.storage` must go through
+``BufferPool.fetch``/``fetch_node`` or the ``NodeFile`` facade.
+
+Heuristic: a ``.read(...)``, ``.read_page(...)`` or ``.write(...)``
+call whose receiver is a name (or attribute) containing ``store``, or a
+freshly constructed ``PageStore``.  File handles (``f.read()``) are
+untouched.  The storage layer itself — and its tests, which exercise
+the raw store on purpose — is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePosixPath
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["BufferPoolBypass"]
+
+_PAGE_METHODS = frozenset({"read", "read_page", "write"})
+
+
+def _receiver_names_store(node: ast.expr, ctx: FileContext) -> bool:
+    if isinstance(node, ast.Name):
+        return "store" in node.id.lower()
+    if isinstance(node, ast.Attribute):
+        return "store" in node.attr.lower()
+    if isinstance(node, ast.Call):
+        fname = ctx.dotted_name(node.func)
+        return fname is not None and fname.split(".")[-1] == "PageStore"
+    return False
+
+
+class BufferPoolBypass(Rule):
+    """Flag raw ``PageStore`` page access outside the storage layer."""
+
+    name = "buffer-pool-bypass"
+    summary = "direct PageStore read/write bypasses BufferPool accounting"
+    rationale = "Figure 3(b) reproduces logical_reads/misses; bypass voids the I/O model"
+
+    def applies_to(self, path: str) -> bool:
+        # repro/storage/* implements the pool; tests/storage/* exercises
+        # the raw store deliberately.
+        return "storage" not in PurePosixPath(path).parts
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            method = node.func.attr
+            if method not in _PAGE_METHODS:
+                continue
+            if _receiver_names_store(node.func.value, ctx):
+                yield ctx.flag(
+                    node,
+                    self,
+                    f"direct PageStore.{method}() bypasses the BufferPool; go through "
+                    "BufferPool.fetch/fetch_node (or NodeFile) so logical_reads/misses "
+                    "stay honest",
+                )

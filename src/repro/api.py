@@ -17,6 +17,7 @@ and the storage substrate in :mod:`repro.storage`.
 from __future__ import annotations
 
 import time
+from typing import Any
 
 import numpy as np
 
@@ -46,7 +47,7 @@ def build_index(
     kind: str = "mbrqt",
     point_ids: np.ndarray | None = None,
     universe: Rect | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> PagedIndex:
     """Build a disk-resident spatial index over ``points``.
 
@@ -68,7 +69,7 @@ def build_join_indexes(
     kind: str = "mbrqt",
     r_ids: np.ndarray | None = None,
     s_ids: np.ndarray | None = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> tuple[PagedIndex, PagedIndex]:
     """Build matching indexes over both join inputs.
 
@@ -140,7 +141,7 @@ def aknn_join(
     r_points: np.ndarray,
     s_points: np.ndarray | None = None,
     k: int = 10,
-    **kwargs,
+    **kwargs: Any,
 ) -> tuple[NeighborResult, QueryStats]:
     """All-k-nearest-neighbour query (Section 3.4); sugar over
     :func:`all_nearest_neighbors` with ``k`` defaulting to 10."""

@@ -16,7 +16,7 @@ the workloads toward paper scale.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -63,7 +63,7 @@ class MethodRun:
     stats: QueryStats
     dims: int = 2
     result: NeighborResult | None = None
-    params: dict = field(default_factory=dict)
+    params: dict[str, object] = field(default_factory=dict)
 
     @property
     def total_s(self) -> float:
@@ -83,7 +83,7 @@ class MethodRun:
         """
         return self.modeled_cpu_s + self.io_s
 
-    def row(self) -> dict:
+    def row(self) -> dict[str, object]:
         """Flatten to one table row (used by the text formatters)."""
         return {
             "method": self.label,
@@ -106,7 +106,7 @@ def run_method(
     storage: StorageManager,
     keep_result: bool = False,
     dims: int = 2,
-    **params,
+    **params: object,
 ) -> MethodRun:
     """Run ``fn`` against a cold buffer pool and collect all costs.
 
@@ -157,7 +157,12 @@ def format_table(title: str, runs: list[MethodRun], extra_cols: list[str] | None
     return "\n".join(lines)
 
 
-def format_series(title: str, x_name: str, series: dict[str, list[tuple]], unit: str = "s") -> str:
+def format_series(
+    title: str,
+    x_name: str,
+    series: dict[str, list[tuple[float, float]]],
+    unit: str = "s",
+) -> str:
     """Render an x-vs-method table (the text analogue of a line figure).
 
     ``series`` maps method label -> list of ``(x, value)`` pairs.

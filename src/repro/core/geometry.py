@@ -45,7 +45,7 @@ class Rect:
 
     __slots__ = ("_lo", "_hi")
 
-    def __init__(self, lo: Sequence[float] | np.ndarray, hi: Sequence[float] | np.ndarray):
+    def __init__(self, lo: Sequence[float] | np.ndarray, hi: Sequence[float] | np.ndarray) -> None:
         lo_vec = _as_vector(lo)
         hi_vec = _as_vector(hi)
         if lo_vec.shape != hi_vec.shape:
@@ -235,7 +235,7 @@ class RectArray:
 
     __slots__ = ("lo", "hi")
 
-    def __init__(self, lo: np.ndarray, hi: np.ndarray):
+    def __init__(self, lo: np.ndarray, hi: np.ndarray) -> None:
         lo = np.asarray(lo, dtype=_FLOAT)
         hi = np.asarray(hi, dtype=_FLOAT)
         if lo.ndim != 2 or lo.shape != hi.shape:

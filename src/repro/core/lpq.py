@@ -60,6 +60,16 @@ NODE = 0
 # Type alias for documentation purposes.
 OwnerKind = int
 
+# ``extra`` payload of a heap item: None for plain node entries, an
+# ``(lo, hi)`` pair for retained node rects, a coordinate row for objects.
+EntryExtra = tuple[np.ndarray, np.ndarray] | np.ndarray | None
+
+# ``(mind, seq, kind, id, count, maxd, extra)`` — see the LPQ docstring.
+HeapItem = tuple[float, int, int, int, int, float, EntryExtra]
+
+# What ``LPQ.pop`` returns: a heap item minus its ``seq`` tie-breaker.
+PoppedEntry = tuple[float, int, int, int, float, EntryExtra]
+
 _COMPACT_MIN = 64
 
 
@@ -111,14 +121,14 @@ class LPQ:
         need_count: int = 1,
         filter_enabled: bool = True,
         counts_valid: bool = False,
-    ):
+    ) -> None:
         self.owner_kind = owner_kind
         self.owner_rect = owner_rect
         self.owner_point = owner_point
         self.owner_id = owner_id
         self.owner_node_id = owner_node_id
         self.need_count = need_count
-        self._heap: list[tuple] = []
+        self._heap: list[HeapItem] = []
         self._seq = 0
         self._inherited = float(inherited_bound)
         # Live-entry table backing the bound: seq -> (maxd, count).  The
@@ -126,7 +136,7 @@ class LPQ:
         # priority queue* (Section 3.3.1), so contributions expire when
         # entries pop — this is precisely what lets NXNDIST's cross-level
         # monotonicity (Lemmas 3.2/3.3) pull ahead of MAXMAXDIST.
-        self._live: dict[int, tuple[float, int]] | None = {}
+        self._live: dict[int, tuple[float, int]] = {}
         self._live_dirty = True
         self._live_bound = float(inherited_bound)
         self.stats = stats
@@ -258,7 +268,7 @@ class LPQ:
 
     # -- popping --------------------------------------------------------------
 
-    def pop(self) -> tuple | None:
+    def pop(self) -> PoppedEntry | None:
         """Pop the entry of least MIND, applying lazy Filter-Stage discards.
 
         Returns ``(mind, kind, id, count, maxd, extra)`` or ``None`` when the

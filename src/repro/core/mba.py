@@ -38,9 +38,8 @@ from collections import deque
 
 import numpy as np
 
-from ..core.geometry import Rect, RectArray
+from ..core.geometry import RectArray
 from ..core.lpq import (
-    NODE,
     OBJECT,
     LPQ,
     batch_bounds_rows,
@@ -192,7 +191,7 @@ class _Engine:
         early_break: bool,
         result: NeighborResult,
         stats: QueryStats,
-    ):
+    ) -> None:
         self.index_r = index_r
         self.index_s = index_s
         self.metric = metric
@@ -340,7 +339,14 @@ class _Engine:
             for i in range(rnode.n_entries)
         ]
 
-    def _probe_object(self, child_lpqs, owner_rects, bounds, point_id, point) -> None:
+    def _probe_object(
+        self,
+        child_lpqs: list[LPQ],
+        owner_rects: RectArray,
+        bounds: np.ndarray,
+        point_id: int,
+        point: np.ndarray,
+    ) -> None:
         """Probe a single target data object against every child LPQ."""
         target = RectArray(point[None, :], point[None, :])
         minds = minmindist_cross(owner_rects, target)[:, 0]
@@ -354,7 +360,13 @@ class _Engine:
             )
         self.stats.pruned_entries += int(np.sum(minds > bounds))
 
-    def _probe_node_children(self, child_lpqs, owner_rects, bounds, node_id) -> None:
+    def _probe_node_children(
+        self,
+        child_lpqs: list[LPQ],
+        owner_rects: RectArray,
+        bounds: np.ndarray,
+        node_id: int,
+    ) -> None:
         """Bi-directional expansion: probe the target node's children."""
         snode = self.index_s.node(node_id)
         self.stats.node_expansions += 1
@@ -396,7 +408,15 @@ class _Engine:
                     rects=self._keep_rects(snode, mask) if keep_rects else None,
                 )
 
-    def _probe_node_entry(self, child_lpqs, owner_rects, bounds, node_id, count, extra) -> None:
+    def _probe_node_entry(
+        self,
+        child_lpqs: list[LPQ],
+        owner_rects: RectArray,
+        bounds: np.ndarray,
+        node_id: int,
+        count: int,
+        extra: tuple[np.ndarray, np.ndarray],
+    ) -> None:
         """Uni-directional variant: re-score the entry itself (no expansion)."""
         lo, hi = extra
         target = RectArray(lo[None, :], hi[None, :])

@@ -18,7 +18,7 @@ __all__ = ["NeighborResult"]
 class NeighborResult:
     """Mapping from query point id to its (up to) k nearest neighbours."""
 
-    def __init__(self, k: int = 1):
+    def __init__(self, k: int = 1) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k

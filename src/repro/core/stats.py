@@ -27,9 +27,15 @@ from dataclasses import dataclass, field, fields
 __all__ = ["QueryStats"]
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryStats:
-    """Mutable bundle of cost counters for one ANN/AkNN execution."""
+    """Mutable bundle of cost counters for one ANN/AkNN execution.
+
+    ``slots=True`` makes a typo'd counter (``stats.node_expansion``) an
+    ``AttributeError`` instead of a silently dropped cost; the static
+    counter-discipline rule in :mod:`repro.analysis` catches the same
+    mistake at review time.  Ad-hoc per-method values go in ``extra``.
+    """
 
     distance_evaluations: int = 0
     node_expansions: int = 0
@@ -48,7 +54,7 @@ class QueryStats:
     cpu_time_s: float = 0.0
     io_time_s: float = 0.0
 
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, float] = field(default_factory=dict)
 
     def record_distances(self, count: int) -> None:
         """Count ``count`` pairwise metric evaluations (batch size of a
@@ -63,9 +69,11 @@ class QueryStats:
             else:
                 setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float]:
         """Flatten counters (plus ``extra`` keys) into one plain dict."""
-        out = {f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"}
+        out: dict[str, float] = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"
+        }
         out.update(self.extra)
         return out
 

@@ -104,7 +104,7 @@ def generate(
     dims: int,
     distribution: str = "uniform",
     seed: int | np.random.Generator | None = 0,
-    **kwargs,
+    **kwargs: float,
 ) -> np.ndarray:
     """Dispatch by distribution name (see :data:`DISTRIBUTIONS`)."""
     try:

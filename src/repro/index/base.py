@@ -16,6 +16,7 @@ interface exposed here:
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -54,7 +55,7 @@ class Node:
         rects: RectArray | None = None,
         point_ids: np.ndarray | None = None,
         points: np.ndarray | None = None,
-    ):
+    ) -> None:
         self.is_leaf = is_leaf
         self.child_ids = child_ids
         self.counts = counts
@@ -106,7 +107,7 @@ class BuildLeaf:
 class BuildInternal:
     """In-memory internal node used during index construction."""
 
-    children: list = field(default_factory=list)
+    children: list[BuildLeaf | BuildInternal] = field(default_factory=list)
     rect: Rect | None = None
 
     @property
@@ -138,7 +139,7 @@ class PagedIndex:
         dims: int,
         height: int,
         kind: str,
-    ):
+    ) -> None:
         self.file = file
         self.root_id = root_id
         self.root_rect = root_rect
@@ -166,7 +167,7 @@ class PagedIndex:
 
     # -- whole-tree utilities (used by tests and diagnostics) ---------------
 
-    def iter_leaves(self):
+    def iter_leaves(self) -> Iterator[Node]:
         """Yield every leaf :class:`Node` (depth-first)."""
         stack = [self.root_id]
         while stack:
@@ -178,8 +179,8 @@ class PagedIndex:
 
     def all_points(self) -> tuple[np.ndarray, np.ndarray]:
         """Collect every (point_id, point) stored in the index."""
-        ids = []
-        pts = []
+        ids: list[np.ndarray] = []
+        pts: list[np.ndarray] = []
         for leaf in self.iter_leaves():
             if len(leaf.point_ids):
                 ids.append(np.asarray(leaf.point_ids))

@@ -174,7 +174,7 @@ def _pack(
     # recursive and would otherwise be re-walked per candidate expansion.
     counts: dict[int, int] = {}
 
-    def count_of(n) -> int:
+    def count_of(n: BuildLeaf | BuildInternal) -> int:
         key = id(n)
         cached = counts.get(key)
         if cached is None:
@@ -202,7 +202,7 @@ def _pack(
             merged.append(_fuse(group))
         return merged
 
-    def pack(subtree) -> BuildLeaf | BuildInternal:
+    def pack(subtree: BuildLeaf | BuildInternal) -> BuildLeaf | BuildInternal:
         if subtree.is_leaf:
             return subtree
         frontier: list[BuildLeaf | BuildInternal] = list(subtree.children)

@@ -114,7 +114,9 @@ def nearest_iter(
     """
     point = np.asarray(point, dtype=np.float64)
     stats = stats if stats is not None else QueryStats()
-    heap: list[tuple] = [(0.0, 0, _NODE, index.root_id, None)]
+    heap: list[tuple[float, int, int, int, np.ndarray | None]] = [
+        (0.0, 0, _NODE, index.root_id, None)
+    ]
     seq = 1
     while heap:
         dist, __, kind, ident, payload = heapq.heappop(heap)

@@ -40,7 +40,7 @@ class _RNode:
 
     __slots__ = ("level", "children", "point_ids", "points", "lo", "hi")
 
-    def __init__(self, level: int, dims: int):
+    def __init__(self, level: int, dims: int) -> None:
         self.level = level  # 0 = leaf
         self.children: list[_RNode] = []
         self.point_ids: list[int] = []
@@ -83,7 +83,9 @@ def _margins(lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
     return np.sum(hi - lo, axis=-1)
 
 
-def _pairwise_overlap(lo_a, hi_a, lo_b, hi_b) -> np.ndarray:
+def _pairwise_overlap(
+    lo_a: np.ndarray, hi_a: np.ndarray, lo_b: np.ndarray, hi_b: np.ndarray
+) -> np.ndarray:
     """Overlap volume between boxes a (broadcast) and boxes b."""
     inter = np.minimum(hi_a, hi_b) - np.maximum(lo_a, lo_b)
     inter = np.maximum(inter, 0.0)
@@ -93,7 +95,7 @@ def _pairwise_overlap(lo_a, hi_a, lo_b, hi_b) -> np.ndarray:
 class RStarTreeBuilder:
     """Dynamic R*-tree construction (insert one point at a time)."""
 
-    def __init__(self, dims: int, leaf_cap: int, internal_cap: int):
+    def __init__(self, dims: int, leaf_cap: int, internal_cap: int) -> None:
         if leaf_cap < 2 or internal_cap < 2:
             raise ValueError("node capacities must be at least 2")
         self.dims = dims
@@ -126,7 +128,14 @@ class RStarTreeBuilder:
     def _min_fill(self, node: _RNode) -> int:
         return self.leaf_min if node.is_leaf else self.internal_min
 
-    def _insert_entry(self, lo, hi, payload, level: int, reinserted: set[int]) -> None:
+    def _insert_entry(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        payload: tuple[str, int, np.ndarray] | tuple[str, _RNode],
+        level: int,
+        reinserted: set[int],
+    ) -> None:
         """Insert an entry (point or subtree) at ``level``; handle overflow."""
         path = self._choose_path(lo, hi, level)
         node = path[-1]
@@ -140,7 +149,7 @@ class RStarTreeBuilder:
         if node.n_entries() > self._capacity(node):
             self._overflow(path, reinserted)
 
-    def _choose_path(self, lo, hi, level: int) -> list[_RNode]:
+    def _choose_path(self, lo: np.ndarray, hi: np.ndarray, level: int) -> list[_RNode]:
         """ChooseSubtree: root-to-target-level path for a new entry."""
         path = [self.root]
         node = self.root
@@ -149,7 +158,7 @@ class RStarTreeBuilder:
             path.append(node)
         return path
 
-    def _choose_child(self, node: _RNode, lo, hi) -> _RNode:
+    def _choose_child(self, node: _RNode, lo: np.ndarray, hi: np.ndarray) -> _RNode:
         child_lo, child_hi = node.entry_bounds()
         enlarged_lo = np.minimum(child_lo, lo)
         enlarged_hi = np.maximum(child_hi, hi)
@@ -313,17 +322,22 @@ def _str_bulk_load(
 ) -> BuildInternal | BuildLeaf:
     """Sort-Tile-Recursive bulk load (Leutenegger et al.)."""
 
-    def tile(ids: np.ndarray, pts: np.ndarray, cap: int, dim: int) -> list[tuple]:
+    def tile(
+        ids: np.ndarray, pts: np.ndarray, cap: int, dim: int
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Recursively tile points into groups of at most ``cap``."""
         n = len(pts)
         if n <= cap:
             return [(ids, pts)]
         n_groups = int(np.ceil(n / cap))
-        n_slabs = int(np.ceil(n_groups ** (1.0 / (pts.shape[1] - dim)))) if dim < pts.shape[1] - 1 else n_groups
+        if dim < pts.shape[1] - 1:
+            n_slabs = int(np.ceil(n_groups ** (1.0 / (pts.shape[1] - dim))))
+        else:
+            n_slabs = n_groups
         order = np.argsort(pts[:, dim], kind="stable")
         ids, pts = ids[order], pts[order]
         slab_size = int(np.ceil(n / n_slabs))
-        groups = []
+        groups: list[tuple[np.ndarray, np.ndarray]] = []
         for start in range(0, n, slab_size):
             chunk_ids = ids[start : start + slab_size]
             chunk_pts = pts[start : start + slab_size]

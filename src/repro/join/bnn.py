@@ -31,7 +31,7 @@ from ..core.order import morton_order
 from ..core.pruning import PruningMetric
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
-from ..index.base import PagedIndex
+from ..index.base import Node, PagedIndex
 
 __all__ = ["bnn_join", "DEFAULT_GROUP_SIZE"]
 
@@ -56,7 +56,7 @@ class _MetricBound:
       disjoint entries are required: the batch's ``need``-th smallest maxd.
     """
 
-    def __init__(self, need: int, counts_valid: bool):
+    def __init__(self, need: int, counts_valid: bool) -> None:
         self.need = need
         self.counts_valid = counts_valid
         self.value = math.inf
@@ -170,7 +170,7 @@ def _search_group(
 def _scan_leaf(
     points: np.ndarray,
     ids: np.ndarray,
-    node,
+    node: Node,
     exclude_self: bool,
     best_d: np.ndarray,
     best_i: np.ndarray,

@@ -31,7 +31,7 @@ from ..core.metrics import maxmaxdist, minmindist, minmindist_cross
 from ..core.pruning import PruningMetric
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
-from ..index.base import PagedIndex
+from ..index.base import Node, PagedIndex
 
 __all__ = ["distance_join", "closest_pairs", "distance_semi_join"]
 
@@ -100,12 +100,12 @@ def distance_join(
     return results
 
 
-def _node_margin(node) -> float:
+def _node_margin(node: Node) -> float:
     rects = node.rects
     return float(np.sum(rects.hi.max(axis=0) - rects.lo.min(axis=0)))
 
 
-def _whole_rect(node) -> RectArray:
+def _whole_rect(node: Node) -> RectArray:
     """The node's whole region as a 1-element RectArray."""
     rect = node.rects.bounding_rect()
     return RectArray(rect.lo[None, :], rect.hi[None, :])
@@ -147,7 +147,7 @@ def closest_pairs(
 
     seed = maxmaxdist(index_r.root_rect, index_s.root_rect)
     stats.record_distances(2)
-    heap: list[tuple] = [
+    heap: list[tuple[float, int, int, int]] = [
         (minmindist(index_r.root_rect, index_s.root_rect), 0, index_r.root_id, index_s.root_id)
     ]
     seq = 1

@@ -82,7 +82,7 @@ class GOrderedFile:
         points: np.ndarray,
         ids: np.ndarray,
         points_per_block: int,
-    ):
+    ) -> None:
         self.storage = storage
         self.points = points  # already G-ordered
         self.ids = ids

@@ -41,7 +41,7 @@ class _HashedFile:
         cells_per_dim: int,
         lo: np.ndarray,
         extent: np.ndarray,
-    ):
+    ) -> None:
         self.storage = storage
         self.cells_per_dim = cells_per_dim
         dims = points.shape[1]
@@ -79,7 +79,9 @@ class _HashedFile:
         return self.ids[a:b], self.points[a:b]
 
 
-def _cell_codes(points, lo, extent, cells_per_dim) -> np.ndarray:
+def _cell_codes(
+    points: np.ndarray, lo: np.ndarray, extent: np.ndarray, cells_per_dim: int
+) -> np.ndarray:
     cells = np.clip(
         ((points - lo) / extent * cells_per_dim).astype(np.int64), 0, cells_per_dim - 1
     )
@@ -181,13 +183,15 @@ def hnn_join(
     return result, stats
 
 
-def _bucket_starts(sorted_codes: np.ndarray):
+def _bucket_starts(sorted_codes: np.ndarray) -> list[tuple[int, int]]:
     unique, starts = np.unique(sorted_codes, return_index=True)
     stops = np.append(starts[1:], len(sorted_codes))
     return list(zip(starts, stops))
 
 
-def _neighbor_codes(cells, reach, cells_per_dim, weights) -> np.ndarray:
+def _neighbor_codes(
+    cells: np.ndarray, reach: int, cells_per_dim: int, weights: np.ndarray
+) -> np.ndarray:
     """Codes of every cell within ``reach`` cells of ``cells`` (Chebyshev)."""
     ranges = [
         np.arange(max(0, c - reach), min(cells_per_dim, c + reach + 1)) for c in cells
@@ -197,7 +201,14 @@ def _neighbor_codes(cells, reach, cells_per_dim, weights) -> np.ndarray:
     return grid @ weights
 
 
-def _knn_against(pts, ids, candidates, k, exclude_self, stats):
+def _knn_against(
+    pts: np.ndarray,
+    ids: np.ndarray,
+    candidates: tuple[np.ndarray, np.ndarray],
+    k: int,
+    exclude_self: bool,
+    stats: QueryStats,
+) -> tuple[np.ndarray, np.ndarray]:
     cand_ids, cand_pts = candidates
     m = len(pts)
     best_d = np.full((m, k), np.inf)

@@ -46,7 +46,7 @@ def knn_search(
     stats = stats if stats is not None else QueryStats()
     point = np.asarray(point, dtype=np.float64)
 
-    heap: list[tuple] = [(0.0, 0, _NODE, index.root_id)]
+    heap: list[tuple[float, int, int, int]] = [(0.0, 0, _NODE, index.root_id)]
     seq = 1
     results: list[tuple[float, int]] = []
 

@@ -19,8 +19,6 @@ distances are computed.
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from ..core.geometry import Rect, RectArray
@@ -43,7 +41,7 @@ class MuxFile:
         ids: np.ndarray,
         host_points: int,
         bucket_points: int,
-    ):
+    ) -> None:
         self.storage = storage
         order = morton_order(points)
         self.points = points[order]
@@ -191,7 +189,15 @@ def mux_knn_join(
     return result, stats
 
 
-def _merge(best_d, best_i, dists, s_ids, row_lo, row_hi, k) -> None:
+def _merge(
+    best_d: np.ndarray,
+    best_i: np.ndarray,
+    dists: np.ndarray,
+    s_ids: np.ndarray,
+    row_lo: int,
+    row_hi: int,
+    k: int,
+) -> None:
     cand_d = np.concatenate([best_d[row_lo:row_hi], dists], axis=1)
     blk = np.broadcast_to(s_ids.astype(np.int64), dists.shape)
     cand_i = np.concatenate([best_i[row_lo:row_hi], blk], axis=1)

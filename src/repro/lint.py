@@ -1,0 +1,68 @@
+"""Command-line entry point for the domain lint: ``python -m repro.lint``.
+
+Thin wrapper over :mod:`repro.analysis.engine`.  Typical invocations::
+
+    python -m repro.lint src benchmarks tests      # whole repo, all rules
+    python -m repro.lint --select sqrt-discipline src/repro/join
+    python -m repro.lint --list-rules
+
+Exit status is 0 when no findings, 1 when there are findings, 2 on
+usage errors — so the command slots directly into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .analysis.engine import default_registry, lint_paths
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Domain-aware static analysis for the ANN reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only this rule (repeatable); default is every registered rule",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    registry = default_registry()
+    if args.list_rules:
+        width = max(len(name) for name in registry.rules)
+        for name, rule in registry.rules.items():
+            print(f"{name:<{width}}  {rule.summary}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (and --list-rules not requested)", file=sys.stderr)
+        return 2
+
+    try:
+        diagnostics = lint_paths(args.paths, registry=registry, select=args.select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    for diag in diagnostics:
+        print(diag.format())
+    if diagnostics:
+        n = len(diagnostics)
+        print(f"found {n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,12 +18,17 @@ per-miss cost, so tying it to misses keeps the cost model honest.)
 from __future__ import annotations
 
 from collections import OrderedDict
-from collections.abc import Callable
-from typing import Any
+from collections.abc import Callable, Hashable
+from typing import TypeVar, cast
 
 from .disk import DEFAULT_PAGE_SIZE, PageStore
 
-__all__ = ["BufferPool", "pool_pages_for_bytes"]
+__all__ = ["BufferPool", "FrameKey", "pool_pages_for_bytes"]
+
+T = TypeVar("T")
+
+FrameKey = Hashable
+"""Buffer-pool frame key: a page id, or any hashable node key."""
 
 
 def pool_pages_for_bytes(pool_bytes: int, page_size: int = DEFAULT_PAGE_SIZE) -> int:
@@ -45,17 +50,17 @@ class BufferPool:
     only the misses touch.
     """
 
-    def __init__(self, store: PageStore, capacity_pages: int = 64):
+    def __init__(self, store: PageStore, capacity_pages: int = 64) -> None:
         if capacity_pages <= 0:
             raise ValueError(f"capacity_pages must be positive, got {capacity_pages}")
         self.store = store
         self.capacity_pages = capacity_pages
-        self._frames: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
+        self._frames: OrderedDict[FrameKey, tuple[object, int]] = OrderedDict()
         self._used_pages = 0
         self.logical_reads = 0
         self.misses = 0
 
-    def __contains__(self, key: Any) -> bool:
+    def __contains__(self, key: FrameKey) -> bool:
         return key in self._frames
 
     def __len__(self) -> int:
@@ -65,11 +70,11 @@ class BufferPool:
     def used_pages(self) -> int:
         return self._used_pages
 
-    def fetch(self, page_id: int, decode: Callable[[bytes], Any]) -> Any:
+    def fetch(self, page_id: int, decode: Callable[[bytes], T]) -> T:
         """Fetch a single-page object, decoding the page bytes on a miss."""
         return self.fetch_node(page_id, 1, lambda: decode(self.store.read(page_id)))
 
-    def fetch_node(self, key: Any, npages: int, load: Callable[[], Any]) -> Any:
+    def fetch_node(self, key: FrameKey, npages: int, load: Callable[[], T]) -> T:
         """Return the cached object for ``key``; call ``load`` on a miss.
 
         ``load`` must perform the physical page reads itself (so the store's
@@ -80,7 +85,7 @@ class BufferPool:
         entry = self._frames.get(key)
         if entry is not None:
             self._frames.move_to_end(key)
-            return entry[0]
+            return cast(T, entry[0])
         self.misses += npages
         obj = load()
         self._frames[key] = (obj, npages)
@@ -88,7 +93,7 @@ class BufferPool:
         self._evict_if_needed(exempt=key)
         return obj
 
-    def _evict_if_needed(self, exempt: Any) -> None:
+    def _evict_if_needed(self, exempt: FrameKey) -> None:
         # Evict least-recently-used entries until within capacity.  The
         # entry just inserted is exempt so that a node wider than the whole
         # pool can still be read (it simply will never be a hit) — SHORE

@@ -48,7 +48,7 @@ class PageStore:
     repeated reads of hot pages.
     """
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, disk: DiskModel | None = None):
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, disk: DiskModel | None = None) -> None:
         if page_size <= 0:
             raise ValueError(f"page_size must be positive, got {page_size}")
         self.page_size = page_size

@@ -10,11 +10,23 @@ same buffer pool, exactly as in the paper's runs.
 
 from __future__ import annotations
 
+from typing import TypedDict
+
 from .buffer_pool import BufferPool, pool_pages_for_bytes
 from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
 from .node_file import NodeFile
 
-__all__ = ["StorageManager", "DEFAULT_POOL_PAGES"]
+__all__ = ["StorageManager", "IOSnapshot", "DEFAULT_POOL_PAGES"]
+
+
+class IOSnapshot(TypedDict):
+    """One observation of the manager's I/O counters."""
+
+    logical_reads: int
+    page_misses: int
+    physical_reads: int
+    physical_writes: int
+    io_time_s: float
 
 DEFAULT_POOL_PAGES = 64
 """64 pages × 8 KB = the paper's default 512 KB buffer pool."""
@@ -28,7 +40,7 @@ class StorageManager:
         page_size: int = DEFAULT_PAGE_SIZE,
         pool_pages: int = DEFAULT_POOL_PAGES,
         disk: DiskModel | None = None,
-    ):
+    ) -> None:
         self.page_size = page_size
         self.store = PageStore(page_size=page_size, disk=disk)
         self.pool = BufferPool(self.store, capacity_pages=pool_pages)
@@ -60,12 +72,12 @@ class StorageManager:
         """Empty the buffer pool so a query starts cold, as in the paper."""
         self.pool.clear()
 
-    def io_snapshot(self) -> dict:
+    def io_snapshot(self) -> IOSnapshot:
         """Current physical/logical I/O counters and simulated I/O time."""
-        return {
-            "logical_reads": self.pool.logical_reads,
-            "page_misses": self.pool.misses,
-            "physical_reads": self.store.physical_reads,
-            "physical_writes": self.store.physical_writes,
-            "io_time_s": self.store.io_time_s,
-        }
+        return IOSnapshot(
+            logical_reads=self.pool.logical_reads,
+            page_misses=self.pool.misses,
+            physical_reads=self.store.physical_reads,
+            physical_writes=self.store.physical_writes,
+            io_time_s=self.store.io_time_s,
+        )

@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Callable
-from typing import Any
+from typing import Any, TypeVar, cast
 
 from .buffer_pool import BufferPool
 
 __all__ = ["NodeFile"]
+
+T = TypeVar("T")
 
 _file_uid_counter = itertools.count()
 
@@ -37,7 +39,7 @@ class _PageFrame:
 
     __slots__ = ("raw", "nodes")
 
-    def __init__(self, raw: bytes):
+    def __init__(self, raw: bytes) -> None:
         self.raw = raw
         self.nodes: dict[int, Any] = {}
 
@@ -50,7 +52,7 @@ class NodeFile:
     negligible next to the data pages.
     """
 
-    def __init__(self, pool: BufferPool, pack_pages: bool = False):
+    def __init__(self, pool: BufferPool, pack_pages: bool = False) -> None:
         self.pool = pool
         self.store = pool.store
         self.pack_pages = pack_pages
@@ -117,7 +119,7 @@ class NodeFile:
     def _fetch_frame(self, page_id: int) -> _PageFrame:
         return self.pool.fetch(page_id, _PageFrame)
 
-    def read_node(self, node_id: int, decode: Callable[[bytes], Any]) -> Any:
+    def read_node(self, node_id: int, decode: Callable[[bytes], T]) -> T:
         """Fetch and decode a node through the buffer pool.
 
         The decoded object is memoised on its (first) page frame, so it
@@ -127,7 +129,7 @@ class NodeFile:
         first_frame = self._fetch_frame(chunks[0][0])
         cached = first_frame.nodes.get(node_id)
         if cached is not None:
-            return cached
+            return cast(T, cached)
         if len(chunks) == 1:
             page_id, offset, length = chunks[0]
             obj = decode(first_frame.raw[offset : offset + length])

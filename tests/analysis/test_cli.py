@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro.lint`` command-line entry point."""
+
+from repro.lint import main
+
+CLEAN = "x = 1\n"
+DIRTY = "import numpy as np\npts = np.random.rand(10, 2)\n"
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(CLEAN)
+    assert main([str(tmp_path)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_exit_one_with_findings(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(DIRTY)
+    assert main([str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "[nondeterminism]" in captured.out
+    assert "bad.py:2:" in captured.out
+    assert "1 finding" in captured.err
+
+
+def test_exit_two_without_paths(capsys):
+    assert main([]) == 2
+    assert "no paths" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_rule(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(CLEAN)
+    assert main(["--select", "no-such-rule", str(tmp_path)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_select_limits_rules(tmp_path):
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main(["--select", "bare-except", str(tmp_path)]) == 0
+    assert main(["--select", "nondeterminism", str(tmp_path)]) == 1
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "sqrt-discipline",
+        "counter-discipline",
+        "buffer-pool-bypass",
+        "nondeterminism",
+        "mutable-default-arg",
+        "bare-except",
+        "nxndist-arg-order",
+    ):
+        assert name in out

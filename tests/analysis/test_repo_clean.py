@@ -1,0 +1,19 @@
+"""The repository must satisfy its own lint — the CI acceptance gate.
+
+Running the domain rules over ``src``, ``tests``, ``benchmarks`` and
+``examples`` in-process (rather than shelling out) keeps the check in
+the ordinary pytest run, so a violation fails fast with the diagnostic
+text in the assertion message.
+"""
+
+from pathlib import Path
+
+from repro.analysis.engine import lint_paths
+
+_REPO = Path(__file__).resolve().parents[2]
+
+
+def test_repo_lints_clean():
+    targets = [_REPO / d for d in ("src", "tests", "benchmarks", "examples")]
+    findings = lint_paths([t for t in targets if t.exists()])
+    assert findings == [], "\n" + "\n".join(d.format() for d in findings)

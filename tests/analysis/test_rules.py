@@ -1,0 +1,337 @@
+"""Per-rule positive/negative fixtures for the domain lint.
+
+Each rule gets at least one program that must fire and one that must
+stay quiet, encoding the paper-derived boundary the rule is meant to
+draw (hot-path comparison vs. result materialisation, pool fetch vs.
+raw store read, and so on).  Fixtures are strings so the violations in
+them never fire on this file.
+"""
+
+import textwrap
+
+from repro.analysis.engine import lint_source
+
+
+def _rules(code: str, path: str = "src/repro/join/fixture.py") -> list[str]:
+    return [d.rule for d in lint_source(textwrap.dedent(code), path=path)]
+
+
+class TestSqrtDiscipline:
+    def test_sqrt_in_comparison_fires(self):
+        code = """
+            import numpy as np
+
+            def prune(d2, best):
+                if np.sqrt(d2) < best:
+                    return True
+        """
+        assert _rules(code) == ["sqrt-discipline"]
+
+    def test_math_sqrt_in_compare_fires(self):
+        code = """
+            import math
+
+            def f(a, b):
+                return math.sqrt(a) <= b
+        """
+        assert _rules(code) == ["sqrt-discipline"]
+
+    def test_sqrt_into_heappush_fires(self):
+        code = """
+            import heapq
+            import math
+
+            def push(heap, d2, item):
+                heapq.heappush(heap, (math.sqrt(d2), item))
+        """
+        assert _rules(code) == ["sqrt-discipline"]
+
+    def test_sqrt_into_min_fires(self):
+        code = """
+            import numpy as np
+
+            def f(d2, other):
+                return min(np.sqrt(d2), other)
+        """
+        assert _rules(code) == ["sqrt-discipline"]
+
+    def test_materialising_results_is_fine(self):
+        code = """
+            import numpy as np
+
+            def finalize(d2):
+                dists = np.sqrt(d2)
+                return dists
+        """
+        assert _rules(code) == []
+
+    def test_squared_comparison_is_fine(self):
+        code = """
+            def prune(d2, best2):
+                if d2 < best2:
+                    return True
+        """
+        assert _rules(code) == []
+
+    def test_metrics_module_is_exempt(self):
+        code = """
+            import numpy as np
+
+            def nxndist(a, b):
+                if np.sqrt(a) < b:
+                    return 0.0
+        """
+        assert _rules(code, path="src/repro/core/metrics.py") == []
+
+
+class TestCounterDiscipline:
+    def test_typod_counter_fires(self):
+        code = """
+            def run(stats):
+                stats.node_expansion += 1
+        """
+        assert _rules(code) == ["counter-discipline"]
+
+    def test_declared_counter_is_fine(self):
+        code = """
+            def run(stats):
+                stats.node_expansions += 1
+                stats.distance_evaluations += 32
+        """
+        assert _rules(code) == []
+
+    def test_self_stats_receiver_checked(self):
+        code = """
+            class Engine:
+                def step(self):
+                    self.stats.lpq_enqueue += 1
+        """
+        assert _rules(code) == ["counter-discipline"]
+
+    def test_extra_escape_hatch_is_fine(self):
+        code = """
+            def run(stats):
+                stats.extra["repair_rounds"] = 3.0
+        """
+        assert _rules(code) == []
+
+    def test_non_stats_receiver_ignored(self):
+        code = """
+            def run(config):
+                config.node_expansion = 1
+        """
+        assert _rules(code) == []
+
+    def test_constructor_with_unknown_field_fires(self):
+        code = """
+            from repro.core.stats import QueryStats
+
+            s = QueryStats(node_expansion=1)
+        """
+        assert _rules(code) == ["counter-discipline"]
+
+    def test_constructor_with_known_field_is_fine(self):
+        code = """
+            from repro.core.stats import QueryStats
+
+            s = QueryStats(node_expansions=1)
+        """
+        assert _rules(code) == []
+
+
+class TestBufferPoolBypass:
+    def test_direct_store_read_fires(self):
+        code = """
+            def scan(storage, page_id):
+                return storage.store.read(page_id)
+        """
+        assert _rules(code) == ["buffer-pool-bypass"]
+
+    def test_fresh_pagestore_read_fires(self):
+        code = """
+            from repro.storage.disk import PageStore
+
+            def peek(page_id):
+                return PageStore(page_size=512).read(page_id)
+        """
+        assert _rules(code) == ["buffer-pool-bypass"]
+
+    def test_pool_fetch_is_fine(self):
+        code = """
+            def scan(storage, page_id):
+                return storage.pool.fetch(page_id, lambda b: b)
+        """
+        assert _rules(code) == []
+
+    def test_file_handle_read_is_fine(self):
+        code = """
+            def load(path):
+                with open(path, "rb") as f:
+                    return f.read()
+        """
+        assert _rules(code) == []
+
+    def test_storage_layer_is_exempt(self):
+        code = """
+            def fetch(self, page_id):
+                return self.store.read(page_id)
+        """
+        assert _rules(code, path="src/repro/storage/buffer_pool.py") == []
+        assert _rules(code, path="tests/storage/test_disk.py") == []
+
+
+class TestNondeterminism:
+    def test_legacy_numpy_draw_fires(self):
+        code = """
+            import numpy as np
+            pts = np.random.rand(100, 2)
+        """
+        assert _rules(code) == ["nondeterminism"]
+
+    def test_stdlib_global_shuffle_fires(self):
+        code = """
+            import random
+
+            def mix(xs):
+                random.shuffle(xs)
+        """
+        assert _rules(code) == ["nondeterminism"]
+
+    def test_unseeded_default_rng_fires(self):
+        code = """
+            import numpy as np
+            rng = np.random.default_rng()
+        """
+        assert _rules(code) == ["nondeterminism"]
+
+    def test_seeded_default_rng_is_fine(self):
+        code = """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            pts = rng.random((100, 2))
+        """
+        assert _rules(code) == []
+
+    def test_seeded_stdlib_instance_is_fine(self):
+        code = """
+            import random
+            rng = random.Random(7)
+            x = rng.random()
+        """
+        assert _rules(code) == []
+
+
+class TestHygiene:
+    def test_mutable_list_default_fires(self):
+        code = """
+            def build(children=[]):
+                return children
+        """
+        assert _rules(code) == ["mutable-default-arg"]
+
+    def test_mutable_ctor_default_fires(self):
+        code = """
+            def build(children=list()):
+                return children
+        """
+        assert _rules(code) == ["mutable-default-arg"]
+
+    def test_kwonly_mutable_default_fires(self):
+        code = """
+            def build(*, index={}):
+                return index
+        """
+        assert _rules(code) == ["mutable-default-arg"]
+
+    def test_none_default_is_fine(self):
+        code = """
+            def build(children=None):
+                return children if children is not None else []
+        """
+        assert _rules(code) == []
+
+    def test_bare_except_fires(self):
+        code = """
+            def run(step):
+                try:
+                    step()
+                except:
+                    pass
+        """
+        assert _rules(code) == ["bare-except"]
+
+    def test_typed_except_is_fine(self):
+        code = """
+            def run(step):
+                try:
+                    step()
+                except ValueError:
+                    pass
+        """
+        assert _rules(code) == []
+
+
+class TestNxndistArgOrder:
+    def test_swapped_paper_notation_fires(self):
+        code = """
+            from repro.core.metrics import nxndist
+
+            def bound(m, n):
+                return nxndist(n, m)
+        """
+        assert _rules(code) == ["nxndist-arg-order"]
+
+    def test_swapped_long_names_fire(self):
+        code = """
+            from repro.core.metrics import nxndist_batch
+
+            def bound(query_mbr, target_mbr):
+                return nxndist_batch(target_mbr, query_mbr)
+        """
+        assert _rules(code) == ["nxndist-arg-order"]
+
+    def test_paper_order_is_fine(self):
+        code = """
+            from repro.core.metrics import nxndist
+
+            def bound(m, n):
+                return nxndist(m, n)
+        """
+        assert _rules(code) == []
+
+    def test_self_distance_is_fine(self):
+        code = """
+            from repro.core.metrics import nxndist
+
+            def bound(m):
+                return nxndist(m, m)
+        """
+        assert _rules(code) == []
+
+    def test_keyword_call_is_fine(self):
+        code = """
+            from repro.core.metrics import nxndist
+
+            def bound(m, n):
+                return nxndist(m=n, n=m)
+        """
+        # Keywords make the binding explicit; the heuristic stays out.
+        assert _rules(code) == []
+
+    def test_neutral_names_are_fine(self):
+        code = """
+            from repro.core.metrics import nxndist
+
+            def bound(left, right):
+                return nxndist(left, right)
+        """
+        assert _rules(code) == []
+
+    def test_symmetric_metric_not_checked(self):
+        code = """
+            from repro.core.metrics import minmindist
+
+            def bound(m, n):
+                return minmindist(n, m)
+        """
+        assert _rules(code) == []

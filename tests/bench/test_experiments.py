@@ -1,8 +1,5 @@
 """Tests for the experiment definitions (small-scale smoke checks)."""
 
-import numpy as np
-import pytest
-
 from repro.bench.experiments import (
     BenchConfig,
     ablation_count_bound,

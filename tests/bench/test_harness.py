@@ -1,10 +1,15 @@
 """Tests for the benchmark harness (measurement + formatting)."""
 
-import numpy as np
 import pytest
 
 from repro.api import build_index
-from repro.bench.harness import MethodRun, format_series, format_table, modeled_cpu_seconds, run_method
+from repro.bench.harness import (
+    MethodRun,
+    format_series,
+    format_table,
+    modeled_cpu_seconds,
+    run_method,
+)
 from repro.core.mba import mba_join
 from repro.core.stats import QueryStats
 from repro.storage.manager import StorageManager

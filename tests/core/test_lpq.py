@@ -3,10 +3,9 @@
 import math
 
 import numpy as np
-import pytest
 
 from repro.core.geometry import Rect
-from repro.core.lpq import LPQ, NODE, OBJECT, make_node_lpq, make_object_lpq
+from repro.core.lpq import NODE, OBJECT, make_node_lpq, make_object_lpq
 from repro.core.stats import QueryStats
 
 

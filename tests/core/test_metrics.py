@@ -190,6 +190,8 @@ class TestMetricOrderings:
         # The paper notes NXNDIST is not commutative.
         m = Rect([0, 0], [10, 1])
         n = Rect([20, 0], [21, 30])
+        # The (n, m) call is the deliberate swap under test.
+        # repro-lint: ignore[nxndist-arg-order]
         assert nxndist(m, n) != pytest.approx(nxndist(n, m))
 
 

@@ -1,0 +1,89 @@
+"""Property test for the NXNDIST contract (paper Section 3.2, Lemma 3.1).
+
+NXNDIST(M, N) promises: *if N is the minimum bounding rectangle of a
+point set S* (every face of N touches at least one point of S), then for
+every point r in M the nearest-neighbour distance from r into S is at
+most NXNDIST(M, N).  The derivation leans on the MBR tightness, so the
+test constructs N honestly — as the actual MBR of a random point set —
+rather than as an arbitrary rectangle:
+
+* soundness  — min_{s in S} dist(r, s) <= NXNDIST(M, N) for sampled
+  r in M (the bound never under-estimates, so pruning by it is safe);
+* dominance  — NXNDIST(M, N) <= MAXMAXDIST(M, N) (the new bound is
+  never worse than the classical one, the source of the paper's
+  pruning gains).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.geometry import Rect
+from repro.core.metrics import maxmaxdist, nxndist
+
+
+def _point_sets(dims: int, min_n: int = 1, max_n: int = 40):
+    return hnp.arrays(
+        np.float64,
+        st.tuples(st.integers(min_n, max_n), st.just(dims)),
+        elements=st.floats(-100, 100, allow_nan=False, allow_infinity=False, width=32),
+    )
+
+
+def _rect_parts(dims: int):
+    """(corner, sides) pair for a query rectangle M."""
+    corner = st.floats(-150, 150, allow_nan=False, width=32)
+    side = st.floats(0, 80, allow_nan=False, width=32)
+    return st.tuples(
+        hnp.arrays(np.float64, dims, elements=corner),
+        hnp.arrays(np.float64, dims, elements=side),
+    )
+
+
+def _fractions(dims: int, count: int = 8):
+    """Relative positions of sampled query points inside M."""
+    return hnp.arrays(
+        np.float64,
+        st.tuples(st.just(count), st.just(dims)),
+        elements=st.floats(0, 1, allow_nan=False),
+    )
+
+
+def _check_contract(s_pts: np.ndarray, corner: np.ndarray, sides: np.ndarray,
+                    fracs: np.ndarray) -> None:
+    n = Rect(s_pts.min(axis=0), s_pts.max(axis=0))  # honest MBR of S
+    m = Rect(corner, corner + sides)
+    bound = nxndist(m, n)
+
+    # Soundness: sampled points of M never see a real NN distance above
+    # the bound.  Tolerance is relative — coordinates reach ~1e2, so
+    # squared sums carry ~1e-12 relative float error.
+    r = corner + fracs * sides
+    diffs = r[:, None, :] - s_pts[None, :, :]
+    nn = np.sqrt((diffs * diffs).sum(axis=2)).min(axis=1)
+    assert np.all(nn <= bound + 1e-9 * (1.0 + bound))
+
+    # Dominance over the classical upper bound.
+    assert bound <= maxmaxdist(m, n) + 1e-9 * (1.0 + bound)
+
+
+class TestNxndistContract:
+    @given(_point_sets(2), _rect_parts(2), _fractions(2))
+    @settings(max_examples=300, deadline=None)
+    def test_contract_2d(self, s_pts, parts, fracs):
+        _check_contract(s_pts, parts[0], parts[1], fracs)
+
+    @given(_point_sets(5), _rect_parts(5), _fractions(5))
+    @settings(max_examples=150, deadline=None)
+    def test_contract_5d(self, s_pts, parts, fracs):
+        _check_contract(s_pts, parts[0], parts[1], fracs)
+
+    @given(_point_sets(3, min_n=1, max_n=1), _rect_parts(3), _fractions(3))
+    @settings(max_examples=100, deadline=None)
+    def test_single_point_is_exact(self, s_pts, parts, fracs):
+        """With |S| = 1 the MBR is the point itself and the bound is exact:
+        NXNDIST(M, {s}) must equal MAXMAXDIST(M, {s}) = max dist to s."""
+        n = Rect(s_pts.min(axis=0), s_pts.max(axis=0))
+        m = Rect(parts[0], parts[0] + parts[1])
+        assert abs(nxndist(m, n) - maxmaxdist(m, n)) <= 1e-9 * (1.0 + nxndist(m, n))

@@ -46,4 +46,4 @@ class TestMortonCodes:
         with pytest.raises(ValueError):
             morton_codes(np.empty((0, 2)))
         with pytest.raises(ValueError):
-            morton_codes(np.random.random((10, 4)), bits=30)  # 120 bits > 63
+            morton_codes(np.random.default_rng(0).random((10, 4)), bits=30)  # 120 bits > 63

@@ -1,9 +1,8 @@
 """Tests for the pluggable pruning metric switch."""
 
 import numpy as np
-import pytest
 
-from repro.core.geometry import Rect, RectArray
+from repro.core.geometry import RectArray
 from repro.core.metrics import (
     maxmaxdist,
     maxmaxdist_batch,

@@ -1,7 +1,6 @@
 """Tests for the shared paged-index machinery (Node, persist, read)."""
 
 import numpy as np
-import pytest
 
 from repro.core.geometry import Rect
 from repro.index.base import BuildInternal, BuildLeaf, Node, PagedIndex
@@ -82,7 +81,12 @@ class TestPersistAndRead:
 
     def test_unbalanced_tree_height(self):
         storage = StorageManager(page_size=512, pool_pages=8)
-        deep = BuildInternal(children=[leaf([[0, 0]]), BuildInternal(children=[leaf([[2, 2]], ids=[1]), leaf([[3, 3]], ids=[2])])])
+        deep = BuildInternal(
+            children=[
+                leaf([[0, 0]]),
+                BuildInternal(children=[leaf([[2, 2]], ids=[1]), leaf([[3, 3]], ids=[2])]),
+            ]
+        )
         deep.children[1].recompute_rect()
         deep.recompute_rect()
         index = PagedIndex.persist(deep, storage.create_file(), kind="test")

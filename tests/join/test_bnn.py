@@ -1,6 +1,5 @@
 """Tests for the BNN baseline (batched NN, Zhang et al.)."""
 
-import numpy as np
 import pytest
 
 from repro.api import build_index

@@ -8,8 +8,7 @@ page codecs must round-trip arbitrary values.
 """
 
 import numpy as np
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -176,6 +175,12 @@ class TestMortonProperties:
     @settings(max_examples=40, deadline=None)
     def test_translation_invariance(self, pts):
         # Z-order depends only on relative positions inside the bbox.
+        # The property is exact only when the translation itself is
+        # lossless in float64 (tiny coordinates get absorbed into the
+        # shift otherwise — e.g. 1e-16 + 1234.5 == 1234.5), so restrict
+        # to inputs where the shift round-trips.
+        shifted = pts + 1234.5
+        assume(np.array_equal(shifted - 1234.5, pts))
         a = morton_codes(pts, bits=8)
-        b = morton_codes(pts + 1234.5, bits=8)
+        b = morton_codes(shifted, bits=8)
         assert np.array_equal(a, b)
