@@ -47,6 +47,7 @@ from .join import (
     mnn_join,
     mux_knn_join,
 )
+from .parallel import parallel_mba_join
 from .storage import StorageManager
 
 __version__ = "1.0.0"
@@ -57,6 +58,7 @@ __all__ = [
     "build_index",
     "build_join_indexes",
     "mba_join",
+    "parallel_mba_join",
     "bnn_join",
     "gorder_join",
     "hnn_join",

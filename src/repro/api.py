@@ -29,6 +29,7 @@ from .core.stats import QueryStats
 from .index.base import PagedIndex
 from .index.mbrqt import build_mbrqt
 from .index.rstar import build_rstar
+from .parallel.executor import parallel_mba_join
 from .storage.manager import StorageManager
 
 __all__ = [
@@ -101,6 +102,7 @@ def all_nearest_neighbors(
     metric: PruningMetric = PruningMetric.NXNDIST,
     storage: StorageManager | None = None,
     exclude_self: bool | None = None,
+    workers: int = 1,
 ) -> tuple[NeighborResult, QueryStats]:
     """All-(k-)nearest-neighbour query with the paper's MBA algorithm.
 
@@ -109,7 +111,14 @@ def all_nearest_neighbors(
     When ``s_points`` is omitted, the query is a self-join over
     ``r_points`` and ``exclude_self`` defaults to True (a point is not its
     own neighbour — the convention clustering applications expect).
+
+    ``workers > 1`` shards the query index across that many worker
+    processes (:func:`repro.parallel.parallel_mba_join`); the result is
+    identical to the serial run, and the returned counters are the sum
+    over the workers (each with a ``pool/workers`` buffer-pool slice).
     """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     r_points = np.asarray(r_points, dtype=np.float64)
     self_join = s_points is None
     if exclude_self is None:
@@ -125,6 +134,12 @@ def all_nearest_neighbors(
 
     storage.reset_counters()
     storage.drop_caches()
+    if workers > 1:
+        result, stats, __ = parallel_mba_join(
+            index_r, index_s, storage, n_workers=workers,
+            metric=metric, k=k, exclude_self=exclude_self,
+        )
+        return result, stats
     t0 = time.process_time()
     result, stats = mba_join(
         index_r, index_s, metric=metric, k=k, exclude_self=exclude_self

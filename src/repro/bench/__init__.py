@@ -12,6 +12,7 @@ from .experiments import (
     fig6_aknn_fc,
 )
 from .harness import MethodRun, format_series, format_table, run_method
+from .parallel import format_parallel_report, parallel_scaling
 
 __all__ = [
     "BenchConfig",
@@ -19,6 +20,8 @@ __all__ = [
     "run_method",
     "format_table",
     "format_series",
+    "parallel_scaling",
+    "format_parallel_report",
     "fig3a_tac_methods",
     "fig3b_bufferpool",
     "fig4_dimensionality",

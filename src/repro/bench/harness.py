@@ -149,7 +149,9 @@ def format_table(title: str, runs: list[MethodRun], extra_cols: list[str] | None
     ]
     cols += extra_cols or []
     rows = [r.row() for r in runs]
-    widths = {c: max(len(c), *(len(str(row.get(c, ""))) for row in rows)) for c in cols}
+    # An empty run list still renders a header-only table (len(c) seeds the
+    # width so the max is never taken over an empty sequence).
+    widths = {c: max([len(c)] + [len(str(row.get(c, ""))) for row in rows]) for c in cols}
     lines = [title, "-" * len(title)]
     lines.append("  ".join(c.ljust(widths[c]) for c in cols))
     for row in rows:

@@ -1,0 +1,199 @@
+"""Scaling experiment for the sharded executor → ``BENCH_parallel.json``.
+
+Runs the same ANN/AkNN workload through
+:func:`~repro.parallel.executor.parallel_mba_join` at several worker
+counts and emits a machine-readable artifact so future changes have a
+perf trajectory to regress against.
+
+Time is modeled, not wall-clocked: a worker's cost is its machine-
+independent modeled CPU (:func:`~repro.bench.harness.modeled_cpu_seconds`
+over its own counters) plus its simulated I/O time, and a run's modeled
+wall time is the *slowest shard* (the merge is a dict union, negligible).
+This keeps the artifact stable across host machines and Python versions
+— exactly the discipline the figure benchmarks follow.
+
+Artifact schema (``schema`` key = ``repro.bench.parallel/v1``)::
+
+    {
+      "schema": "repro.bench.parallel/v1",
+      "dataset":  {"distribution", "n", "dims", "seed"},
+      "workload": {"kind", "k", "exclude_self", "metric",
+                   "page_size", "pool_pages"},
+      "baseline_workers": <first worker count>,
+      "runs": [
+        {
+          "workers":            <worker count requested>,
+          "n_shards":           <shards actually formed>,
+          "pool_pages_per_worker": <pool_pages // workers>,
+          "wall_model_s":       <max over shards of modeled cpu + sim I/O>,
+          "speedup_vs_baseline": <baseline wall_model_s / this one>,
+          "modeled_cpu_s":      <sum over shards>,
+          "io_time_s":          <sum over shards>,
+          "counters":           <sum of per-shard QueryStats, as_dict>,
+          "coordinator":        {"distance_evaluations": <seed-bound evals>},
+          "result":             {"pair_count", "total_distance"},
+          "shards": [
+            {"shard_id", "n_roots", "points", "modeled_cpu_s",
+             "io_time_s", "counters": <QueryStats.as_dict>,
+             "io": <IOSnapshot>}, ...
+          ]
+        }, ...
+      ]
+    }
+
+Invariants the artifact exhibits (and tests assert): every run's
+``counters`` equal the field-wise sum of its ``shards[*].counters``, and
+every run's ``result`` checksum is identical — sharding changes the
+schedule, never the answer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..api import build_index
+from ..core.pruning import PruningMetric
+from ..core.stats import QueryStats
+from ..data import gstd
+from ..parallel.executor import ShardReport, parallel_mba_join
+from .experiments import BenchConfig
+from .harness import modeled_cpu_seconds
+
+__all__ = ["parallel_scaling", "format_parallel_report", "SCHEMA"]
+
+SCHEMA = "repro.bench.parallel/v1"
+
+
+def _shard_row(report: ShardReport, dims: int) -> dict[str, object]:
+    return {
+        "shard_id": report.shard_id,
+        "n_roots": report.n_roots,
+        "points": report.points,
+        "modeled_cpu_s": modeled_cpu_seconds(report.stats, dims),
+        "io_time_s": report.io["io_time_s"],
+        "counters": report.stats.as_dict(),
+        "io": dict(report.io),
+    }
+
+
+def parallel_scaling(
+    cfg: BenchConfig | None = None,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    kind: str = "mbrqt",
+    distribution: str = "gaussian",
+    n: int | None = None,
+    dims: int = 2,
+    k: int = 1,
+    out_path: str | Path | None = None,
+) -> dict[str, object]:
+    """Run the scaling sweep and (optionally) write ``BENCH_parallel.json``.
+
+    One index is built once; every worker count traverses the same
+    read-only snapshot, each worker with a cold ``pool/n_workers`` buffer
+    pool, so runs differ only in the sharding.  Raises if any run's
+    result checksum deviates from the baseline's — the artifact must
+    never record a speedup bought with a wrong answer.
+    """
+    if not worker_counts:
+        raise ValueError("worker_counts must name at least one worker count")
+    cfg = cfg or BenchConfig.from_env()
+    n = n if n is not None else cfg.syn_n
+    pts = gstd.generate(n, dims, distribution, seed=cfg.seed)
+    storage = cfg.storage()
+    index = build_index(pts, storage, kind=kind)
+
+    runs: list[dict[str, object]] = []
+    baseline_wall: float | None = None
+    baseline_checksum: tuple[int, float] | None = None
+    for workers in worker_counts:
+        result, stats, reports = parallel_mba_join(
+            index, index, storage, n_workers=workers, k=k, exclude_self=True
+        )
+        shard_rows = [_shard_row(r, dims) for r in reports]
+        aggregate = QueryStats()
+        for report in reports:
+            aggregate.merge(report.stats)
+        wall = max(
+            float(row["modeled_cpu_s"]) + float(row["io_time_s"])  # type: ignore[arg-type]
+            for row in shard_rows
+        )
+        checksum = (result.pair_count(), result.total_distance())
+        if baseline_wall is None:
+            baseline_wall = wall
+            baseline_checksum = checksum
+        elif checksum != baseline_checksum:
+            raise AssertionError(
+                f"{workers}-worker result {checksum} deviates from baseline "
+                f"{baseline_checksum}: sharding must not change the answer"
+            )
+        runs.append(
+            {
+                "workers": workers,
+                "n_shards": len(reports),
+                "pool_pages_per_worker": max(1, storage.pool.capacity_pages // workers),
+                "wall_model_s": wall,
+                "speedup_vs_baseline": baseline_wall / wall if wall else 1.0,
+                "modeled_cpu_s": sum(float(row["modeled_cpu_s"]) for row in shard_rows),  # type: ignore[arg-type]
+                "io_time_s": sum(float(row["io_time_s"]) for row in shard_rows),  # type: ignore[arg-type]
+                "counters": aggregate.as_dict(),
+                "coordinator": {
+                    "distance_evaluations": stats.distance_evaluations
+                    - aggregate.distance_evaluations
+                },
+                "result": {"pair_count": checksum[0], "total_distance": checksum[1]},
+                "shards": shard_rows,
+            }
+        )
+
+    report = {
+        "schema": SCHEMA,
+        "dataset": {"distribution": distribution, "n": n, "dims": dims, "seed": cfg.seed},
+        "workload": {
+            "kind": kind,
+            "k": k,
+            "exclude_self": True,
+            "metric": str(PruningMetric.NXNDIST),
+            "page_size": cfg.page_size,
+            "pool_pages": storage.pool.capacity_pages,
+        },
+        "baseline_workers": worker_counts[0],
+        "runs": runs,
+    }
+    if out_path is not None:
+        Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def format_parallel_report(report: dict[str, object]) -> str:
+    """Text table over the artifact (the CLI's human-readable view)."""
+    dataset = report["dataset"]
+    workload = report["workload"]
+    assert isinstance(dataset, dict) and isinstance(workload, dict)
+    title = (
+        f"Parallel scaling — {workload['kind']} self-A{workload['k']}NN on "
+        f"{dataset['distribution']} (n={dataset['n']:,}, D={dataset['dims']})"
+    )
+    lines = [title, "-" * len(title)]
+    header = ["workers", "shards", "wall_model_s", "speedup", "mcpu_s", "io_s", "misses"]
+    rows = []
+    runs = report["runs"]
+    assert isinstance(runs, list)
+    for run in runs:
+        counters = run["counters"]
+        rows.append(
+            [
+                str(run["workers"]),
+                str(run["n_shards"]),
+                f"{run['wall_model_s']:.3f}",
+                f"{run['speedup_vs_baseline']:.2f}x",
+                f"{run['modeled_cpu_s']:.3f}",
+                f"{run['io_time_s']:.3f}",
+                str(counters["page_misses"]),
+            ]
+        )
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

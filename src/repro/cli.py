@@ -1,17 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing any code:
+Four commands cover the common workflows without writing any code:
 
 * ``datasets`` — generate and describe the Table 2 workloads.
 * ``join`` — run one ANN/AkNN method on a generated workload and print
-  the result summary plus cost counters.
+  the result summary plus cost counters.  ``--workers N`` shards the
+  MBA/RBA join across N worker processes (exact, same result).
 * ``experiment`` — regenerate one of the paper's figures.
+* ``parallel-bench`` — sweep worker counts and write the
+  ``BENCH_parallel.json`` scaling artifact.
 
 Examples::
 
     python -m repro datasets --scale 0.01
     python -m repro join --method mba --dataset tac -n 5000 -k 3
+    python -m repro join --method mba --dataset gaussian -n 5000 --workers 4
     python -m repro experiment fig4
+    python -m repro parallel-bench --workers 1 2 4 --out BENCH_parallel.json
 """
 
 from __future__ import annotations
@@ -32,6 +37,7 @@ from .join.bnn import bnn_join
 from .join.gorder import gorder_join
 from .join.hnn import hnn_join
 from .join.mnn import mnn_join
+from .parallel.executor import parallel_mba_join
 from .storage.manager import StorageManager
 
 __all__ = ["main"]
@@ -77,6 +83,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
     storage = StorageManager.with_pool_bytes(args.pool_kb * 1024, args.page_size)
     metric = PruningMetric.NXNDIST if args.metric == "nxndist" else PruningMetric.MAXMAXDIST
 
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    if args.workers > 1 and args.method not in ("mba", "rba"):
+        raise SystemExit(
+            f"--workers applies only to the sharded MBA/RBA executor, not {args.method!r}"
+        )
+
     t0 = time.process_time()
     if args.method in ("mba", "rba"):
         kind = "mbrqt" if args.method == "mba" else "rstar"
@@ -85,7 +98,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
         storage.reset_counters()
         storage.drop_caches()
         t0 = time.process_time()
-        result, stats = mba_join(index, index, metric=metric, k=args.k, exclude_self=True)
+        if args.workers > 1:
+            result, stats, reports = parallel_mba_join(
+                index, index, storage, n_workers=args.workers,
+                metric=metric, k=args.k, exclude_self=True,
+            )
+        else:
+            result, stats = mba_join(index, index, metric=metric, k=args.k, exclude_self=True)
     elif args.method == "bnn":
         index = build_index(points, storage, kind="rstar")
         build_s = time.process_time() - t0
@@ -111,13 +130,22 @@ def _cmd_join(args: argparse.Namespace) -> int:
     else:
         raise SystemExit(f"unknown method {args.method!r}")
     query_s = time.process_time() - t0
-    io = storage.io_snapshot()
+    if args.workers > 1:
+        # Workers counted their own I/O into stats; the coordinator's
+        # storage saw only the shard-planning reads.
+        io_time_s, page_misses = stats.io_time_s, stats.page_misses
+    else:
+        io = storage.io_snapshot()
+        io_time_s, page_misses = io["io_time_s"], io["page_misses"]
 
     print(f"{args.method.upper()} self-{'ANN' if args.k == 1 else f'A{args.k}NN'} "
           f"on {args.dataset} (n={args.n:,})")
+    if args.workers > 1:
+        shard_pts = ", ".join(f"{r.points:,}" for r in reports)
+        print(f"  workers          : {args.workers} ({len(reports)} shards; points {shard_pts})")
     print(f"  index build      : {build_s:.2f}s")
     print(f"  query CPU        : {query_s:.2f}s")
-    print(f"  simulated I/O    : {io['io_time_s']:.2f}s ({io['page_misses']:,} misses)")
+    print(f"  simulated I/O    : {io_time_s:.2f}s ({page_misses:,} misses)")
     print(f"  distance evals   : {stats.distance_evaluations:,}")
     print(f"  node expansions  : {stats.node_expansions:,}")
     print(f"  result pairs     : {result.pair_count():,}")
@@ -133,6 +161,35 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     runs = fn()
     extra = sorted({key for r in runs for key in r.params})
     print(bench.format_table(title, runs, extra_cols=extra))
+    return 0
+
+
+def _cmd_parallel_bench(args: argparse.Namespace) -> int:
+    if args.dataset not in gstd.DISTRIBUTIONS:
+        raise SystemExit(
+            f"unknown dataset {args.dataset!r}: choose one of {sorted(gstd.DISTRIBUTIONS)}"
+        )
+    cfg = bench.BenchConfig.from_env()
+    if args.seed is not None:
+        cfg.seed = args.seed
+    if args.page_size is not None:
+        cfg.page_size = args.page_size
+    if args.pool_kb is not None:
+        cfg.pool_bytes = args.pool_kb * 1024
+    out = None if args.out == "-" else args.out
+    report = bench.parallel_scaling(
+        cfg,
+        worker_counts=tuple(args.workers),
+        kind=args.kind,
+        distribution=args.dataset,
+        n=args.n,
+        dims=args.dims,
+        k=args.k,
+        out_path=out,
+    )
+    print(bench.format_parallel_report(report))
+    if out is not None:
+        print(f"\nwrote {out}")
     return 0
 
 
@@ -159,11 +216,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-size", type=int, default=2048)
     p.add_argument("--pool-kb", type=int, default=512)
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sharded MBA/RBA executor")
     p.set_defaults(fn=_cmd_join)
 
     p = sub.add_parser("experiment", help="regenerate one of the paper's figures")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser(
+        "parallel-bench",
+        help="sweep worker counts and write the BENCH_parallel.json artifact",
+    )
+    p.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                   help="worker counts to sweep (first is the speedup baseline)")
+    p.add_argument("--out", default="BENCH_parallel.json",
+                   help="artifact path ('-' to skip writing)")
+    p.add_argument("--dataset", default="gaussian",
+                   help=f"one of {sorted(gstd.DISTRIBUTIONS)}")
+    p.add_argument("-n", type=int, default=None,
+                   help="number of points (default: bench config syn_n)")
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("-k", type=int, default=1)
+    p.add_argument("--kind", default="mbrqt", choices=["mbrqt", "rstar"])
+    p.add_argument("--seed", type=int, default=None,
+                   help="dataset seed (default: bench config seed)")
+    p.add_argument("--page-size", type=int, default=None)
+    p.add_argument("--pool-kb", type=int, default=None)
+    p.set_defaults(fn=_cmd_parallel_bench)
 
     return parser
 

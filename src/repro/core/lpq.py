@@ -298,11 +298,25 @@ class LPQ:
     # -- maintenance ------------------------------------------------------------
 
     def _maybe_compact(self) -> None:
-        """Drop filtered entries in bulk when the heap grows large."""
+        """Drop filtered entries in bulk when the heap grows large.
+
+        Compaction is a pure optimisation and must be observationally
+        equivalent to leaving every entry for the lazy pop-time filter:
+        same pop sequence, same ``lpq_filter_discards`` total after a
+        drain, regardless of ``_COMPACT_MIN``.  At pop time every other
+        queued entry has MIND — hence MAXD — at least the popped entry's
+        MIND, so the live part of the bound can never be the discarding
+        side: an entry is pop-discarded exactly when its MIND exceeds the
+        *inherited* bound.  That is therefore the only criterion
+        compaction may apply.  Using the current (live-tightened) bound
+        here would drop entries the pop path would have kept once the
+        tight entries popped out, silently changing traversal order and
+        counters with the compaction threshold.
+        """
         heap = self._heap
         if not self.filter_enabled or len(heap) < _COMPACT_MIN:
             return
-        bound = self.bound
+        bound = self._inherited
         keep = [item for item in heap if item[0] <= bound]
         dropped = len(heap) - len(keep)
         if dropped > len(heap) // 2:

@@ -50,7 +50,7 @@ from ..core.metrics import dist_point_points, minmindist, minmindist_cross, minm
 from ..core.pruning import PruningMetric
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
-from ..index.base import Node, PagedIndex
+from ..index.base import Node, PagedIndex, ShardRoot
 
 __all__ = ["mba_join"]
 
@@ -67,6 +67,8 @@ def mba_join(
     batch_tighten: bool = True,
     early_break: bool = True,
     stats: QueryStats | None = None,
+    root_entry: ShardRoot | None = None,
+    seed_bound: float = math.inf,
 ) -> tuple[NeighborResult, QueryStats]:
     """All-(k-)nearest-neighbour join: for each point of ``index_r``'s
     dataset, find its k nearest neighbours among ``index_s``'s dataset.
@@ -91,6 +93,20 @@ def mba_join(
         Disable only for the Filter-Stage ablation benchmark.
     stats:
         Optional pre-existing counter bundle to accumulate into.
+    root_entry:
+        Optional query-side subtree to join instead of the whole of
+        ``index_r`` (a :class:`~repro.index.base.ShardRoot`, typically
+        from :meth:`~repro.index.base.PagedIndex.shard_roots`).  By Lemma
+        3.2 the traversal rooted at any ``IR`` subtree is an independent,
+        complete sub-join over that subtree's query points — the basis of
+        the sharded executor in :mod:`repro.parallel`.  ``None`` (the
+        default) joins the whole index, exactly as before.
+    seed_bound:
+        Inherited pruning bound seeding the root LPQ (default ``inf``,
+        today's behaviour).  A shard coordinator may pass a tighter bound
+        it has already established for ``root_entry``; it must be a valid
+        upper bound on the k-NN distance of *every* query point under the
+        shard root, or results will be wrong.
 
     Returns
     -------
@@ -128,18 +144,24 @@ def mba_join(
         stats,
     )
 
-    # Algorithm 2 (MBA): seed the root LPQ with IS's root entry.
+    # Algorithm 2 (MBA): seed the root LPQ with IS's root entry.  With a
+    # shard root the LPQ is owned by that subtree's entry instead of IR's
+    # root, inheriting the coordinator's seed bound.
+    if root_entry is None:
+        query_rect, query_id = index_r.root_rect, index_r.root_id
+    else:
+        query_rect, query_id = root_entry.rect, root_entry.node_id
     root_lpq = make_node_lpq(
-        index_r.root_rect,
-        index_r.root_id,
-        math.inf,
+        query_rect,
+        query_id,
+        seed_bound,
         stats,
         need_count=need_count,
         filter_enabled=filter_stage,
         counts_valid=counts_valid,
     )
-    root_mind = minmindist(index_r.root_rect, index_s.root_rect)
-    root_maxd = metric.scalar(index_r.root_rect, index_s.root_rect)
+    root_mind = minmindist(query_rect, index_s.root_rect)
+    root_maxd = metric.scalar(query_rect, index_s.root_rect)
     stats.record_distances(2)
     root_rect = index_s.root_rect
     root_lpq.push_nodes(
@@ -374,7 +396,6 @@ class _Engine:
         mind_mat = minmindist_cross(owner_rects, targets)
         maxd_mat = self.metric.cross(owner_rects, targets)
         self.stats.record_distances(2 * mind_mat.size)
-        keep_rects = not self.bidirectional
         counts = None if snode.is_leaf else snode.counts
 
         lpq_bounds = np.fromiter(
@@ -400,12 +421,15 @@ class _Engine:
                     snode.points[mask],
                 )
             else:
+                # Bi-directional expansion reads child nodes from the index
+                # on their own expansion, so entry rects need not be
+                # retained here; only `_probe_node_entry` (the
+                # uni-directional variant) carries rects forward.
                 child.push_nodes(
                     snode.child_ids[mask],
                     snode.counts[mask],
                     mind_mat[c][mask],
                     maxd_mat[c][mask],
-                    rects=self._keep_rects(snode, mask) if keep_rects else None,
                 )
 
     def _probe_node_entry(
@@ -434,8 +458,3 @@ class _Engine:
                 rects=(lo[None, :], hi[None, :]),
             )
         self.stats.pruned_entries += int(np.sum(minds > bounds))
-
-    @staticmethod
-    def _keep_rects(snode: Node, mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        rects = snode.rects
-        return rects.lo[mask], rects.hi[mask]

@@ -39,6 +39,26 @@ class NeighborResult:
             del bucket[self.k :]
         return self
 
+    def merge(self, other: "NeighborResult") -> "NeighborResult":
+        """Absorb a result over a *disjoint* set of query points (in place).
+
+        The reduction the sharded executor performs: shards partition the
+        query ids, so merging is order-independent — any merge order
+        yields the same mapping, and :meth:`pairs` keeps the stable
+        by-query-id output ordering.  Overlapping query ids indicate a
+        broken sharding and are rejected.
+        """
+        if self.k != other.k:
+            raise ValueError(f"cannot merge results with k={self.k} and k={other.k}")
+        overlap = self._neighbors.keys() & other._neighbors.keys()
+        if overlap:
+            raise ValueError(
+                f"merge requires disjoint query ids; {len(overlap)} overlap "
+                f"(e.g. {min(overlap)})"
+            )
+        self._neighbors.update(other._neighbors)
+        return self
+
     # -- access ----------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -1,6 +1,6 @@
 """Disk-resident spatial indexes: MBRQT (the paper's) and R*-tree."""
 
-from .base import BuildInternal, BuildLeaf, Node, PagedIndex
+from .base import BuildInternal, BuildLeaf, Node, PagedIndex, PagedIndexSpec, ShardRoot
 from .mbrqt import build_mbrqt
 from .queries import nearest_iter, radius_query, range_query
 from .rstar import RStarTreeBuilder, build_rstar
@@ -10,6 +10,8 @@ __all__ = [
     "BuildLeaf",
     "BuildInternal",
     "PagedIndex",
+    "PagedIndexSpec",
+    "ShardRoot",
     "build_mbrqt",
     "build_rstar",
     "RStarTreeBuilder",

@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.geometry import Rect, RectArray
-from ..storage.node_file import NodeFile
+from ..storage.manager import StorageManager
+from ..storage.node_file import NodeFile, NodeFileSpec
 from ..storage.serialization import (
     KIND_INTERNAL,
     decode_internal,
@@ -32,7 +33,14 @@ from ..storage.serialization import (
     page_kind,
 )
 
-__all__ = ["Node", "BuildLeaf", "BuildInternal", "PagedIndex"]
+__all__ = [
+    "Node",
+    "BuildLeaf",
+    "BuildInternal",
+    "PagedIndex",
+    "PagedIndexSpec",
+    "ShardRoot",
+]
 
 
 class Node:
@@ -123,6 +131,41 @@ class BuildInternal:
         self.rect = Rect.from_rects([c.rect for c in self.children])
 
 
+@dataclass(frozen=True)
+class ShardRoot:
+    """One query-side subtree usable as an independent shard of a join.
+
+    NXNDIST is monotone under query-side containment (paper Lemma 3.2):
+    any upper bound valid for an entry ``E`` of ``IR`` is valid for every
+    entry contained in ``E``.  The MBA traversal rooted at a subtree of
+    ``IR`` is therefore a complete, independent sub-join over that
+    subtree's query points — the correctness basis of
+    :mod:`repro.parallel`.
+    """
+
+    node_id: int
+    count: int
+    rect: Rect
+
+
+@dataclass(frozen=True)
+class PagedIndexSpec:
+    """Picklable description of a persisted index (no buffer pool inside).
+
+    Together with a :class:`~repro.storage.manager.StorageSnapshot` this is
+    everything a worker process needs to :meth:`~PagedIndex.attach` the
+    index against its own read-only manager.
+    """
+
+    file_spec: NodeFileSpec
+    root_id: int
+    root_rect: Rect
+    size: int
+    dims: int
+    height: int
+    kind: str
+
+
 class PagedIndex:
     """A persisted spatial index: metadata plus buffer-pool read access.
 
@@ -164,6 +207,81 @@ class PagedIndex:
     def root_node(self) -> Node:
         """Read the root node through the buffer pool."""
         return self.node(self.root_id)
+
+    # -- sharding -----------------------------------------------------------
+
+    def shard_roots(self, min_roots: int = 1) -> list[ShardRoot]:
+        """Disjoint query subtrees covering the whole index (for sharding).
+
+        Starts from the root's entries and, while there are fewer than
+        ``min_roots`` roots, splits the heaviest internal root into its
+        children — so a skewed tree still yields enough independent
+        subtrees to load-balance across workers.  Works identically for
+        the MBRQT and the R*-tree: both store child ids, subtree counts
+        and MBRs in their internal nodes, and in both the root's entries
+        partition the *stored points* (R*-tree MBRs may overlap spatially,
+        but every point lives in exactly one subtree, which is all the
+        per-shard sub-join argument needs).
+
+        The returned roots are sorted by ``node_id`` (deterministic) and
+        their counts sum to ``self.size``.  Reads go through the buffer
+        pool and are counted like any traversal I/O.
+        """
+        if min_roots < 1:
+            raise ValueError(f"min_roots must be >= 1, got {min_roots}")
+        whole = ShardRoot(self.root_id, self.size, self.root_rect)
+        roots = [whole]
+        splittable = not self.root_node().is_leaf
+        while splittable and len(roots) < min_roots:
+            # Split the heaviest root whose node is internal; leaves are
+            # atomic.  Ties break on node_id so reruns shard identically.
+            candidates = sorted(roots, key=lambda r: (-r.count, r.node_id))
+            for victim in candidates:
+                node = self.node(victim.node_id)
+                if node.is_leaf:
+                    continue
+                roots.remove(victim)
+                rects = node.rects
+                roots.extend(
+                    ShardRoot(
+                        int(node.child_ids[i]),
+                        int(node.counts[i]),
+                        Rect(rects.lo[i], rects.hi[i]),
+                    )
+                    for i in range(node.n_entries)
+                )
+                break
+            else:
+                break
+        return sorted(roots, key=lambda r: r.node_id)
+
+    # -- detach / attach (worker-process transport) -------------------------
+
+    def detach(self) -> PagedIndexSpec:
+        """Picklable spec for reattaching this index in another process."""
+        return PagedIndexSpec(
+            file_spec=self.file.spec(),
+            root_id=self.root_id,
+            root_rect=self.root_rect,
+            size=self.size,
+            dims=self.dims,
+            height=self.height,
+            kind=self.kind,
+        )
+
+    @classmethod
+    def attach(cls, spec: PagedIndexSpec, storage: StorageManager) -> "PagedIndex":
+        """Rebind a :class:`PagedIndexSpec` to a (reopened) storage manager."""
+        file = NodeFile.reattach(storage.pool, spec.file_spec)
+        return cls(
+            file,
+            spec.root_id,
+            spec.root_rect,
+            spec.size,
+            spec.dims,
+            spec.height,
+            spec.kind,
+        )
 
     # -- whole-tree utilities (used by tests and diagnostics) ---------------
 

@@ -27,7 +27,11 @@ tight MBRs) is preserved.
 
 The persisted index is immutable — the natural shape for the analytical
 ANN/AkNN workloads this library targets (the paper likewise builds its
-indexes up front; Section 4.1).
+indexes up front; Section 4.1).  Immutability is also what makes
+:meth:`~repro.index.base.PagedIndex.shard_roots` safe: top-level MBRQT
+subtrees are pairwise-disjoint regular cells, so a sharded executor
+(:mod:`repro.parallel`) can hand each subtree to a different worker as an
+independent query partition.
 """
 
 from __future__ import annotations

@@ -11,6 +11,12 @@ Trees are built in memory — dynamically (:func:`build_rstar` with
 machinery and produces the characteristic overlapping MBRs) or via STR
 bulk loading (``method="str"``) — and then persisted one node per page, so
 queries pay counted buffer-pool I/O exactly like the MBRQT.
+
+Unlike MBRQT cells, sibling R*-tree MBRs may *overlap spatially*, but each
+point is stored in exactly one subtree, so the root's entries still
+partition the dataset — which is the property
+:meth:`~repro.index.base.PagedIndex.shard_roots` and the sharded executor
+(:mod:`repro.parallel`) rely on; RBA shards exactly like MBA.
 """
 
 from __future__ import annotations

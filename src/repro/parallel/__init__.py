@@ -1,0 +1,31 @@
+"""Sharded parallel execution of the ANN/AkNN join.
+
+The paper's Lemma 3.2 (NXNDIST is monotone under query-side containment)
+makes the MBA traversal rooted at any subtree of the query index an
+independent, complete sub-join — so disjoint query subtrees can run on
+separate workers with no coordination beyond each shard's inherited seed
+bound.  This package turns that observation into an executor:
+
+* :func:`~repro.parallel.executor.parallel_mba_join` — partition, fan
+  out over a :class:`~concurrent.futures.ProcessPoolExecutor`, merge
+  deterministically.
+* :func:`~repro.parallel.sharding.pack_shards` /
+  :func:`~repro.parallel.sharding.shard_seed_bound` — shard planning.
+
+Results are identical to serial :func:`~repro.core.mba.mba_join` (pairs
+and distances), and the merged counters are the exact sum of the
+per-shard counters; see ``tests/parallel/`` for the cross-checks and
+DESIGN.md for the full argument.
+"""
+
+from .executor import ShardReport, ShardTask, parallel_mba_join, run_shard
+from .sharding import pack_shards, shard_seed_bound
+
+__all__ = [
+    "parallel_mba_join",
+    "run_shard",
+    "ShardTask",
+    "ShardReport",
+    "pack_shards",
+    "shard_seed_bound",
+]

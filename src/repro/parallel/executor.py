@@ -1,0 +1,222 @@
+"""Sharded parallel ANN/AkNN executor over worker processes.
+
+Why this is exact (not approximate): NXNDIST is monotone under
+query-side containment (paper Lemma 3.2), so the MBA traversal rooted at
+any subtree of ``IR`` is an independent, *complete* sub-join over that
+subtree's query points — no query point's k-NN can be missed by running
+its subtree alone against all of ``IS``.  Shards therefore need no
+coordination beyond the seed bound each root LPQ inherits
+(:func:`~repro.parallel.sharding.shard_seed_bound`), and the reduction
+is a disjoint-key merge: order-independent, with the stable by-query-id
+output ordering :meth:`~repro.core.result.NeighborResult.pairs` already
+guarantees.
+
+Cost accounting stays honest:
+
+* Each worker reopens the storage snapshot **read-only** with its own
+  cold buffer pool sized ``pool_pages / n_workers``
+  (:func:`~repro.storage.manager.worker_pool_pages`), so the aggregate
+  pool memory of a sharded run never exceeds the serial run's — the
+  Figure 3(b) regime is preserved, and parallel speedup cannot come from
+  quietly multiplying cache.
+* Every worker counts exactly its own logical reads, misses and
+  simulated I/O time; the merged :class:`~repro.core.stats.QueryStats`
+  is the exact sum of the per-shard counters (verified by tests).
+
+Workers run :func:`~repro.core.mba.mba_join` unchanged — one call per
+assigned subtree root — via :class:`concurrent.futures.
+ProcessPoolExecutor`.  ``n_workers=1`` runs the same shard pipeline
+in-process, which keeps 1-worker baselines comparable to N-worker runs.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from ..core.mba import mba_join
+from ..core.pruning import PruningMetric
+from ..core.result import NeighborResult
+from ..core.stats import QueryStats
+from ..index.base import PagedIndex, PagedIndexSpec, ShardRoot
+from ..storage.manager import (
+    IOSnapshot,
+    StorageManager,
+    StorageSnapshot,
+    worker_pool_pages,
+)
+from .sharding import pack_shards, shard_seed_bound
+
+__all__ = ["parallel_mba_join", "ShardTask", "ShardReport", "run_shard"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable work order for one shard (one worker process)."""
+
+    shard_id: int
+    roots: tuple[ShardRoot, ...]
+    seed_bounds: tuple[float, ...]
+    snapshot: StorageSnapshot
+    r_spec: PagedIndexSpec
+    s_spec: PagedIndexSpec | None
+    """Target index spec; ``None`` marks a self-join sharing ``r_spec``."""
+    pool_pages: int
+    metric: PruningMetric
+    k: int
+    exclude_self: bool
+    depth_first: bool
+    bidirectional: bool
+    filter_stage: bool
+    batch_tighten: bool
+    early_break: bool
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """Per-shard outcome: what one worker did and what it cost."""
+
+    shard_id: int
+    n_roots: int
+    points: int
+    stats: QueryStats
+    io: IOSnapshot
+
+
+def run_shard(task: ShardTask) -> tuple[int, NeighborResult, QueryStats, IOSnapshot]:
+    """Execute one shard (module-level so ProcessPoolExecutor can pickle it).
+
+    Reopens the snapshot read-only with this shard's pool slice, then runs
+    one :func:`mba_join` per assigned subtree root, accumulating into a
+    single result and counter bundle.
+    """
+    manager = StorageManager.reopen(task.snapshot, pool_pages=task.pool_pages)
+    index_r = PagedIndex.attach(task.r_spec, manager)
+    index_s = index_r if task.s_spec is None else PagedIndex.attach(task.s_spec, manager)
+    stats = QueryStats()
+    merged = NeighborResult(task.k)
+    t0 = time.process_time()
+    for root, seed in zip(task.roots, task.seed_bounds):
+        result, __ = mba_join(
+            index_r,
+            index_s,
+            metric=task.metric,
+            k=task.k,
+            exclude_self=task.exclude_self,
+            depth_first=task.depth_first,
+            bidirectional=task.bidirectional,
+            filter_stage=task.filter_stage,
+            batch_tighten=task.batch_tighten,
+            early_break=task.early_break,
+            stats=stats,
+            root_entry=root,
+            seed_bound=seed,
+        )
+        merged.merge(result)
+    stats.cpu_time_s += time.process_time() - t0
+    io = manager.io_snapshot()
+    stats.logical_reads += io["logical_reads"]
+    stats.page_misses += io["page_misses"]
+    stats.io_time_s += io["io_time_s"]
+    return task.shard_id, merged, stats, io
+
+
+def parallel_mba_join(
+    index_r: PagedIndex,
+    index_s: PagedIndex,
+    storage: StorageManager,
+    n_workers: int,
+    metric: PruningMetric = PruningMetric.NXNDIST,
+    k: int = 1,
+    exclude_self: bool = False,
+    depth_first: bool = True,
+    bidirectional: bool = True,
+    filter_stage: bool = True,
+    batch_tighten: bool = True,
+    early_break: bool = True,
+) -> tuple[NeighborResult, QueryStats, list[ShardReport]]:
+    """Sharded all-(k-)nearest-neighbour join, exact and deterministic.
+
+    Partitions ``index_r`` into top-level subtrees, bin-packs them into
+    ``n_workers`` shards, runs :func:`mba_join` per shard in worker
+    processes against a read-only snapshot of ``storage``, and merges the
+    per-shard results and counters.  Returns ``(result, stats, reports)``
+    where ``stats`` is the exact sum of the per-shard counters (plus the
+    coordinator's seed-bound distance evaluations) and ``reports`` lists
+    each shard's own counters and I/O snapshot for the scaling benchmark.
+
+    Both indexes must be persisted in ``storage``; the result is
+    identical — pairs and distances — to a serial ``mba_join`` call.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    for index in (index_r, index_s):
+        if index.file.store is not storage.store:
+            raise ValueError("both indexes must be persisted in `storage`")
+
+    # Plan shards.  Coordinator reads (root splitting) are counted against
+    # the parent storage like any other traversal I/O.
+    coord_stats = QueryStats()
+    roots = index_r.shard_roots(min_roots=n_workers)
+    shards = pack_shards(roots, n_workers)
+    pool_slice = worker_pool_pages(storage.pool.capacity_pages, n_workers)
+    need_count = k + 1 if exclude_self else k
+    snapshot = storage.snapshot()
+    r_spec = index_r.detach()
+    s_spec = None if index_s is index_r else index_s.detach()
+
+    tasks = []
+    for shard_id, shard_roots in enumerate(shards):
+        seeds = tuple(
+            shard_seed_bound(
+                root.rect, index_s.root_rect, index_s.size, metric, need_count
+            )
+            for root in shard_roots
+        )
+        coord_stats.record_distances(len(seeds))
+        tasks.append(
+            ShardTask(
+                shard_id=shard_id,
+                roots=tuple(shard_roots),
+                seed_bounds=seeds,
+                snapshot=snapshot,
+                r_spec=r_spec,
+                s_spec=s_spec,
+                pool_pages=pool_slice,
+                metric=metric,
+                k=k,
+                exclude_self=exclude_self,
+                depth_first=depth_first,
+                bidirectional=bidirectional,
+                filter_stage=filter_stage,
+                batch_tighten=batch_tighten,
+                early_break=early_break,
+            )
+        )
+
+    if len(tasks) == 1:
+        outcomes = [run_shard(tasks[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            outcomes = list(pool.map(run_shard, tasks))
+
+    # Deterministic, order-independent reduction: shard id order, disjoint
+    # query-id merge, counter summation.
+    outcomes.sort(key=lambda o: o[0])
+    result = NeighborResult(k)
+    stats = coord_stats
+    reports: list[ShardReport] = []
+    for shard_id, shard_result, shard_stats, io in outcomes:
+        result.merge(shard_result)
+        stats.merge(shard_stats)
+        reports.append(
+            ShardReport(
+                shard_id=shard_id,
+                n_roots=len(shards[shard_id]),
+                points=sum(r.count for r in shards[shard_id]),
+                stats=shard_stats,
+                io=io,
+            )
+        )
+    return result, stats, reports

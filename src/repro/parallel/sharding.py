@@ -1,0 +1,81 @@
+"""Shard planning: bin-packing query subtrees and seeding shard bounds.
+
+The executor (:mod:`repro.parallel.executor`) partitions the *query*
+index into top-level subtrees (:meth:`~repro.index.base.PagedIndex.
+shard_roots`) and groups them into ``n_workers`` shards.  Two planning
+decisions live here:
+
+* **Load balance** — :func:`pack_shards` greedily bin-packs subtrees by
+  point count (longest-processing-time heuristic): subtrees are placed
+  heaviest-first onto the currently lightest shard.  Subtree point count
+  is the best cheap proxy for per-shard work, since MBA's cost is
+  dominated by per-query-point gather work.
+* **Seed bounds** — :func:`shard_seed_bound` computes the inherited
+  pruning bound each shard's root LPQ starts from, replacing the bound
+  the subtree would have inherited from its parent's LPQ in a serial
+  run.  This is the only coordination shards need (paper Lemma 3.2);
+  everything else is independent.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.geometry import Rect
+from ..core.pruning import PruningMetric
+from ..index.base import ShardRoot
+
+__all__ = ["pack_shards", "shard_seed_bound"]
+
+
+def pack_shards(roots: list[ShardRoot], n_shards: int) -> list[list[ShardRoot]]:
+    """Greedily bin-pack subtree roots into at most ``n_shards`` shards.
+
+    Heaviest-first onto the lightest bin (LPT).  Deterministic: ties on
+    weight break on ``node_id``, ties on load break on bin index.  Never
+    returns an empty shard — with fewer roots than requested shards, the
+    shard count drops to ``len(roots)``.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if not roots:
+        raise ValueError("cannot pack an empty root list")
+    bins: list[list[ShardRoot]] = [[] for _ in range(min(n_shards, len(roots)))]
+    loads = [0] * len(bins)
+    for root in sorted(roots, key=lambda r: (-r.count, r.node_id)):
+        lightest = min(range(len(bins)), key=lambda j: (loads[j], j))
+        bins[lightest].append(root)
+        loads[lightest] += root.count
+    # Within a shard, process subtrees in node-id order so a worker's
+    # traversal (and its I/O pattern) is independent of packing order.
+    for shard in bins:
+        shard.sort(key=lambda r: r.node_id)
+    return bins
+
+
+def shard_seed_bound(
+    shard_rect: Rect,
+    s_root_rect: Rect,
+    s_size: int,
+    metric: PruningMetric,
+    need_count: int,
+) -> float:
+    """A valid inherited bound for a shard's root LPQ.
+
+    The bound must guarantee ``need_count`` distinct target points within
+    it for *every* query point under ``shard_rect`` (the contract of
+    :class:`~repro.core.lpq.LPQ`'s inherited bound):
+
+    * ``need_count == 1``: the pruning metric's own upper bound to the
+      whole target root suffices — NXNDIST guarantees one point per entry
+      (Lemma 3.1).
+    * ``need_count > 1``: only MAXMAXDIST bounds the distance to *every*
+      target point, so it guarantees ``min(need_count, s_size)`` points;
+      when the target is smaller than ``need_count`` no finite seed is
+      valid and the shard starts unbounded, exactly like a serial root.
+    """
+    if need_count <= 1:
+        return metric.scalar(shard_rect, s_root_rect)
+    if s_size >= need_count:
+        return PruningMetric.MAXMAXDIST.scalar(shard_rect, s_root_rect)
+    return math.inf

@@ -8,8 +8,8 @@ pages, per-page I/O accounting — without requiring a real disk.
 
 from .buffer_pool import BufferPool, pool_pages_for_bytes
 from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
-from .manager import DEFAULT_POOL_PAGES, StorageManager
-from .node_file import NodeFile
+from .manager import DEFAULT_POOL_PAGES, StorageManager, StorageSnapshot, worker_pool_pages
+from .node_file import NodeFile, NodeFileSpec
 from .serialization import (
     decode_internal,
     decode_leaf,
@@ -28,7 +28,10 @@ __all__ = [
     "PageStore",
     "DEFAULT_POOL_PAGES",
     "StorageManager",
+    "StorageSnapshot",
+    "worker_pool_pages",
     "NodeFile",
+    "NodeFileSpec",
     "encode_internal",
     "decode_internal",
     "encode_leaf",

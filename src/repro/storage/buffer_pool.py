@@ -80,12 +80,25 @@ class BufferPool:
         ``load`` must perform the physical page reads itself (so the store's
         simulated I/O clock advances) and return the decoded object.  The
         entry then occupies ``npages`` pages of pool capacity.
+
+        A cached key must always be re-fetched with the weight it was
+        inserted under: hits are charged the *cached* weight (so
+        ``logical_reads`` and ``_used_pages`` cannot drift apart), and a
+        mismatching ``npages`` raises — a node's page footprint is a
+        property of the stored node, not of the caller.
         """
-        self.logical_reads += npages
         entry = self._frames.get(key)
         if entry is not None:
+            obj, cached_pages = entry
+            if cached_pages != npages:
+                raise ValueError(
+                    f"frame {key!r} cached with weight {cached_pages} pages, "
+                    f"re-fetched with {npages}"
+                )
+            self.logical_reads += cached_pages
             self._frames.move_to_end(key)
-            return cast(T, entry[0])
+            return cast(T, obj)
+        self.logical_reads += npages
         self.misses += npages
         obj = load()
         self._frames[key] = (obj, npages)

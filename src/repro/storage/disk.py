@@ -92,6 +92,32 @@ class PageStore:
         self.physical_writes = 0
         self.io_time_s = 0.0
 
+    # -- snapshot / reopen (administrative, uncounted) ----------------------
+
+    def dump_pages(self) -> tuple[bytes, ...]:
+        """Every page image, uncounted.
+
+        This is an administrative copy for shipping the store to another
+        process (see :meth:`StorageManager.snapshot
+        <repro.storage.manager.StorageManager.snapshot>`), not a query-path
+        read: charging it would pollute the I/O model with coordinator
+        overhead no algorithm performs.
+        """
+        return tuple(self._pages)
+
+    @classmethod
+    def from_pages(
+        cls, pages: tuple[bytes, ...], page_size: int, disk: DiskModel | None = None
+    ) -> "PageStore":
+        """Rebuild a store from :meth:`dump_pages` output, uncounted.
+
+        The reopened store starts with zeroed counters and a zeroed I/O
+        clock — a worker's accounting begins at its first query-path read.
+        """
+        store = cls(page_size=page_size, disk=disk)
+        store._pages = list(pages)
+        return store
+
     def _check_id(self, page_id: int) -> None:
         if not 0 <= page_id < len(self._pages):
             raise IndexError(f"page id {page_id} out of range (store has {len(self._pages)})")

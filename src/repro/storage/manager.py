@@ -10,13 +10,20 @@ same buffer pool, exactly as in the paper's runs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TypedDict
 
 from .buffer_pool import BufferPool, pool_pages_for_bytes
 from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
 from .node_file import NodeFile
 
-__all__ = ["StorageManager", "IOSnapshot", "DEFAULT_POOL_PAGES"]
+__all__ = [
+    "StorageManager",
+    "StorageSnapshot",
+    "IOSnapshot",
+    "DEFAULT_POOL_PAGES",
+    "worker_pool_pages",
+]
 
 
 class IOSnapshot(TypedDict):
@@ -32,6 +39,34 @@ DEFAULT_POOL_PAGES = 64
 """64 pages × 8 KB = the paper's default 512 KB buffer pool."""
 
 
+@dataclass(frozen=True)
+class StorageSnapshot:
+    """Picklable frozen image of a manager's disk: pages + geometry.
+
+    Everything a worker process needs to reopen the store read-only.  The
+    buffer pool is deliberately *not* part of the snapshot — each reopened
+    manager starts cold with its own (typically smaller) pool, so a
+    worker's I/O counters reflect only its own traversal.
+    """
+
+    pages: tuple[bytes, ...]
+    page_size: int
+    disk: DiskModel
+
+
+def worker_pool_pages(pool_pages: int, n_workers: int) -> int:
+    """Split one pool budget fairly across ``n_workers`` read-only reopens.
+
+    ``pool_pages // n_workers`` (floored, min 1) keeps the *aggregate* pool
+    memory of a sharded run no larger than the serial run's, so the Figure
+    3(b) I/O accounting stays honest: parallel speedup must not come from
+    quietly multiplying cache.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    return max(1, pool_pages // n_workers)
+
+
 class StorageManager:
     """Bundles the simulated disk, the buffer pool, and file creation."""
 
@@ -44,6 +79,7 @@ class StorageManager:
         self.page_size = page_size
         self.store = PageStore(page_size=page_size, disk=disk)
         self.pool = BufferPool(self.store, capacity_pages=pool_pages)
+        self.readonly = False
 
     @classmethod
     def with_pool_bytes(
@@ -59,7 +95,38 @@ class StorageManager:
         disk-quadtree layout); the default dedicates pages per node (the
         R-tree layout).
         """
+        if self.readonly:
+            raise RuntimeError("read-only storage manager: cannot create files")
         return NodeFile(self.pool, pack_pages=pack_pages)
+
+    # -- snapshot / read-only reopen ----------------------------------------
+
+    def snapshot(self) -> StorageSnapshot:
+        """Freeze the disk image for shipping to worker processes."""
+        return StorageSnapshot(
+            pages=self.store.dump_pages(),
+            page_size=self.page_size,
+            disk=self.store.disk,
+        )
+
+    @classmethod
+    def reopen(cls, snapshot: StorageSnapshot, pool_pages: int = DEFAULT_POOL_PAGES) -> "StorageManager":
+        """Reopen a snapshot read-only with a fresh, cold buffer pool.
+
+        The reopened manager shares no state with the original: it has its
+        own pool (sized by the caller — see :func:`worker_pool_pages`), its
+        own zeroed I/O counters, and refuses to create new files, so
+        several workers can traverse the same snapshot concurrently while
+        each accounts for exactly its own I/O.
+        """
+        manager = cls.__new__(cls)
+        manager.page_size = snapshot.page_size
+        manager.store = PageStore.from_pages(
+            snapshot.pages, page_size=snapshot.page_size, disk=snapshot.disk
+        )
+        manager.pool = BufferPool(manager.store, capacity_pages=pool_pages)
+        manager.readonly = True
+        return manager
 
     # -- accounting ---------------------------------------------------------
 

@@ -23,11 +23,12 @@ from __future__ import annotations
 
 import itertools
 from collections.abc import Callable
+from dataclasses import dataclass
 from typing import Any, TypeVar, cast
 
 from .buffer_pool import BufferPool
 
-__all__ = ["NodeFile"]
+__all__ = ["NodeFile", "NodeFileSpec"]
 
 T = TypeVar("T")
 
@@ -42,6 +43,19 @@ class _PageFrame:
     def __init__(self, raw: bytes) -> None:
         self.raw = raw
         self.nodes: dict[int, Any] = {}
+
+
+@dataclass(frozen=True)
+class NodeFileSpec:
+    """Picklable description of a :class:`NodeFile`: the extent map only.
+
+    Page payloads live in the :class:`~repro.storage.disk.PageStore`; this
+    spec plus a storage snapshot is everything another process needs to
+    :meth:`~NodeFile.reattach` the file read-only.
+    """
+
+    directory: tuple[tuple[tuple[int, int, int], ...], ...]
+    pack_pages: bool
 
 
 class NodeFile:
@@ -113,6 +127,20 @@ class NodeFile:
     def node_pages(self, node_id: int) -> int:
         """How many pages node ``node_id`` touches."""
         return len({chunk[0] for chunk in self._directory[node_id]})
+
+    # -- detach / reattach ----------------------------------------------------
+
+    def spec(self) -> NodeFileSpec:
+        """Picklable extent map for reattaching in another process."""
+        self.flush()
+        return NodeFileSpec(directory=tuple(self._directory), pack_pages=self.pack_pages)
+
+    @classmethod
+    def reattach(cls, pool: BufferPool, spec: NodeFileSpec) -> "NodeFile":
+        """Rebind a :class:`NodeFileSpec` to a (reopened) buffer pool."""
+        file = cls(pool, pack_pages=spec.pack_pages)
+        file._directory = list(spec.directory)
+        return file
 
     # -- reading -------------------------------------------------------------
 

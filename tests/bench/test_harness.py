@@ -81,6 +81,15 @@ class TestFormatting:
         assert "k" in text.splitlines()[2]
         assert "7" in text
 
+    def test_format_table_empty_runs(self):
+        # Regression: no runs used to raise TypeError in the width
+        # computation; an empty experiment renders a header-only table.
+        text = format_table("Empty", [])
+        lines = text.splitlines()
+        assert lines[0] == "Empty"
+        assert "method" in lines[2] and "mtotal_s" in lines[2]
+        assert len(lines) == 3
+
     def test_format_series(self):
         text = format_series(
             "S", "k", {"m1": [(1, 0.5), (2, 1.5)], "m2": [(1, 2.0)]}

@@ -1,0 +1,69 @@
+"""Tests for the parallel scaling benchmark and its JSON artifact."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import BenchConfig
+from repro.bench.parallel import SCHEMA, format_parallel_report, parallel_scaling
+
+COUNTER_KEYS = (
+    "distance_evaluations",
+    "node_expansions",
+    "lpq_enqueues",
+    "lpq_filter_discards",
+    "pruned_entries",
+    "logical_reads",
+    "page_misses",
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    cfg = BenchConfig(syn_n=900)
+    return parallel_scaling(cfg, worker_counts=(1, 2, 4), n=900)
+
+
+class TestArtifact:
+    def test_schema_and_shape(self, report):
+        assert report["schema"] == SCHEMA
+        assert report["baseline_workers"] == 1
+        assert [run["workers"] for run in report["runs"]] == [1, 2, 4]
+        for run in report["runs"]:
+            assert run["n_shards"] == len(run["shards"])
+
+    def test_counters_are_sum_of_shards(self, report):
+        # The acceptance criterion, verifiable from the artifact alone.
+        for run in report["runs"]:
+            for key in COUNTER_KEYS:
+                assert run["counters"][key] == sum(
+                    shard["counters"][key] for shard in run["shards"]
+                )
+
+    def test_result_checksum_identical_across_worker_counts(self, report):
+        checksums = {json.dumps(run["result"]) for run in report["runs"]}
+        assert len(checksums) == 1
+
+    def test_speedup_baseline_is_one(self, report):
+        assert report["runs"][0]["speedup_vs_baseline"] == 1.0
+        for run in report["runs"]:
+            assert run["speedup_vs_baseline"] > 0
+
+    def test_json_round_trip(self, tmp_path):
+        out = tmp_path / "BENCH_parallel.json"
+        cfg = BenchConfig(syn_n=600)
+        report = parallel_scaling(cfg, worker_counts=(1, 2), n=600, out_path=out)
+        assert json.loads(out.read_text()) == report
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError, match="worker_counts"):
+            parallel_scaling(BenchConfig(), worker_counts=())
+
+
+class TestFormatting:
+    def test_report_table(self, report):
+        text = format_parallel_report(report)
+        lines = text.splitlines()
+        assert "Parallel scaling" in lines[0]
+        assert len(lines) == 3 + len(report["runs"])
+        assert "speedup" in lines[2]

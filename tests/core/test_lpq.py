@@ -1,9 +1,13 @@
 """Tests for the Local Priority Queue (Section 3.3.1 / 3.3.3)."""
 
 import math
+from unittest import mock
 
 import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+import repro.core.lpq as lpq_module
 from repro.core.geometry import Rect
 from repro.core.lpq import NODE, OBJECT, make_node_lpq, make_object_lpq
 from repro.core.stats import QueryStats
@@ -157,14 +161,80 @@ class TestFilterStage:
         assert stats.lpq_filter_discards == 0
 
     def test_compaction_discards_in_bulk(self):
-        lpq, stats = node_lpq()
-        # One tight anchor entry, then a flood of junk beyond its bound.
+        # Junk beyond the *inherited* bound — the one component of the
+        # bound that never loosens, so compaction may apply it early
+        # without changing what the lazy pop-time filter would do.
+        lpq, stats = node_lpq(bound=5.0)
         push(lpq, (0, 1, 0.0, 1.0))
         junk = [(i, 1, 10.0 + i, 10.0 + i) for i in range(1, 200)]
         push(lpq, *junk)
         # Compaction keeps the queue from holding all 200 junk entries.
         assert len(lpq) < 200
         assert stats.lpq_filter_discards > 0
+
+    def test_compaction_never_applies_the_live_bound(self):
+        # A tight anchor tightens the live bound, but the junk behind it
+        # would survive the pop-time filter once the anchor pops (the
+        # bound is defined over the entries currently queued).  Compaction
+        # must not drop it.
+        lpq, stats = node_lpq()
+        push(lpq, (0, 1, 0.0, 1.0))
+        junk = [(i, 1, 10.0 + i, 10.0 + i) for i in range(1, 200)]
+        push(lpq, *junk)
+        assert len(lpq) == 200
+        popped = [lpq.pop() for _ in range(200)]
+        assert all(p is not None for p in popped)
+        assert stats.lpq_filter_discards == 0
+
+
+def entry_batches():
+    """Batches of (node_id, count, mind, maxd) with the engine's maxd >= mind
+    invariant (MINMINDIST lower-bounds every pruning metric)."""
+    entry = st.tuples(
+        st.integers(0, 10_000),
+        st.integers(1, 50),
+        st.floats(0, 10, allow_nan=False),
+        st.floats(0, 10, allow_nan=False),
+    ).map(lambda t: (t[0], t[1], t[2], t[2] + t[3]))
+    return st.lists(st.lists(entry, min_size=1, max_size=30), min_size=1, max_size=6)
+
+
+class TestCompactionEquivalence:
+    """Compaction is a pure optimisation: pop order and discard totals must
+    not depend on ``_COMPACT_MIN`` (the threshold only trades memory for
+    bookkeeping).  This pins the compaction criterion to the inherited
+    bound — the one component of the LPQ bound that never loosens."""
+
+    @staticmethod
+    def drain(batches, inherited, need, counts_valid, pops_between, compact_min):
+        with mock.patch.object(lpq_module, "_COMPACT_MIN", compact_min):
+            lpq, stats = node_lpq(bound=inherited, need=need, counts_valid=counts_valid)
+            popped = []
+            for batch in batches:
+                push(lpq, *batch)
+                for __ in range(pops_between):
+                    got = lpq.pop()
+                    if got is not None:
+                        popped.append(got[:5])
+            while (got := lpq.pop()) is not None:
+                popped.append(got[:5])
+            return popped, stats.lpq_filter_discards
+
+    @given(
+        batches=entry_batches(),
+        inherited=st.one_of(st.just(math.inf), st.floats(0, 15, allow_nan=False)),
+        need=st.integers(1, 3),
+        counts_valid=st.booleans(),
+        pops_between=st.integers(0, 3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_pop_order_and_discards_invariant(
+        self, batches, inherited, need, counts_valid, pops_between
+    ):
+        eager = self.drain(batches, inherited, need, counts_valid, pops_between, 4)
+        lazy = self.drain(batches, inherited, need, counts_valid, pops_between, 10**9)
+        assert eager[0] == lazy[0]  # identical pop sequences
+        assert eager[1] == lazy[1]  # identical discard totals after drain
 
 
 class TestEnqueueAccounting:

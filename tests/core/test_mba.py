@@ -136,6 +136,30 @@ class TestTraversalVariants:
                 res, __ = mba_join(ir, is_, k=3, depth_first=df, bidirectional=bi)
                 assert res.same_pairs_as(ref)
 
+    def test_unidirectional_retains_entry_rects(self, rng, monkeypatch):
+        # Regression for the dead `keep_rects = not self.bidirectional`
+        # branch that used to sit in `_probe_node_children` (a path only
+        # reachable with bidirectional=True): the uni-directional variant
+        # must keep carrying entry rects through `_probe_node_entry`, whose
+        # re-scoring would crash on a `None` extra if rects were dropped.
+        from repro.core.mba import _Engine
+
+        probed_extras = []
+        original = _Engine._probe_node_entry
+
+        def spy(self, child_lpqs, owner_rects, bounds, node_id, count, extra):
+            probed_extras.append(extra)
+            return original(self, child_lpqs, owner_rects, bounds, node_id, count, extra)
+
+        monkeypatch.setattr(_Engine, "_probe_node_entry", spy)
+        r, s, ir, is_, __ = make_pair(rng, n=400)
+        res, __ = mba_join(ir, is_, bidirectional=False)
+        assert res.same_pairs_as(brute_force_join(r, s))
+        assert probed_extras, "uni-directional traversal never re-scored a node entry"
+        for extra in probed_extras:
+            lo, hi = extra
+            assert lo is not None and hi is not None
+
     def test_filter_stage_off_still_correct(self, rng):
         r, s, ir, is_, __ = make_pair(rng, n=300)
         res, __ = mba_join(ir, is_, filter_stage=False)

@@ -1,0 +1,114 @@
+"""Cross-checks: sharded executor vs serial ``mba_join``.
+
+The headline guarantee — parallel results are *bit-identical* to serial
+(same pairs, same distances, same order out of ``to_arrays``) — plus the
+counter discipline: the merged stats are the exact sum of the per-shard
+counters (the coordinator adds only its seed-bound distance evals).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api import build_index, build_join_indexes
+from repro.core.mba import mba_join
+from repro.data import gstd
+from repro.parallel.executor import parallel_mba_join
+from repro.storage.manager import StorageManager
+
+
+def fresh_storage():
+    return StorageManager.with_pool_bytes(64 * 1024, 1024)
+
+
+def self_join_setup(kind, n=700, seed=3):
+    pts = gstd.generate(n, 2, "gaussian", seed=seed)
+    storage = fresh_storage()
+    index = build_index(pts, storage, kind=kind)
+    return index, storage
+
+
+def assert_identical(serial, parallel):
+    s_ids, s_nbrs, s_dists = serial.to_arrays()
+    p_ids, p_nbrs, p_dists = parallel.to_arrays()
+    np.testing.assert_array_equal(s_ids, p_ids)
+    np.testing.assert_array_equal(s_nbrs, p_nbrs)
+    np.testing.assert_array_equal(s_dists, p_dists)  # bitwise, no tolerance
+
+
+class TestBitIdenticalToSerial:
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    @pytest.mark.parametrize("k", [1, 3])
+    @pytest.mark.parametrize("exclude_self", [False, True])
+    def test_self_join(self, kind, k, exclude_self):
+        index, storage = self_join_setup(kind)
+        serial, __ = mba_join(index, index, k=k, exclude_self=exclude_self)
+        result, __, reports = parallel_mba_join(
+            index, index, storage, n_workers=3, k=k, exclude_self=exclude_self
+        )
+        assert len(reports) == 3
+        assert_identical(serial, result)
+
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_bi_join(self, kind):
+        rng_r = gstd.generate(500, 2, "uniform", seed=1)
+        rng_s = gstd.generate(400, 2, "gaussian", seed=2)
+        storage = fresh_storage()
+        index_r, index_s = build_join_indexes(rng_r, rng_s, storage, kind=kind)
+        serial, __ = mba_join(index_r, index_s, k=2)
+        result, __, __ = parallel_mba_join(index_r, index_s, storage, n_workers=2, k=2)
+        assert_identical(serial, result)
+
+    def test_single_worker_matches_too(self):
+        index, storage = self_join_setup("mbrqt", n=300)
+        serial, __ = mba_join(index, index, exclude_self=True)
+        result, __, reports = parallel_mba_join(
+            index, index, storage, n_workers=1, exclude_self=True
+        )
+        assert len(reports) == 1
+        assert_identical(serial, result)
+
+
+class TestCounterDiscipline:
+    def test_merged_stats_are_sum_of_shards(self):
+        index, storage = self_join_setup("mbrqt")
+        __, stats, reports = parallel_mba_join(
+            index, index, storage, n_workers=4, k=2, exclude_self=True
+        )
+        n_roots = sum(r.n_roots for r in reports)
+        for f in dataclasses.fields(stats):
+            if f.name == "extra":
+                continue
+            total = sum(getattr(r.stats, f.name) for r in reports)
+            merged = getattr(stats, f.name)
+            if f.name == "distance_evaluations":
+                # Coordinator adds exactly one seed-bound eval per root.
+                assert merged == total + n_roots
+            else:
+                assert merged == pytest.approx(total)
+
+    def test_shards_partition_the_query_points(self):
+        index, storage = self_join_setup("rstar")
+        __, __, reports = parallel_mba_join(index, index, storage, n_workers=3)
+        assert sum(r.points for r in reports) == index.size
+        assert [r.shard_id for r in reports] == [0, 1, 2]
+
+    def test_each_worker_counts_its_own_io(self):
+        index, storage = self_join_setup("mbrqt")
+        __, __, reports = parallel_mba_join(index, index, storage, n_workers=2)
+        for report in reports:
+            assert report.io["page_misses"] > 0
+            assert report.stats.page_misses == report.io["page_misses"]
+
+
+class TestValidation:
+    def test_rejects_zero_workers(self):
+        index, storage = self_join_setup("mbrqt", n=100)
+        with pytest.raises(ValueError, match="n_workers"):
+            parallel_mba_join(index, index, storage, n_workers=0)
+
+    def test_rejects_foreign_storage(self):
+        index, __ = self_join_setup("mbrqt", n=100)
+        with pytest.raises(ValueError, match="persisted"):
+            parallel_mba_join(index, index, fresh_storage(), n_workers=2)

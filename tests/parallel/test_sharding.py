@@ -1,0 +1,108 @@
+"""Tests for shard planning: subtree roots, bin-packing, seed bounds."""
+
+import math
+
+import pytest
+
+from repro.api import build_index
+from repro.core.geometry import Rect
+from repro.core.pruning import PruningMetric
+from repro.data import gstd
+from repro.index.base import ShardRoot
+from repro.parallel.sharding import pack_shards, shard_seed_bound
+from repro.storage.manager import StorageManager
+
+
+def make_index(kind, n=800, seed=11):
+    pts = gstd.generate(n, 2, "gaussian", seed=seed)
+    storage = StorageManager.with_pool_bytes(64 * 1024, 1024)
+    return build_index(pts, storage, kind=kind), storage
+
+
+class TestShardRoots:
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_counts_partition_the_index(self, kind):
+        index, __ = make_index(kind)
+        roots = index.shard_roots(min_roots=4)
+        assert len(roots) >= 4
+        assert sum(r.count for r in roots) == index.size
+        assert all(r.count > 0 for r in roots)
+        ids = [r.node_id for r in roots]
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_min_roots_one_is_the_root_itself(self, kind):
+        index, __ = make_index(kind)
+        roots = index.shard_roots(min_roots=1)
+        assert roots == [ShardRoot(index.root_id, index.size, index.root_rect)]
+
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_deterministic(self, kind):
+        a, __ = make_index(kind)
+        b, __ = make_index(kind)
+        assert a.shard_roots(min_roots=6) == b.shard_roots(min_roots=6)
+
+    def test_tiny_index_caps_at_leaves(self):
+        # A handful of points fits one leaf: splitting cannot go below it.
+        index, __ = make_index("mbrqt", n=5)
+        roots = index.shard_roots(min_roots=64)
+        assert sum(r.count for r in roots) == index.size
+
+
+def roots_of(counts):
+    unit = Rect([0.0, 0.0], [1.0, 1.0])
+    return [ShardRoot(i, c, unit) for i, c in enumerate(counts)]
+
+
+class TestPackShards:
+    def test_balances_heaviest_first(self):
+        shards = pack_shards(roots_of([10, 1, 9, 2, 8, 3]), 2)
+        loads = sorted(sum(r.count for r in s) for s in shards)
+        assert loads == [16, 17]
+
+    def test_no_empty_shards(self):
+        shards = pack_shards(roots_of([5, 5]), 8)
+        assert len(shards) == 2
+        assert all(s for s in shards)
+
+    def test_all_roots_preserved_once(self):
+        roots = roots_of([7, 3, 3, 3, 1])
+        shards = pack_shards(roots, 3)
+        flat = [r for s in shards for r in s]
+        assert sorted(flat, key=lambda r: r.node_id) == roots
+
+    def test_deterministic_and_sorted_within_shard(self):
+        roots = roots_of([4, 4, 4, 4])
+        first = pack_shards(roots, 2)
+        second = pack_shards(list(reversed(roots)), 2)
+        assert first == second
+        for shard in first:
+            assert [r.node_id for r in shard] == sorted(r.node_id for r in shard)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            pack_shards(roots_of([1]), 0)
+        with pytest.raises(ValueError, match="empty"):
+            pack_shards([], 2)
+
+
+class TestShardSeedBound:
+    def setup_method(self):
+        self.shard = Rect([0.0, 0.0], [1.0, 1.0])
+        self.target = Rect([2.0, 0.0], [4.0, 1.0])
+
+    def test_ann_uses_the_metric_itself(self):
+        for metric in (PruningMetric.NXNDIST, PruningMetric.MAXMAXDIST):
+            expected = metric.scalar(self.shard, self.target)
+            assert shard_seed_bound(self.shard, self.target, 100, metric, 1) == expected
+
+    def test_aknn_escalates_to_maxmaxdist(self):
+        # NXNDIST guarantees only one point per entry (Lemma 3.1), so a
+        # need_count>1 seed must fall back to the all-points bound.
+        bound = shard_seed_bound(self.shard, self.target, 100, PruningMetric.NXNDIST, 3)
+        assert bound == PruningMetric.MAXMAXDIST.scalar(self.shard, self.target)
+
+    def test_small_target_is_unbounded(self):
+        bound = shard_seed_bound(self.shard, self.target, 2, PruningMetric.NXNDIST, 3)
+        assert bound == math.inf

@@ -91,6 +91,29 @@ class TestWeightedEntries:
         assert "wide" not in pool
         assert pool.used_pages == 2
 
+    def test_hit_charged_at_cached_weight(self):
+        # Regression: a hit used to charge the caller's npages, letting
+        # logical_reads drift from the weight the entry actually occupies.
+        store, pool = make_pool(capacity=4)
+        p1 = store.allocate(b"a")
+        p2 = store.allocate(b"b")
+        pool.fetch_node("wide", 2, lambda: store.read(p1) + store.read(p2))
+        pool.fetch_node("wide", 2, lambda: store.read(p1) + store.read(p2))
+        assert pool.logical_reads == 4
+        assert pool.misses == 2
+        assert pool.used_pages == 2
+
+    def test_weight_mismatch_on_hit_raises(self):
+        store, pool = make_pool(capacity=4)
+        p1 = store.allocate(b"a")
+        p2 = store.allocate(b"b")
+        pool.fetch_node("wide", 2, lambda: store.read(p1) + store.read(p2))
+        with pytest.raises(ValueError, match="weight 2"):
+            pool.fetch_node("wide", 1, lambda: store.read(p1))
+        # The mismatching fetch charged nothing and evicted nothing.
+        assert pool.logical_reads == 2
+        assert pool.used_pages == 2
+
     def test_node_wider_than_pool_still_readable(self):
         store, pool = make_pool(capacity=2)
         for i in range(4):

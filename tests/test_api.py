@@ -57,6 +57,21 @@ class TestAllNearestNeighbors:
         assert stats.page_misses == storage.pool.misses
 
 
+class TestWorkersParameter:
+    def test_parallel_matches_serial(self, rng):
+        pts = rng.random((400, 2))
+        serial, __ = all_nearest_neighbors(pts, k=2)
+        parallel, stats = all_nearest_neighbors(pts, k=2, workers=3)
+        s_arrays, p_arrays = serial.to_arrays(), parallel.to_arrays()
+        for s_arr, p_arr in zip(s_arrays, p_arrays):
+            np.testing.assert_array_equal(s_arr, p_arr)
+        assert stats.page_misses > 0  # worker I/O made it into the merge
+
+    def test_rejects_bad_workers(self, rng):
+        with pytest.raises(ValueError, match="workers"):
+            all_nearest_neighbors(rng.random((20, 2)), workers=0)
+
+
 class TestAknnJoin:
     def test_k_default(self, rng):
         pts = rng.random((120, 2))

@@ -49,6 +49,37 @@ class TestCommands:
         with pytest.raises(SystemExit, match="unknown experiment"):
             main(["experiment", "fig99"])
 
+    def test_join_with_workers(self, capsys):
+        serial = ["join", "--method", "mba", "--dataset", "gaussian", "-n", "300"]
+        assert main(serial) == 0
+        first = capsys.readouterr().out
+        assert main(serial + ["--workers", "2"]) == 0
+        second = capsys.readouterr().out
+        assert "workers          : 2" in second
+        checksum = [l for l in first.splitlines() if "checksum" in l]
+        assert checksum == [l for l in second.splitlines() if "checksum" in l]
+
+    def test_workers_rejected_for_non_sharded_methods(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["join", "--method", "bnn", "-n", "100", "--workers", "2"])
+
+    def test_workers_zero_rejected(self):
+        with pytest.raises(SystemExit, match=">= 1"):
+            main(["join", "--method", "mba", "-n", "100", "--workers", "0"])
+
+    def test_parallel_bench_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_parallel.json"
+        code = main(
+            ["parallel-bench", "--workers", "1", "2", "-n", "500", "--out", str(out)]
+        )
+        assert code == 0
+        assert "speedup" in capsys.readouterr().out
+        assert out.exists()
+
+    def test_parallel_bench_rejects_non_gstd_dataset(self):
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["parallel-bench", "--dataset", "tac", "-n", "100", "--out", "-"])
+
     def test_join_checksum_deterministic(self, capsys):
         main(["join", "--method", "mba", "--dataset", "uniform", "-n", "200"])
         first = capsys.readouterr().out
