@@ -11,6 +11,7 @@ from .counters import CounterDiscipline
 from .determinism import Nondeterminism
 from .hygiene import BareExcept, MutableDefaultArg
 from .metric_order import NxndistArgOrder
+from .scalar_metric_loop import ScalarMetricInLoop
 from .sqrt_discipline import SqrtDiscipline
 from .storage_bypass import BufferPoolBypass
 
@@ -22,6 +23,7 @@ __all__ = [
     "MutableDefaultArg",
     "BareExcept",
     "NxndistArgOrder",
+    "ScalarMetricInLoop",
     "ALL_RULES",
     "build_registry",
 ]
@@ -34,6 +36,7 @@ ALL_RULES = (
     MutableDefaultArg,
     BareExcept,
     NxndistArgOrder,
+    ScalarMetricInLoop,
 )
 
 

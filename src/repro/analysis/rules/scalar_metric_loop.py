@@ -1,0 +1,70 @@
+"""Rule: no scalar metric calls inside loops of the traversal hot paths.
+
+The MBA engine's entire cost model assumes distance kernels are scored
+in batch: one vectorised call per node expansion (``*_batch``,
+``*_cross`` or the fused ``cross_pair`` forms).  A scalar
+``minmindist``/``nxndist``/``maxmaxdist`` call inside a Python loop in
+the traversal core silently reverts a batched stage to per-pair
+evaluation — results stay correct, counters stay plausible, and the
+engine is quietly an order of magnitude slower (exactly the regression
+the columnar-LPQ rework removed).  This rule makes that regression a
+lint error instead of a profiling session.
+
+Scope is deliberately narrow: only the traversal hot paths
+(``core/mba.py`` and ``core/lpq.py``) are checked, and only the *scalar*
+kernel names are flagged — the batch/cross/fused forms are the intended
+replacements and may appear anywhere.  A loop that genuinely needs a
+scalar call (none does today) can carry a
+``# repro-lint: ignore[scalar-metric-in-loop]`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["ScalarMetricInLoop"]
+
+_SCALAR_METRICS = frozenset({"minmindist", "nxndist", "maxmaxdist"})
+
+# Hot-path files, matched on their path suffix (the linter may be invoked
+# from the repo root or with absolute paths).
+_HOT_PATH_SUFFIXES = ("core/mba.py", "core/lpq.py")
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+class ScalarMetricInLoop(Rule):
+    """Flag scalar metric kernels called inside loops of the engine core."""
+
+    name = "scalar-metric-in-loop"
+    summary = "scalar distance kernel called inside a loop of a traversal hot path"
+    rationale = (
+        "the Expand/Gather stages must score candidates with the batched kernels; "
+        "a scalar call per loop iteration reintroduces per-pair numpy dispatch cost"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        normalized = ctx.path.replace("\\", "/")
+        if not normalized.endswith(_HOT_PATH_SUFFIXES):
+            return
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, _LOOPS):
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                fname = ctx.dotted_name(node.func)
+                if fname is None:
+                    continue
+                metric = fname.split(".")[-1]
+                if metric in _SCALAR_METRICS:
+                    yield ctx.flag(
+                        node,
+                        self,
+                        f"scalar {metric}() inside a loop: use {metric}_batch / "
+                        f"{metric}_cross (or PruningMetric.cross_pair) so the whole "
+                        f"candidate set is scored in one vectorised call",
+                    )

@@ -149,6 +149,8 @@ def all_nearest_neighbors(
     stats.logical_reads += io["logical_reads"]
     stats.page_misses += io["page_misses"]
     stats.io_time_s += io["io_time_s"]
+    stats.node_cache_hits += io["node_cache_hits"]
+    stats.node_cache_misses += io["node_cache_misses"]
     return result, stats
 
 

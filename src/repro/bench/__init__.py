@@ -12,6 +12,7 @@ from .experiments import (
     fig6_aknn_fc,
 )
 from .harness import MethodRun, format_series, format_table, run_method
+from .kernels import format_kernel_report, kernel_bench
 from .parallel import format_parallel_report, parallel_scaling
 
 __all__ = [
@@ -20,6 +21,8 @@ __all__ = [
     "run_method",
     "format_table",
     "format_series",
+    "kernel_bench",
+    "format_kernel_report",
     "parallel_scaling",
     "format_parallel_report",
     "fig3a_tac_methods",

@@ -124,6 +124,8 @@ def run_method(
     stats.io_time_s += io["io_time_s"]
     stats.logical_reads += io["logical_reads"]
     stats.page_misses += io["page_misses"]
+    stats.node_cache_hits += io["node_cache_hits"]
+    stats.node_cache_misses += io["node_cache_misses"]
     return MethodRun(
         label=label,
         cpu_s=cpu,

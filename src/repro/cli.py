@@ -1,22 +1,28 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows without writing any code:
+Five commands cover the common workflows without writing any code:
 
 * ``datasets`` — generate and describe the Table 2 workloads.
 * ``join`` — run one ANN/AkNN method on a generated workload and print
   the result summary plus cost counters.  ``--workers N`` shards the
-  MBA/RBA join across N worker processes (exact, same result).
+  MBA/RBA join across N worker processes (exact, same result);
+  ``--node-cache E`` layers an E-entry decoded-node cache above the
+  buffer pool.
 * ``experiment`` — regenerate one of the paper's figures.
 * ``parallel-bench`` — sweep worker counts and write the
   ``BENCH_parallel.json`` scaling artifact.
+* ``kernel-bench`` — microbenchmark the core kernels (LPQ push/pop,
+  cross metrics, end-to-end ``mba_join``) and write ``BENCH_core.json``.
 
 Examples::
 
     python -m repro datasets --scale 0.01
     python -m repro join --method mba --dataset tac -n 5000 -k 3
     python -m repro join --method mba --dataset gaussian -n 5000 --workers 4
+    python -m repro join --method mba --dataset tac -n 5000 --node-cache 256
     python -m repro experiment fig4
     python -m repro parallel-bench --workers 1 2 4 --out BENCH_parallel.json
+    python -m repro kernel-bench --smoke --out BENCH_core.json
 """
 
 from __future__ import annotations
@@ -80,7 +86,11 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_join(args: argparse.Namespace) -> int:
     points = _make_dataset(args.dataset, args.n, args.dims, args.seed)
-    storage = StorageManager.with_pool_bytes(args.pool_kb * 1024, args.page_size)
+    if args.node_cache < 0:
+        raise SystemExit(f"--node-cache must be >= 0, got {args.node_cache}")
+    storage = StorageManager.with_pool_bytes(
+        args.pool_kb * 1024, args.page_size, node_cache_entries=args.node_cache
+    )
     metric = PruningMetric.NXNDIST if args.metric == "nxndist" else PruningMetric.MAXMAXDIST
 
     if args.workers < 1:
@@ -193,6 +203,15 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_kernel_bench(args: argparse.Namespace) -> int:
+    out = None if args.out == "-" else args.out
+    report = bench.kernel_bench(smoke=args.smoke, seed=args.seed, out_path=out)
+    print(bench.format_kernel_report(report))
+    if out is not None:
+        print(f"\nwrote {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -218,6 +237,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes for the sharded MBA/RBA executor")
+    p.add_argument("--node-cache", type=int, default=0,
+                   help="decoded-node cache entries above the buffer pool "
+                        "(0 disables; sliced per worker when sharded)")
     p.set_defaults(fn=_cmd_join)
 
     p = sub.add_parser("experiment", help="regenerate one of the paper's figures")
@@ -244,6 +266,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--page-size", type=int, default=None)
     p.add_argument("--pool-kb", type=int, default=None)
     p.set_defaults(fn=_cmd_parallel_bench)
+
+    p = sub.add_parser(
+        "kernel-bench",
+        help="microbenchmark the core kernels and write BENCH_core.json",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="seconds-long CI configuration (same code paths)")
+    p.add_argument("--out", default="BENCH_core.json",
+                   help="artifact path ('-' to skip writing)")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(fn=_cmd_kernel_bench)
 
     return parser
 

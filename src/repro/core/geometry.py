@@ -68,6 +68,21 @@ class Rect:
         return cls(vec, vec.copy())
 
     @classmethod
+    def from_point_unchecked(cls, point: np.ndarray) -> "Rect":
+        """Degenerate MBR over a float64 row, skipping validation and copies.
+
+        Internal fast path for the traversal engine, which builds one
+        object-owner rect per query point; the row comes straight out of a
+        decoded leaf node and is already a valid 1-D float64 vector.
+        ``lo`` and ``hi`` alias the same array — fine for a point, and no
+        caller mutates a ``Rect``'s vectors.
+        """
+        rect = cls.__new__(cls)
+        rect._lo = point
+        rect._hi = point
+        return rect
+
+    @classmethod
     def from_points(cls, points: np.ndarray) -> "Rect":
         """The tight bounding box of a non-empty ``(n, D)`` point array."""
         pts = np.asarray(points, dtype=_FLOAT)

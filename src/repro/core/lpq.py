@@ -33,11 +33,39 @@ realised lazily: whenever an entry is popped (or the heap is compacted)
 with ``MIND`` above the current bound, it is discarded and counted in
 ``lpq_filter_discards``.  This has the same pruning effect with better
 asymptotics than eagerly rescanning the heap on every push.
+
+Representation
+--------------
+
+The queue is **columnar**: entries live as rows of parallel numpy arrays
+(``mind``, ``maxd``, ``kind``, ``id``, ``count``) that are append-only —
+a row's index *is* its insertion sequence number, the tie-breaker the
+tuple heap used to carry explicitly.  Pop order is materialised as a
+sorted run of row indices ascending in ``(mind, seq)`` with a head
+cursor; pushes merge into the run by binary insertion (new rows always
+carry larger sequence numbers than queued ones, so inserting after equal
+MINDs reproduces exactly the tuple heap's tie-breaking).  The Expand
+Stage emits mostly tiny batches (one to three entries per probe), so the
+append paths work on plain Python scalars — no array temporaries;
+vectorised numpy takes over for the bulk operations (compaction, the
+batched bound projections).  The pop sequence is bit-identical to the
+old ``heapq`` implementation — the golden-engine tests replay full
+traversals against fixtures recorded from it.
+
+The pruning bound is maintained *incrementally and exactly*: the live
+entries' ``(MAXD, guaranteed count)`` pairs are mirrored in a sorted
+list, so a push or pop is one binary insertion/removal and the bound is
+a short prefix walk (``need_count`` is small).  An LPQ can therefore
+mirror its bound into a caller-owned array slot
+(:meth:`LPQ.bind_bound_slot`) — the Expand Stage shares one such array
+across all child LPQs instead of re-asking every child for its bound on
+every probe.
 """
 
 from __future__ import annotations
 
-import heapq
+import math
+from bisect import bisect_left, bisect_right, insort_right
 
 import numpy as np
 
@@ -60,23 +88,22 @@ NODE = 0
 # Type alias for documentation purposes.
 OwnerKind = int
 
-# ``extra`` payload of a heap item: None for plain node entries, an
+# ``extra`` payload of an entry: None for plain node entries, an
 # ``(lo, hi)`` pair for retained node rects, a coordinate row for objects.
 EntryExtra = tuple[np.ndarray, np.ndarray] | np.ndarray | None
 
-# ``(mind, seq, kind, id, count, maxd, extra)`` — see the LPQ docstring.
-HeapItem = tuple[float, int, int, int, int, float, EntryExtra]
-
-# What ``LPQ.pop`` returns: a heap item minus its ``seq`` tie-breaker.
+# What ``LPQ.pop`` returns: ``(mind, kind, id, count, maxd, extra)``.
 PoppedEntry = tuple[float, int, int, int, float, EntryExtra]
 
 _COMPACT_MIN = 64
+
+_INF = math.inf
 
 
 class LPQ:
     """Priority queue of ``IS`` entries owned by one ``IR`` entry.
 
-    Heap items are tuples ``(mind, seq, kind, id, count, maxd, extra)``:
+    Entry rows are columnar (see the module docstring):
 
     * node entry:   ``kind=NODE``,   ``id=node_id``,  ``count=subtree size``;
       ``extra`` is ``None``, or the entry's MBR when the caller asked to
@@ -85,10 +112,9 @@ class LPQ:
       holds the point's coordinates so a node-owner LPQ can re-probe the
       object against its child LPQs.
 
-    ``seq`` is an insertion counter used both as a heap tie-breaker (the
-    paper breaks MIND ties on MAXD; ties on MIND here pop in increasing
-    MAXD order because pushes are batched in that order) and as the key of
-    the live-entry table used by the AkNN bound.
+    A row's index is its insertion sequence number, used as the pop-order
+    tie-breaker (the paper breaks MIND ties on MAXD; ties on MIND here pop
+    in increasing MAXD order because pushes are batched in that order).
     """
 
     __slots__ = (
@@ -98,15 +124,27 @@ class LPQ:
         "owner_id",
         "owner_node_id",
         "need_count",
-        "_heap",
-        "_seq",
-        "_inherited",
-        "_live",
-        "_live_dirty",
-        "_live_bound",
         "stats",
         "filter_enabled",
         "counts_valid",
+        "_inherited",
+        # Columnar entry store (rows [0:_size) are valid; append-only).
+        "_minds",
+        "_maxds",
+        "_kinds",
+        "_ids",
+        "_counts",
+        "_extras",
+        "_size",
+        # Live run: row indices sorted by (mind, seq) plus parallel minds.
+        "_order",
+        "_ord_minds",
+        "_head",
+        # Exact live bound state: sorted (maxd, guaranteed count) pairs.
+        "_live",
+        "_bound",
+        "_slot_arr",
+        "_slot_idx",
     )
 
     def __init__(
@@ -128,23 +166,34 @@ class LPQ:
         self.owner_id = owner_id
         self.owner_node_id = owner_node_id
         self.need_count = need_count
-        self._heap: list[HeapItem] = []
-        self._seq = 0
-        self._inherited = float(inherited_bound)
-        # Live-entry table backing the bound: seq -> (maxd, count).  The
-        # paper defines the LPQ's MAXD over the entries *currently in the
-        # priority queue* (Section 3.3.1), so contributions expire when
-        # entries pop — this is precisely what lets NXNDIST's cross-level
-        # monotonicity (Lemmas 3.2/3.3) pull ahead of MAXMAXDIST.
-        self._live: dict[int, tuple[float, int]] = {}
-        self._live_dirty = True
-        self._live_bound = float(inherited_bound)
         self.stats = stats
         # Filter Stage on/off switch (off only in the ablation experiment).
         self.filter_enabled = filter_enabled
         # True only when the pruning metric bounds the distance to every
         # point of an entry (MAXMAXDIST); NXNDIST guarantees one point.
         self.counts_valid = counts_valid
+
+        self._inherited = float(inherited_bound)
+        self._minds: np.ndarray | None = None
+        self._maxds: np.ndarray | None = None
+        self._kinds: np.ndarray | None = None
+        self._ids: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+        self._extras: list[EntryExtra] = []
+        self._size = 0
+        self._order: list[int] = []
+        self._ord_minds: list[float] = []
+        self._head = 0
+        # The bound's live part: every live entry's ``(maxd, count it may
+        # claim)``, kept sorted.  The paper defines the LPQ's MAXD over
+        # the entries *currently in the priority queue* (Section 3.3.1),
+        # so contributions expire when entries pop — this is precisely
+        # what lets NXNDIST's cross-level monotonicity (Lemmas 3.2/3.3)
+        # pull ahead of MAXMAXDIST.
+        self._live: list[tuple[float, int]] = []
+        self._bound = self._inherited
+        self._slot_arr: np.ndarray | None = None
+        self._slot_idx = 0
 
     # -- bound ---------------------------------------------------------------
 
@@ -155,24 +204,44 @@ class LPQ:
         Per Section 3.3.1 this is computed over the entries currently in
         the queue: the minimum MAXD for ANN, and for AkNN the smallest
         value whose entries jointly guarantee ``need_count`` points.
+        Maintained incrementally by every push/pop, so reading it is free.
         """
-        if self._live_dirty:
-            self._live_bound = self._compute_live_bound()
-            self._live_dirty = False
-        return self._live_bound
+        return self._bound
 
-    def _compute_live_bound(self) -> float:
-        if not self._live:
-            return self._inherited
-        if self.need_count == 1:
-            return min(self._inherited, min(maxd for maxd, __ in self._live.values()))
-        items = sorted(self._live.values())
-        total = 0
-        for maxd, count in items:
-            total += count
-            if total >= self.need_count:
-                return min(self._inherited, maxd)
-        return self._inherited
+    def bind_bound_slot(self, arr: np.ndarray, idx: int) -> None:
+        """Mirror this LPQ's bound into ``arr[idx]``, kept current forever.
+
+        The Expand Stage binds every child LPQ to one shared float64 array
+        and reads bounds straight from it — replacing a Python-level
+        ``bound``-property sweep per probe with array indexing.
+        """
+        arr[idx] = self._bound
+        self._slot_arr = arr
+        self._slot_idx = idx
+
+    def _refresh_bound(self) -> None:
+        """Re-derive the bound from the inherited value and the live pairs.
+
+        The live part is the smallest MAXD whose prefix of the (sorted)
+        live pairs guarantees ``need_count`` points — a walk of at most
+        ``need_count`` steps, since every entry claims at least one point
+        and the walk stops as soon as a MAXD exceeds the bound it could
+        improve on.
+        """
+        need = self.need_count
+        bound = self._inherited
+        cum = 0
+        for maxd, claim in self._live:
+            if maxd > bound:
+                break
+            cum += claim
+            if cum >= need:
+                bound = maxd
+                break
+        if bound != self._bound:
+            self._bound = bound
+            if self._slot_arr is not None:
+                self._slot_arr[self._slot_idx] = bound
 
     def batch_bound(self, maxds: np.ndarray, counts: np.ndarray | None = None) -> float:
         """The bound this LPQ will have once a candidate batch is enqueued.
@@ -187,24 +256,118 @@ class LPQ:
         each entry guarantees a single point.
         """
         if len(maxds) == 0:
-            return self.bound
+            return self._bound
         if self.need_count == 1:
-            return min(self.bound, float(maxds.min()))
+            return min(self._bound, float(maxds.min()))
         if counts is None or not self.counts_valid:
             # Entry-counting rule: the need-th smallest MAXD.
             if len(maxds) < self.need_count:
-                return self.bound
+                return self._bound
             kth = float(np.partition(maxds, self.need_count - 1)[self.need_count - 1])
-            return min(self.bound, kth)
+            return min(self._bound, kth)
         order = np.argsort(maxds, kind="stable")
         cum = np.cumsum(counts[order])
         reach = int(np.searchsorted(cum, self.need_count))
         if reach >= len(cum):
-            return self.bound
-        return min(self.bound, float(maxds[order[reach]]))
-
+            return self._bound
+        return min(self._bound, float(maxds[order[reach]]))
 
     # -- pushing --------------------------------------------------------------
+
+    def _grow(self, extra_rows: int) -> None:
+        old = self._minds
+        size = self._size
+        cap = 0 if old is None else len(old)
+        new_cap = max(32, 2 * cap, size + extra_rows)
+        minds = np.empty(new_cap, dtype=np.float64)
+        maxds = np.empty(new_cap, dtype=np.float64)
+        kinds = np.empty(new_cap, dtype=np.int8)
+        ids = np.empty(new_cap, dtype=np.int64)
+        counts = np.empty(new_cap, dtype=np.int64)
+        if old is not None:
+            minds[:size] = old[:size]
+            maxds[:size] = self._maxds[:size]  # type: ignore[index]
+            kinds[:size] = self._kinds[:size]  # type: ignore[index]
+            ids[:size] = self._ids[:size]  # type: ignore[index]
+            counts[:size] = self._counts[:size]  # type: ignore[index]
+        self._minds = minds
+        self._maxds = maxds
+        self._kinds = kinds
+        self._ids = ids
+        self._counts = counts
+
+    def _insert_rows(
+        self,
+        kind: int,
+        ids: list[int],
+        counts: list[int],
+        minds: list[float],
+        maxds: list[float],
+    ) -> list[int]:
+        """Append a batch of rows and merge them into the live run.
+
+        Rows are appended in stable-MAXD order — the sequence numbers the
+        per-entry heappush loop would have assigned, so MIND ties still
+        pop in increasing-MAXD order.  Returns that order as batch
+        indices (for the caller's ``extra`` bookkeeping).
+
+        New rows always carry larger seqs than every queued row, so the
+        ``bisect_right`` merge lands them after equal-MIND incumbents;
+        inserting in ascending (mind, seq) order keeps batch-internal
+        ties in seq order too.
+        """
+        n = len(maxds)
+        if n == 1:
+            self._append_row(kind, ids[0], counts[0], minds[0], maxds[0])
+            self.stats.lpq_enqueues += 1
+            self._refresh_bound()
+            return [0]
+        batch_order = sorted(range(n), key=maxds.__getitem__)
+        minds_col = self._minds
+        if minds_col is None or self._size + n > len(minds_col):
+            self._grow(n)
+            minds_col = self._minds
+        maxds_col = self._maxds
+        kinds_col = self._kinds
+        ids_col = self._ids
+        counts_col = self._counts
+        assert (
+            minds_col is not None
+            and maxds_col is not None
+            and kinds_col is not None
+            and ids_col is not None
+            and counts_col is not None
+        )
+        base = self._size
+        counts_valid = self.counts_valid
+        live = self._live
+        row = base
+        for i in batch_order:
+            maxd = maxds[i]
+            count = counts[i]
+            minds_col[row] = minds[i]
+            maxds_col[row] = maxd
+            kinds_col[row] = kind
+            ids_col[row] = ids[i]
+            counts_col[row] = count
+            insort_right(live, (maxd, count if counts_valid else 1))
+            row += 1
+        self._size = row
+        # Merge in ascending (mind, seq): iterate the appended rows in
+        # stable-MIND order so equal-MIND batch members insert in seq
+        # order, each landing after all queued equals (side=right).
+        order = self._order
+        ord_minds = self._ord_minds
+        head = self._head
+        app_minds = [minds[i] for i in batch_order]
+        for j in sorted(range(n), key=app_minds.__getitem__):
+            mind = app_minds[j]
+            pos = bisect_right(ord_minds, mind, head)
+            order.insert(pos, base + j)
+            ord_minds.insert(pos, mind)
+        self.stats.lpq_enqueues += n
+        self._refresh_bound()
+        return batch_order
 
     def push_nodes(
         self,
@@ -221,21 +384,17 @@ class LPQ:
         the bound updates and the bookkeeping.  ``rects`` optionally retains
         each entry's ``(lo, hi)`` rows for the uni-directional variant.
         """
-        order = np.argsort(maxds, kind="stable")
-        heap = self._heap
-        for i in order:
-            seq = self._seq
-            self._seq = seq + 1
-            maxd = float(maxds[i])
-            count = int(counts[i])
-            extra = None if rects is None else (rects[0][i], rects[1][i])
-            heapq.heappush(
-                heap, (float(minds[i]), seq, NODE, int(node_ids[i]), count, maxd, extra)
-            )
-            self._live[seq] = (maxd, count if self.counts_valid else 1)
-        if len(order):
-            self._live_dirty = True
-        self.stats.lpq_enqueues += len(order)
+        n = len(maxds)
+        if n == 0:
+            return
+        batch_order = self._insert_rows(
+            NODE, node_ids.tolist(), counts.tolist(), minds.tolist(), maxds.tolist()
+        )
+        if rects is None:
+            self._extras.extend([None] * n)
+        else:
+            lo, hi = rects
+            self._extras.extend((lo[i], hi[i]) for i in batch_order)
         self._maybe_compact()
 
     def push_objects(
@@ -251,20 +410,107 @@ class LPQ:
         for a node-owner LPQ they are the point-to-owner-MBR lower bound
         and the pruning-metric upper bound.
         """
-        heap = self._heap
-        order = np.argsort(maxds, kind="stable")
-        for i in order:
-            seq = self._seq
-            self._seq = seq + 1
-            maxd = float(maxds[i])
-            heapq.heappush(
-                heap, (float(minds[i]), seq, OBJECT, int(point_ids[i]), 1, maxd, points[i])
-            )
-            self._live[seq] = (maxd, 1)
-        if len(point_ids):
-            self._live_dirty = True
-        self.stats.lpq_enqueues += len(point_ids)
+        n = len(point_ids)
+        if n == 0:
+            return
+        batch_order = self._insert_rows(
+            OBJECT, point_ids.tolist(), [1] * n, minds.tolist(), maxds.tolist()
+        )
+        self._extras.extend(points[i] for i in batch_order)
         self._maybe_compact()
+
+    def push_node_rows(
+        self,
+        ids: list[int],
+        counts: list[int],
+        minds: list[float],
+        maxds: list[float],
+    ) -> None:
+        """List-based :meth:`push_nodes` (no entry rects retained).
+
+        The bi-directional probe extracts surviving pairs as Python
+        scalars in one pass; this entry point skips the array round-trip.
+        """
+        n = len(maxds)
+        if n == 0:
+            return
+        self._insert_rows(NODE, ids, counts, minds, maxds)
+        self._extras.extend([None] * n)
+        self._maybe_compact()
+
+    def push_object_rows(
+        self,
+        ids: list[int],
+        minds: list[float],
+        maxds: list[float],
+        points: list[np.ndarray],
+    ) -> None:
+        """List-based :meth:`push_objects` (``points`` holds one row each)."""
+        n = len(maxds)
+        if n == 0:
+            return
+        batch_order = self._insert_rows(OBJECT, ids, [1] * n, minds, maxds)
+        self._extras.extend(points[i] for i in batch_order)
+        self._maybe_compact()
+
+    def _append_row(
+        self, kind: int, ident: int, count: int, mind: float, maxd: float
+    ) -> None:
+        """Append one row and merge it into the run (no extras, no stats)."""
+        minds_col = self._minds
+        if minds_col is None or self._size + 1 > len(minds_col):
+            self._grow(1)
+            minds_col = self._minds
+        row = self._size
+        minds_col[row] = mind  # type: ignore[index]
+        self._maxds[row] = maxd  # type: ignore[index]
+        self._kinds[row] = kind  # type: ignore[index]
+        self._ids[row] = ident  # type: ignore[index]
+        self._counts[row] = count  # type: ignore[index]
+        self._size = row + 1
+
+        pos = bisect_right(self._ord_minds, mind, self._head)
+        self._order.insert(pos, row)
+        self._ord_minds.insert(pos, mind)
+        insort_right(self._live, (maxd, count if self.counts_valid else 1))
+
+    def _push_single(
+        self,
+        kind: int,
+        ident: int,
+        count: int,
+        mind: float,
+        maxd: float,
+        extra: EntryExtra,
+    ) -> None:
+        """Scalar push — one entry, no batch ceremony.
+
+        Equivalent to a batch push of size one: the Expand Stage probes
+        one target entry against many child LPQs, so this is the hottest
+        enqueue path.
+        """
+        self._append_row(kind, ident, count, mind, maxd)
+        self._extras.append(extra)
+        self.stats.lpq_enqueues += 1
+        self._refresh_bound()
+        self._maybe_compact()
+
+    def push_node_single(
+        self,
+        node_id: int,
+        count: int,
+        mind: float,
+        maxd: float,
+        rect: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        """Enqueue one node entry (see :meth:`_push_single`)."""
+        self._push_single(NODE, node_id, count, mind, maxd, rect)
+
+    def push_object_single(
+        self, point_id: int, mind: float, maxd: float, point: np.ndarray
+    ) -> None:
+        """Enqueue one data-object entry (see :meth:`_push_single`)."""
+        self._push_single(OBJECT, point_id, 1, mind, maxd, point)
 
     # -- popping --------------------------------------------------------------
 
@@ -275,30 +521,53 @@ class LPQ:
         queue is exhausted (including when every remaining entry is
         filtered).
         """
-        heap = self._heap
-        while heap:
-            mind, seq, kind, ident, count, maxd, extra = heapq.heappop(heap)
-            self._live.pop(seq, None)
-            self._live_dirty = True
-            if self.filter_enabled and mind > self.bound:
+        order = self._order
+        ord_minds = self._ord_minds
+        n = len(order)
+        maxds_col = self._maxds
+        counts_col = self._counts
+        live = self._live
+        counts_valid = self.counts_valid
+        while self._head < n:
+            h = self._head
+            row = order[h]
+            mind = ord_minds[h]
+            self._head = h + 1
+            maxd = float(maxds_col[row])  # type: ignore[index]
+            count = int(counts_col[row])  # type: ignore[index]
+            # The entry has left the queue; the bound is defined over the
+            # remaining live entries, so refresh it *before* the filter
+            # check (a popped tight entry may loosen the bound for the
+            # entries behind it).
+            pair = (maxd, count if counts_valid else 1)
+            del live[bisect_left(live, pair)]
+            self._refresh_bound()
+            if self.filter_enabled and mind > self._bound:
                 # Filter Stage: the entry was overtaken by a tighter bound
                 # while queued.
                 self.stats.lpq_filter_discards += 1
                 continue
-            return mind, kind, ident, count, maxd, extra
+            return (
+                mind,
+                int(self._kinds[row]),  # type: ignore[index]
+                int(self._ids[row]),  # type: ignore[index]
+                count,
+                maxd,
+                self._extras[row],
+            )
         return None
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return len(self._order) - self._head
 
     @property
     def empty(self) -> bool:
-        return not self._heap
+        return len(self._order) == self._head
 
     # -- maintenance ------------------------------------------------------------
 
     def _maybe_compact(self) -> None:
-        """Drop filtered entries in bulk when the heap grows large.
+        """Drop filtered entries in bulk when the queue grows large.
 
         Compaction is a pure optimisation and must be observationally
         equivalent to leaving every entry for the lazy pop-time filter:
@@ -313,19 +582,30 @@ class LPQ:
         tight entries popped out, silently changing traversal order and
         counters with the compaction threshold.
         """
-        heap = self._heap
-        if not self.filter_enabled or len(heap) < _COMPACT_MIN:
+        live_n = len(self._order) - self._head
+        if not self.filter_enabled or live_n < _COMPACT_MIN:
             return
-        bound = self._inherited
-        keep = [item for item in heap if item[0] <= bound]
-        dropped = len(heap) - len(keep)
-        if dropped > len(heap) // 2:
+        live_minds = np.asarray(self._ord_minds[self._head :])
+        keep = live_minds <= self._inherited
+        dropped = live_n - int(np.count_nonzero(keep))
+        if dropped > live_n // 2:
             self.stats.lpq_filter_discards += dropped
-            kept_seqs = {item[1] for item in keep}
-            self._live = {s: v for s, v in self._live.items() if s in kept_seqs}
-            self._live_dirty = True
-            heapq.heapify(keep)
-            self._heap = keep
+            keep_list = keep.tolist()
+            live_order = self._order[self._head :]
+            self._order = [r for r, k in zip(live_order, keep_list) if k]
+            self._ord_minds = live_minds[keep].tolist()
+            self._head = 0
+            # Rebuild the live (maxd, claim) pairs from the surviving rows.
+            # Dropped entries all have maxd >= mind > inherited, so none of
+            # them can have determined the bound — the rebuilt walk yields
+            # the same value and no slot update is needed.
+            rows = np.asarray(self._order, dtype=np.int64)
+            maxds = self._maxds[rows]  # type: ignore[index]
+            if self.counts_valid:
+                claims = self._counts[rows].tolist()  # type: ignore[index]
+            else:
+                claims = [1] * len(rows)
+            self._live = sorted(zip(maxds.tolist(), claims))
 
 
 def make_node_lpq(
@@ -363,7 +643,7 @@ def make_object_lpq(
     point = np.asarray(owner_point, dtype=np.float64)
     return LPQ(
         OBJECT,
-        Rect(point, point.copy()),
+        Rect.from_point_unchecked(point),
         inherited_bound,
         stats,
         owner_id=owner_id,

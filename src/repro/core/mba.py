@@ -46,7 +46,7 @@ from ..core.lpq import (
     make_node_lpq,
     make_object_lpq,
 )
-from ..core.metrics import dist_point_points, minmindist, minmindist_cross, minmindist_point_batch
+from ..core.metrics import dist_point_points, minmindist, minmindist_point_batch
 from ..core.pruning import PruningMetric
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
@@ -266,23 +266,36 @@ class _Engine:
                     d = dists[mask]
                     lpq.push_objects(snode.point_ids[mask], d, d, snode.points[mask])
             else:
+                # Score the cheap lower bound first; the pruning metric only
+                # needs evaluating on rows that can still make the queue.
+                # Rows with MIND above the pre-batch bound cannot tighten
+                # the batch bound either (their MAXD >= MIND exceeds every
+                # candidate bound value), so the effective bound — and the
+                # surviving set — is identical to scoring every row.
                 minds = minmindist_point_batch(owner_point, snode.rects)
-                maxds = self.metric.batch(lpq.owner_rect, snode.rects)
-                self.stats.record_distances(2 * len(minds))
-                if self.batch_tighten:
-                    bound = lpq.batch_bound(maxds, snode.counts)
-                else:
-                    bound = lpq.bound
-                mask = minds <= bound
-                if np.any(mask):
-                    # Gather-stage expansion reads nodes from the index, so
-                    # entry rects never need to be retained here.
-                    lpq.push_nodes(
-                        snode.child_ids[mask],
-                        snode.counts[mask],
-                        minds[mask],
-                        maxds[mask],
-                    )
+                pre = lpq.bound
+                cand = minds <= pre
+                n_cand = int(np.count_nonzero(cand))
+                self.stats.record_distances(len(minds) + n_cand)
+                if n_cand:
+                    rects = snode.rects
+                    sub = RectArray(rects.lo[cand], rects.hi[cand])
+                    maxds = self.metric.batch(lpq.owner_rect, sub)
+                    counts_sub = snode.counts[cand]
+                    if self.batch_tighten:
+                        bound = lpq.batch_bound(maxds, counts_sub)
+                    else:
+                        bound = pre
+                    mask = minds[cand] <= bound
+                    if np.any(mask):
+                        # Gather-stage expansion reads nodes from the index,
+                        # so entry rects never need to be retained here.
+                        lpq.push_nodes(
+                            snode.child_ids[cand][mask],
+                            counts_sub[mask],
+                            minds[cand][mask],
+                            maxds[mask],
+                        )
 
     # -- Expand Stage (owner is an index node) ----------------------------------
 
@@ -291,16 +304,28 @@ class _Engine:
         self.stats.node_expansions += 1
         inherited = lpq.bound
         child_lpqs = self._make_child_lpqs(rnode, inherited)
+        if not child_lpqs:
+            # A childless owner cannot absorb any entry: everything still
+            # queued is pruned wholesale.  (Previously this path crashed —
+            # the snapshot refresh took ``bounds.max()`` over an empty
+            # array.)
+            self.stats.pruned_entries += len(lpq)
+            return []
         owner_rects = rnode.rects
+
+        # Every child LPQ mirrors its bound into one shared array (updated
+        # in place on push/pop), so reading all current bounds is a copy,
+        # not a Python sweep over bound properties.
+        shared = np.empty(len(child_lpqs), dtype=np.float64)
+        for i, c in enumerate(child_lpqs):
+            c.bind_bound_slot(shared, i)
 
         # Child bounds only tighten while this loop runs (their entries are
         # pushed here, never popped), so a periodically refreshed snapshot
         # of the max bound is a *conservative* gate: it can only delay the
         # break/skip, never cause a wrong prune.
-        bounds = np.fromiter(
-            (c.bound for c in child_lpqs), dtype=np.float64, count=len(child_lpqs)
-        )
-        max_bound = float(bounds.max()) if len(bounds) else 0.0
+        bounds = shared.copy()
+        max_bound = float(bounds.max())
         pops_since_refresh = 0
         while True:
             popped = lpq.pop()
@@ -308,9 +333,7 @@ class _Engine:
                 break
             mind, kind, ident, count, maxd, extra = popped
             if mind > max_bound or pops_since_refresh >= 8:
-                bounds = np.fromiter(
-                    (c.bound for c in child_lpqs), dtype=np.float64, count=len(child_lpqs)
-                )
+                np.copyto(bounds, shared)
                 max_bound = float(bounds.max())
                 pops_since_refresh = 0
             pops_since_refresh += 1
@@ -327,7 +350,7 @@ class _Engine:
             if kind == OBJECT:
                 self._probe_object(child_lpqs, owner_rects, bounds, ident, extra)
             elif self.bidirectional:
-                self._probe_node_children(child_lpqs, owner_rects, bounds, ident)
+                self._probe_node_children(child_lpqs, owner_rects, shared, ident)
             else:
                 self._probe_node_entry(child_lpqs, owner_rects, bounds, ident, count, extra)
 
@@ -361,6 +384,16 @@ class _Engine:
             for i in range(rnode.n_entries)
         ]
 
+    @staticmethod
+    def _single_rect(lo: np.ndarray, hi: np.ndarray) -> RectArray:
+        """One-rect :class:`RectArray` without re-validating the invariant
+        (the rows come from an index node or a data point — already valid).
+        """
+        target = RectArray.__new__(RectArray)
+        target.lo = lo[None, :]
+        target.hi = hi[None, :]
+        return target
+
     def _probe_object(
         self,
         child_lpqs: list[LPQ],
@@ -370,37 +403,39 @@ class _Engine:
         point: np.ndarray,
     ) -> None:
         """Probe a single target data object against every child LPQ."""
-        target = RectArray(point[None, :], point[None, :])
-        minds = minmindist_cross(owner_rects, target)[:, 0]
-        maxds = self.metric.cross(owner_rects, target)[:, 0]
+        target = self._single_rect(point, point)
+        minds, maxds = self.metric.cross_pair(owner_rects, target)
+        minds = minds[:, 0]
+        maxds = maxds[:, 0]
         self.stats.record_distances(2 * len(minds))
-        pid = np.asarray([point_id])
-        pt = point[None, :]
-        for c in np.nonzero(minds <= bounds)[0]:
-            child_lpqs[c].push_objects(
-                pid, np.asarray([minds[c]]), np.asarray([maxds[c]]), pt
+        hits = np.nonzero(minds <= bounds)[0]
+        for c in hits:
+            child_lpqs[c].push_object_single(
+                point_id, float(minds[c]), float(maxds[c]), point
             )
-        self.stats.pruned_entries += int(np.sum(minds > bounds))
+        self.stats.pruned_entries += len(minds) - len(hits)
 
     def _probe_node_children(
         self,
         child_lpqs: list[LPQ],
         owner_rects: RectArray,
-        bounds: np.ndarray,
+        lpq_bounds: np.ndarray,
         node_id: int,
     ) -> None:
-        """Bi-directional expansion: probe the target node's children."""
+        """Bi-directional expansion: probe the target node's children.
+
+        ``lpq_bounds`` is the *live* shared bounds array (every child LPQ
+        writes its bound there eagerly), so this stage always sees current
+        bounds — exactly as when it recomputed them per call.
+        """
         snode = self.index_s.node(node_id)
         self.stats.node_expansions += 1
         targets = snode.rects
-        mind_mat = minmindist_cross(owner_rects, targets)
-        maxd_mat = self.metric.cross(owner_rects, targets)
+        mind_mat, maxd_mat = self.metric.cross_pair(owner_rects, targets)
         self.stats.record_distances(2 * mind_mat.size)
-        counts = None if snode.is_leaf else snode.counts
+        is_leaf = snode.is_leaf
+        counts = None if is_leaf else snode.counts
 
-        lpq_bounds = np.fromiter(
-            (c.bound for c in child_lpqs), dtype=np.float64, count=len(child_lpqs)
-        )
         if self.batch_tighten:
             eff_bounds = batch_bounds_rows(
                 maxd_mat, counts, self.need_count, self.counts_valid, lpq_bounds
@@ -408,29 +443,51 @@ class _Engine:
         else:
             eff_bounds = lpq_bounds
         mask_mat = mind_mat <= eff_bounds[:, None]
-        self.stats.pruned_entries += int(mask_mat.size - np.count_nonzero(mask_mat))
+        hit_total = int(np.count_nonzero(mask_mat))
+        self.stats.pruned_entries += int(mask_mat.size) - hit_total
+        if hit_total == 0:
+            return
 
-        for c in np.nonzero(mask_mat.any(axis=1))[0]:
+        # One pass extracts every surviving (child, entry) pair in row-major
+        # order — grouped by child, entries ascending — as Python scalars;
+        # the per-child boolean-mask slicing this replaces dominated the
+        # probe's CPU cost (a handful of hits per probe, but four masked
+        # gathers per child that had any).
+        rows, cols = np.nonzero(mask_mat)
+        rows_l = rows.tolist()
+        cols_l = cols.tolist()
+        minds_l = mind_mat[mask_mat].tolist()
+        maxds_l = maxd_mat[mask_mat].tolist()
+        ids_l = snode.entry_ids_list
+        counts_l = None if is_leaf else snode.counts_list
+        point_rows = snode.point_rows if is_leaf else None
+        i = 0
+        while i < hit_total:
+            c = rows_l[i]
+            j = i + 1
+            while j < hit_total and rows_l[j] == c:
+                j += 1
             child = child_lpqs[c]
-            mask = mask_mat[c]
-            if snode.is_leaf:
-                child.push_objects(
-                    snode.point_ids[mask],
-                    mind_mat[c][mask],
-                    maxd_mat[c][mask],
-                    snode.points[mask],
+            sel = cols_l[i:j]
+            if point_rows is not None:
+                child.push_object_rows(
+                    [ids_l[t] for t in sel],
+                    minds_l[i:j],
+                    maxds_l[i:j],
+                    [point_rows[t] for t in sel],
                 )
             else:
                 # Bi-directional expansion reads child nodes from the index
                 # on their own expansion, so entry rects need not be
                 # retained here; only `_probe_node_entry` (the
                 # uni-directional variant) carries rects forward.
-                child.push_nodes(
-                    snode.child_ids[mask],
-                    snode.counts[mask],
-                    mind_mat[c][mask],
-                    maxd_mat[c][mask],
+                child.push_node_rows(
+                    [ids_l[t] for t in sel],
+                    [counts_l[t] for t in sel],  # type: ignore[index]
+                    minds_l[i:j],
+                    maxds_l[i:j],
                 )
+            i = j
 
     def _probe_node_entry(
         self,
@@ -443,18 +500,15 @@ class _Engine:
     ) -> None:
         """Uni-directional variant: re-score the entry itself (no expansion)."""
         lo, hi = extra
-        target = RectArray(lo[None, :], hi[None, :])
-        minds = minmindist_cross(owner_rects, target)[:, 0]
-        maxds = self.metric.cross(owner_rects, target)[:, 0]
+        target = self._single_rect(lo, hi)
+        minds, maxds = self.metric.cross_pair(owner_rects, target)
+        minds = minds[:, 0]
+        maxds = maxds[:, 0]
         self.stats.record_distances(2 * len(minds))
-        nid = np.asarray([node_id])
-        cnt = np.asarray([count])
-        for c in np.nonzero(minds <= bounds)[0]:
-            child_lpqs[c].push_nodes(
-                nid,
-                cnt,
-                np.asarray([minds[c]]),
-                np.asarray([maxds[c]]),
-                rects=(lo[None, :], hi[None, :]),
+        rect = (lo, hi)
+        hits = np.nonzero(minds <= bounds)[0]
+        for c in hits:
+            child_lpqs[c].push_node_single(
+                node_id, count, float(minds[c]), float(maxds[c]), rect=rect
             )
-        self.stats.pruned_entries += int(np.sum(minds > bounds))
+        self.stats.pruned_entries += len(minds) - len(hits)

@@ -47,6 +47,8 @@ __all__ = [
     "minmindist_cross",
     "maxmaxdist_cross",
     "nxndist_cross",
+    "minmindist_nxndist_cross",
+    "minmindist_maxmaxdist_cross",
 ]
 
 
@@ -131,9 +133,14 @@ def minmindist(m: Rect, n: Rect) -> float:
 
 
 def maxmaxdist(m: Rect, n: Rect) -> float:
-    """Classical MAXMAXDIST upper bound (farthest corner pair)."""
+    """Classical MAXMAXDIST upper bound (farthest corner pair).
+
+    Reduced with ``np.sum`` over the squared per-dim terms, not ``np.dot``:
+    BLAS dot may contract with FMA, which rounds differently and would break
+    bit-identity with the batch/cross/fused kernels.
+    """
     md = maxdist_per_dim(m, n)
-    return float(np.sqrt(np.dot(md, md)))
+    return float(np.sqrt(np.sum(md * md)))
 
 
 def minmaxdist(m: Rect, n: Rect) -> float:
@@ -230,13 +237,31 @@ def nxndist_batch(m: Rect, targets: RectArray) -> np.ndarray:
         mm = np.where(inside, np.maximum(mm, at_mid), mm)
     mm_sq = mm**2
 
-    # Additive form (see nxndist): substitute the sweep dimension's term
-    # instead of subtracting, preserving MINMINDIST <= NXNDIST in floats.
-    sweep = np.argmax(md_sq - mm_sq, axis=1)
-    rows = np.arange(md_sq.shape[0])
-    terms = md_sq.copy()
-    terms[rows, sweep] = mm_sq[rows, sweep]
-    return np.sqrt(np.sum(terms, axis=1))
+    return _nxn_substitute_sweep(md_sq, mm_sq, axis=1)
+
+
+def _nxn_substitute_sweep(md_sq: np.ndarray, mm_sq: np.ndarray, axis: int) -> np.ndarray:
+    """Finish an NXNDIST kernel from its squared MAXDIST / MAXMIN parts.
+
+    Additive form (see :func:`nxndist`): substitute the sweep dimension's
+    MAXMIN^2 term for its MAXDIST^2 term and sum, preserving
+    ``MINMINDIST <= NXNDIST`` in floats.  ``md_sq`` is consumed in place —
+    every caller passes a temporary it owns.
+    """
+    if axis == md_sq.ndim - 1 and md_sq.flags.c_contiguous and mm_sq.flags.c_contiguous:
+        # Flat-index form of the substitution below: same values written to
+        # the same elements, then the same last-axis sum — bit-identical,
+        # without the generic ``*_along_axis`` index machinery.
+        dims = md_sq.shape[-1]
+        md_flat = md_sq.reshape(-1, dims)
+        mm_flat = mm_sq.reshape(-1, dims)
+        sweep_flat = np.argmax(md_flat - mm_flat, axis=1)
+        rows = np.arange(md_flat.shape[0])
+        md_flat[rows, sweep_flat] = mm_flat[rows, sweep_flat]
+        return np.sqrt(np.sum(md_sq, axis=axis))
+    sweep = np.expand_dims(np.argmax(md_sq - mm_sq, axis=axis), axis)
+    np.put_along_axis(md_sq, sweep, np.take_along_axis(mm_sq, sweep, axis=axis), axis=axis)
+    return np.sqrt(np.sum(md_sq, axis=axis))
 
 
 # ---------------------------------------------------------------------------
@@ -298,11 +323,112 @@ def nxndist_cross(a: RectArray, b: RectArray) -> np.ndarray:
         at_mid = np.minimum(np.abs(mid - b_lo), np.abs(mid - b_hi))
         mm = np.where(inside, np.maximum(mm, at_mid), mm)
     mm_sq = mm**2
+    return _nxn_substitute_sweep(md_sq, mm_sq, axis=2)
 
-    # Additive form (see nxndist): substitute the sweep dimension's term
-    # instead of subtracting, preserving MINMINDIST <= NXNDIST in floats.
-    sweep = np.argmax(md_sq - mm_sq, axis=2)
-    ii, jj = np.indices(sweep.shape)
-    terms = md_sq.copy()
-    terms[ii, jj, sweep] = mm_sq[ii, jj, sweep]
-    return np.sqrt(np.sum(terms, axis=2))
+
+# ---------------------------------------------------------------------------
+# fused cross metrics: MINMINDIST + upper bound in one call
+# ---------------------------------------------------------------------------
+#
+# The Expand Stage needs both the lower bound (for the enqueue test) and
+# the pruning upper bound of every pair; computing them separately repeats
+# the two broadcast subtractions ``a.lo - b.hi`` / ``b.lo - a.hi`` that
+# every metric is built from.  The fused forms share those diffs.  Each
+# individual value is produced by exactly the expression the standalone
+# kernels use (same operations, same order), so the results are
+# bit-identical — the consistency property tests assert this.
+
+
+def _mind_md_sq_2d(
+    a: RectArray, b: RectArray, d: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One dimension's squared gap and MAXDIST parts plus the raw diffs.
+
+    2-D fast path building block: the general cross kernels broadcast to
+    ``(na, nb, D)`` and reduce over the length-D last axis — numpy's
+    slowest reduction shape.  Working per dimension on ``(na, nb)`` arrays
+    performs the identical scalar operations per element (so the results
+    are bit-identical; the property tests assert it) without the strided
+    small-axis sums, argmaxes and index juggling.
+    """
+    d_ab = a.lo[:, d, None] - b.hi[None, :, d]
+    d_ba = b.lo[None, :, d] - a.hi[:, d, None]
+    gap = np.maximum(0.0, np.maximum(d_ba, d_ab))
+    abs_ab = np.abs(d_ab)
+    abs_ba = np.abs(d_ba)
+    md_sq = np.square(np.maximum(abs_ab, abs_ba))
+    return gap * gap, md_sq, d_ab, abs_ab, abs_ba
+
+
+def minmindist_maxmaxdist_cross(
+    a: RectArray, b: RectArray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(MINMINDIST, MAXMAXDIST)`` between every rect of ``a`` and ``b``."""
+    if a.lo.shape[1] == 2:
+        gap_sq0, md_sq0, _, _, _ = _mind_md_sq_2d(a, b, 0)
+        gap_sq1, md_sq1, _, _, _ = _mind_md_sq_2d(a, b, 1)
+        return np.sqrt(gap_sq0 + gap_sq1), np.sqrt(md_sq0 + md_sq1)
+    d_ab = a.lo[:, None, :] - b.hi[None, :, :]
+    d_ba = b.lo[None, :, :] - a.hi[:, None, :]
+    gap = np.maximum(0.0, np.maximum(d_ba, d_ab))
+    mind = np.sqrt(np.sum(gap * gap, axis=2))
+    md = np.maximum(np.abs(d_ab), np.abs(d_ba))
+    maxd = np.sqrt(np.sum(np.square(md, out=md), axis=2))
+    return mind, maxd
+
+
+def _mm_sq_2d(a: RectArray, b: RectArray, d: int, abs_ab: np.ndarray, abs_ba: np.ndarray) -> np.ndarray:
+    """One dimension's squared MAXMIN part (2-D fast path; see above)."""
+    a_lo = a.lo[:, d, None]
+    a_hi = a.hi[:, d, None]
+    b_lo = b.lo[None, :, d]
+    b_hi = b.hi[None, :, d]
+    mid = (b_lo + b_hi) / 2.0
+    at_lo = np.minimum(np.abs(a_lo - b_lo), abs_ab)
+    at_hi = np.minimum(abs_ba, np.abs(a_hi - b_hi))
+    mm = np.maximum(at_lo, at_hi)
+    inside = (a_lo <= mid) & (mid <= a_hi)
+    if np.any(inside):
+        at_mid = np.minimum(np.abs(mid - b_lo), np.abs(mid - b_hi))
+        mm = np.where(inside, np.maximum(mm, at_mid), mm)
+    return mm * mm
+
+
+def minmindist_nxndist_cross(
+    a: RectArray, b: RectArray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(MINMINDIST, NXNDIST)`` from every (query) rect of ``a`` to ``b``."""
+    if a.lo.shape[1] == 2:
+        gap_sq0, md_sq0, _, abs_ab0, abs_ba0 = _mind_md_sq_2d(a, b, 0)
+        gap_sq1, md_sq1, _, abs_ab1, abs_ba1 = _mind_md_sq_2d(a, b, 1)
+        mind = np.sqrt(gap_sq0 + gap_sq1)
+        mm_sq0 = _mm_sq_2d(a, b, 0, abs_ab0, abs_ba0)
+        mm_sq1 = _mm_sq_2d(a, b, 1, abs_ab1, abs_ba1)
+        # Sweep-dimension choice: argmax over the two saving terms picks
+        # dimension 0 on ties, as np.argmax does in the general kernel.
+        sweep0 = md_sq0 - mm_sq0 >= md_sq1 - mm_sq1
+        nxn = np.sqrt(np.where(sweep0, mm_sq0 + md_sq1, md_sq0 + mm_sq1))
+        return mind, nxn
+    b_lo = b.lo[None, :, :]
+    b_hi = b.hi[None, :, :]
+    a_lo = a.lo[:, None, :]
+    a_hi = a.hi[:, None, :]
+    d_ab = a_lo - b_hi
+    d_ba = b_lo - a_hi
+    gap = np.maximum(0.0, np.maximum(d_ba, d_ab))
+    mind = np.sqrt(np.sum(gap * gap, axis=2))
+
+    abs_ab = np.abs(d_ab)  # |a.lo - b.hi|
+    abs_ba = np.abs(d_ba)  # |a.hi - b.lo|
+    md_sq = np.square(np.maximum(abs_ab, abs_ba))
+
+    mid = (b_lo + b_hi) / 2.0
+    at_lo = np.minimum(np.abs(a_lo - b_lo), abs_ab)
+    at_hi = np.minimum(abs_ba, np.abs(a_hi - b_hi))
+    mm = np.maximum(at_lo, at_hi)
+    inside = (a_lo <= mid) & (mid <= a_hi)
+    if np.any(inside):
+        at_mid = np.minimum(np.abs(mid - b_lo), np.abs(mid - b_hi))
+        mm = np.where(inside, np.maximum(mm, at_mid), mm)
+    mm_sq = mm**2
+    return mind, _nxn_substitute_sweep(md_sq, mm_sq, axis=2)

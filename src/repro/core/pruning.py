@@ -16,6 +16,8 @@ from .metrics import (
     maxmaxdist,
     maxmaxdist_batch,
     maxmaxdist_cross,
+    minmindist_maxmaxdist_cross,
+    minmindist_nxndist_cross,
     nxndist,
     nxndist_batch,
     nxndist_cross,
@@ -47,6 +49,18 @@ class PruningMetric(Enum):
         if self is PruningMetric.NXNDIST:
             return nxndist_cross(a, b)
         return maxmaxdist_cross(a, b)
+
+    def cross_pair(self, a: RectArray, b: RectArray) -> tuple[np.ndarray, np.ndarray]:
+        """``(MINMINDIST, upper bound)`` matrices in one fused call.
+
+        Bit-identical to calling :func:`~repro.core.metrics.minmindist_cross`
+        and :meth:`cross` separately; the fused kernels share the broadcast
+        diff arrays both metrics are built from (the Expand Stage's hottest
+        computation).
+        """
+        if self is PruningMetric.NXNDIST:
+            return minmindist_nxndist_cross(a, b)
+        return minmindist_maxmaxdist_cross(a, b)
 
     def __str__(self) -> str:
         return self.value.upper()

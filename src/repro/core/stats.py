@@ -49,6 +49,11 @@ class QueryStats:
     page_misses: int = 0
     pages_written: int = 0
 
+    # Decoded-node cache traffic (filled from the StorageManager's
+    # DecodedNodeCache; zero when the cache layer is disabled).
+    node_cache_hits: int = 0
+    node_cache_misses: int = 0
+
     # Timing: measured CPU seconds plus simulated I/O seconds from the
     # disk cost model.
     cpu_time_s: float = 0.0

@@ -53,7 +53,17 @@ class Node:
     entries and data objects uniformly.
     """
 
-    __slots__ = ("is_leaf", "child_ids", "counts", "point_ids", "points", "_rects")
+    __slots__ = (
+        "is_leaf",
+        "child_ids",
+        "counts",
+        "point_ids",
+        "points",
+        "_rects",
+        "_ids_list",
+        "_counts_list",
+        "_point_rows",
+    )
 
     def __init__(
         self,
@@ -70,6 +80,9 @@ class Node:
         self.point_ids = point_ids
         self.points = points
         self._rects = rects
+        self._ids_list: list[int] | None = None
+        self._counts_list: list[int] | None = None
+        self._point_rows: list[np.ndarray] | None = None
 
     @property
     def rects(self) -> RectArray:
@@ -78,6 +91,36 @@ class Node:
             # per buffer-pool residency.
             self._rects = RectArray(self.points, self.points)
         return self._rects
+
+    # The traversal engine enqueues node entries one or a few at a time, so
+    # it consumes entry attributes as Python scalars; these list views are
+    # converted once per buffer-pool (or decoded-node-cache) residency and
+    # shared by every probe that touches the node.
+
+    @property
+    def entry_ids_list(self) -> list[int]:
+        """Entry identifiers as Python ints (child ids / point ids)."""
+        if self._ids_list is None:
+            ids = self.point_ids if self.is_leaf else self.child_ids
+            assert ids is not None
+            self._ids_list = ids.tolist()
+        return self._ids_list
+
+    @property
+    def counts_list(self) -> list[int]:
+        """Subtree point counts as Python ints (internal nodes only)."""
+        if self._counts_list is None:
+            assert self.counts is not None
+            self._counts_list = self.counts.tolist()
+        return self._counts_list
+
+    @property
+    def point_rows(self) -> list[np.ndarray]:
+        """Per-point coordinate row views (leaf nodes only)."""
+        if self._point_rows is None:
+            assert self.points is not None
+            self._point_rows = list(self.points)
+        return self._point_rows
 
     @property
     def n_entries(self) -> int:
@@ -272,7 +315,7 @@ class PagedIndex:
     @classmethod
     def attach(cls, spec: PagedIndexSpec, storage: StorageManager) -> "PagedIndex":
         """Rebind a :class:`PagedIndexSpec` to a (reopened) storage manager."""
-        file = NodeFile.reattach(storage.pool, spec.file_spec)
+        file = NodeFile.reattach(storage.pool, spec.file_spec, node_cache=storage.node_cache)
         return cls(
             file,
             spec.root_id,

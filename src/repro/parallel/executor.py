@@ -44,6 +44,7 @@ from ..storage.manager import (
     IOSnapshot,
     StorageManager,
     StorageSnapshot,
+    worker_node_cache_entries,
     worker_pool_pages,
 )
 from .sharding import pack_shards, shard_seed_bound
@@ -63,6 +64,8 @@ class ShardTask:
     s_spec: PagedIndexSpec | None
     """Target index spec; ``None`` marks a self-join sharing ``r_spec``."""
     pool_pages: int
+    node_cache_entries: int
+    """Per-worker decoded-node cache budget (0 disables the layer)."""
     metric: PruningMetric
     k: int
     exclude_self: bool
@@ -91,7 +94,11 @@ def run_shard(task: ShardTask) -> tuple[int, NeighborResult, QueryStats, IOSnaps
     one :func:`mba_join` per assigned subtree root, accumulating into a
     single result and counter bundle.
     """
-    manager = StorageManager.reopen(task.snapshot, pool_pages=task.pool_pages)
+    manager = StorageManager.reopen(
+        task.snapshot,
+        pool_pages=task.pool_pages,
+        node_cache_entries=task.node_cache_entries,
+    )
     index_r = PagedIndex.attach(task.r_spec, manager)
     index_s = index_r if task.s_spec is None else PagedIndex.attach(task.s_spec, manager)
     stats = QueryStats()
@@ -119,6 +126,8 @@ def run_shard(task: ShardTask) -> tuple[int, NeighborResult, QueryStats, IOSnaps
     stats.logical_reads += io["logical_reads"]
     stats.page_misses += io["page_misses"]
     stats.io_time_s += io["io_time_s"]
+    stats.node_cache_hits += io["node_cache_hits"]
+    stats.node_cache_misses += io["node_cache_misses"]
     return task.shard_id, merged, stats, io
 
 
@@ -161,6 +170,12 @@ def parallel_mba_join(
     roots = index_r.shard_roots(min_roots=n_workers)
     shards = pack_shards(roots, n_workers)
     pool_slice = worker_pool_pages(storage.pool.capacity_pages, n_workers)
+    # Slice the decoded-node cache budget like the buffer pool: the
+    # aggregate cache memory of a sharded run must not exceed serial's.
+    cache_slice = worker_node_cache_entries(
+        storage.node_cache.max_entries if storage.node_cache is not None else 0,
+        n_workers,
+    )
     need_count = k + 1 if exclude_self else k
     snapshot = storage.snapshot()
     r_spec = index_r.detach()
@@ -184,6 +199,7 @@ def parallel_mba_join(
                 r_spec=r_spec,
                 s_spec=s_spec,
                 pool_pages=pool_slice,
+                node_cache_entries=cache_slice,
                 metric=metric,
                 k=k,
                 exclude_self=exclude_self,

@@ -8,7 +8,14 @@ pages, per-page I/O accounting — without requiring a real disk.
 
 from .buffer_pool import BufferPool, pool_pages_for_bytes
 from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
-from .manager import DEFAULT_POOL_PAGES, StorageManager, StorageSnapshot, worker_pool_pages
+from .manager import (
+    DEFAULT_POOL_PAGES,
+    StorageManager,
+    StorageSnapshot,
+    worker_node_cache_entries,
+    worker_pool_pages,
+)
+from .node_cache import DecodedNodeCache
 from .node_file import NodeFile, NodeFileSpec
 from .serialization import (
     decode_internal,
@@ -30,6 +37,8 @@ __all__ = [
     "StorageManager",
     "StorageSnapshot",
     "worker_pool_pages",
+    "worker_node_cache_entries",
+    "DecodedNodeCache",
     "NodeFile",
     "NodeFileSpec",
     "encode_internal",

@@ -15,6 +15,7 @@ from typing import TypedDict
 
 from .buffer_pool import BufferPool, pool_pages_for_bytes
 from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
+from .node_cache import DecodedNodeCache
 from .node_file import NodeFile
 
 __all__ = [
@@ -23,17 +24,20 @@ __all__ = [
     "IOSnapshot",
     "DEFAULT_POOL_PAGES",
     "worker_pool_pages",
+    "worker_node_cache_entries",
 ]
 
 
 class IOSnapshot(TypedDict):
-    """One observation of the manager's I/O counters."""
+    """One observation of the manager's I/O + decoded-cache counters."""
 
     logical_reads: int
     page_misses: int
     physical_reads: int
     physical_writes: int
     io_time_s: float
+    node_cache_hits: int
+    node_cache_misses: int
 
 DEFAULT_POOL_PAGES = 64
 """64 pages × 8 KB = the paper's default 512 KB buffer pool."""
@@ -67,6 +71,22 @@ def worker_pool_pages(pool_pages: int, n_workers: int) -> int:
     return max(1, pool_pages // n_workers)
 
 
+def worker_node_cache_entries(entries: int, n_workers: int) -> int:
+    """Split a decoded-node cache budget across ``n_workers`` reopens.
+
+    Mirrors :func:`worker_pool_pages`: ``entries // n_workers`` (floored,
+    min 1 when the parent has a cache at all), so a sharded run's
+    aggregate decoded-node memory never exceeds the serial run's.  A
+    parent with no cache (``entries == 0``) yields 0 — workers stay
+    cacheless too.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if entries <= 0:
+        return 0
+    return max(1, entries // n_workers)
+
+
 class StorageManager:
     """Bundles the simulated disk, the buffer pool, and file creation."""
 
@@ -75,18 +95,31 @@ class StorageManager:
         page_size: int = DEFAULT_PAGE_SIZE,
         pool_pages: int = DEFAULT_POOL_PAGES,
         disk: DiskModel | None = None,
+        node_cache_entries: int = 0,
     ) -> None:
         self.page_size = page_size
         self.store = PageStore(page_size=page_size, disk=disk)
         self.pool = BufferPool(self.store, capacity_pages=pool_pages)
+        # Decoded-node LRU above the pool; 0 entries disables the layer
+        # and reproduces the pre-cache I/O counters exactly.
+        self.node_cache = (
+            DecodedNodeCache(node_cache_entries) if node_cache_entries > 0 else None
+        )
         self.readonly = False
 
     @classmethod
     def with_pool_bytes(
-        cls, pool_bytes: int, page_size: int = DEFAULT_PAGE_SIZE
+        cls,
+        pool_bytes: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        node_cache_entries: int = 0,
     ) -> "StorageManager":
         """Build a manager with the pool sized in bytes (the paper's unit)."""
-        return cls(page_size=page_size, pool_pages=pool_pages_for_bytes(pool_bytes, page_size))
+        return cls(
+            page_size=page_size,
+            pool_pages=pool_pages_for_bytes(pool_bytes, page_size),
+            node_cache_entries=node_cache_entries,
+        )
 
     def create_file(self, pack_pages: bool = False) -> NodeFile:
         """A new node file sharing this manager's disk and buffer pool.
@@ -97,12 +130,19 @@ class StorageManager:
         """
         if self.readonly:
             raise RuntimeError("read-only storage manager: cannot create files")
-        return NodeFile(self.pool, pack_pages=pack_pages)
+        return NodeFile(self.pool, pack_pages=pack_pages, node_cache=self.node_cache)
 
     # -- snapshot / read-only reopen ----------------------------------------
 
     def snapshot(self) -> StorageSnapshot:
-        """Freeze the disk image for shipping to worker processes."""
+        """Freeze the disk image for shipping to worker processes.
+
+        Invalidates the decoded-node cache: the snapshot marks a
+        process-boundary handoff, after which cached node objects must
+        not be mistaken for reads of the (possibly diverging) live store.
+        """
+        if self.node_cache is not None:
+            self.node_cache.clear()
         return StorageSnapshot(
             pages=self.store.dump_pages(),
             page_size=self.page_size,
@@ -110,7 +150,12 @@ class StorageManager:
         )
 
     @classmethod
-    def reopen(cls, snapshot: StorageSnapshot, pool_pages: int = DEFAULT_POOL_PAGES) -> "StorageManager":
+    def reopen(
+        cls,
+        snapshot: StorageSnapshot,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        node_cache_entries: int = 0,
+    ) -> "StorageManager":
         """Reopen a snapshot read-only with a fresh, cold buffer pool.
 
         The reopened manager shares no state with the original: it has its
@@ -125,6 +170,9 @@ class StorageManager:
             snapshot.pages, page_size=snapshot.page_size, disk=snapshot.disk
         )
         manager.pool = BufferPool(manager.store, capacity_pages=pool_pages)
+        manager.node_cache = (
+            DecodedNodeCache(node_cache_entries) if node_cache_entries > 0 else None
+        )
         manager.readonly = True
         return manager
 
@@ -134,17 +182,24 @@ class StorageManager:
         """Zero I/O counters, typically after index build, before a query."""
         self.store.reset_counters()
         self.pool.reset_counters()
+        if self.node_cache is not None:
+            self.node_cache.reset_counters()
 
     def drop_caches(self) -> None:
-        """Empty the buffer pool so a query starts cold, as in the paper."""
+        """Empty every cache layer so a query starts cold, as in the paper."""
         self.pool.clear()
+        if self.node_cache is not None:
+            self.node_cache.clear()
 
     def io_snapshot(self) -> IOSnapshot:
         """Current physical/logical I/O counters and simulated I/O time."""
+        cache = self.node_cache
         return IOSnapshot(
             logical_reads=self.pool.logical_reads,
             page_misses=self.pool.misses,
             physical_reads=self.store.physical_reads,
             physical_writes=self.store.physical_writes,
             io_time_s=self.store.io_time_s,
+            node_cache_hits=cache.hits if cache is not None else 0,
+            node_cache_misses=cache.misses if cache is not None else 0,
         )

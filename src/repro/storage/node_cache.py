@@ -1,0 +1,94 @@
+"""Decoded-node LRU cache layered *above* the buffer pool.
+
+The buffer pool caches page bytes (plus a per-page memo of nodes decoded
+from them), so a node's Python-side decode cost is re-paid every time its
+page re-enters the pool.  During MBA's bi-directional expansion many
+sibling LPQs probe the same target node within a short window, and on the
+paper's deliberately small pools (512 KB) those probes routinely straddle
+an eviction.  :class:`DecodedNodeCache` keeps the *decoded* node objects
+alive across pool evictions, the way an application-level object cache
+sits above a DBMS buffer manager.
+
+Accounting contract (kept deliberately explicit because the Figure 3(b)
+experiments sweep pool size):
+
+* A cache **hit** short-circuits the buffer pool entirely: no logical
+  read, no miss, no simulated I/O.  Hits and misses are counted here and
+  surfaced through :meth:`~repro.storage.manager.StorageManager.io_snapshot`
+  and :class:`~repro.core.stats.QueryStats` (``node_cache_hits`` /
+  ``node_cache_misses``), so a run's I/O numbers are always read next to
+  the cache traffic that explains them.
+* The cache budget is counted in *entries* (decoded nodes), configured on
+  the :class:`~repro.storage.manager.StorageManager`; a budget of 0
+  disables the layer and reproduces the pre-cache I/O counters exactly.
+* The sharded executor slices the budget ``entries // n_workers`` per
+  worker (mirroring the buffer-pool slicing), so a parallel run's
+  aggregate decoded-cache memory never exceeds the serial run's.
+
+The cache is invalidated whenever the underlying store may stop being
+the one the cached nodes were decoded from: on
+:meth:`StorageManager.snapshot`, on :meth:`StorageManager.drop_caches`
+(cold-start discipline), and on :meth:`NodeFile.spec`/``detach`` (the
+file is about to be reattached elsewhere).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+__all__ = ["DecodedNodeCache", "NodeKey"]
+
+NodeKey = tuple[int, int]
+"""Cache key: ``(file uid, node id)`` — node ids are per-file."""
+
+
+class DecodedNodeCache:
+    """Fixed-budget LRU map of ``(file_uid, node_id) -> decoded node``."""
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses")
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[NodeKey, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: NodeKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: NodeKey) -> Any | None:
+        """The cached node for ``key``, or ``None`` (counted hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: NodeKey, node: Any) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries over budget."""
+        self._entries[key] = node
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached node (counters are kept)."""
+        self._entries.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters (cached nodes are kept)."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

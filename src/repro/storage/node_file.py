@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, TypeVar, cast
 
 from .buffer_pool import BufferPool
+from .node_cache import DecodedNodeCache
 
 __all__ = ["NodeFile", "NodeFileSpec"]
 
@@ -66,10 +67,17 @@ class NodeFile:
     negligible next to the data pages.
     """
 
-    def __init__(self, pool: BufferPool, pack_pages: bool = False) -> None:
+    def __init__(
+        self,
+        pool: BufferPool,
+        pack_pages: bool = False,
+        node_cache: DecodedNodeCache | None = None,
+    ) -> None:
         self.pool = pool
         self.store = pool.store
         self.pack_pages = pack_pages
+        # Optional decoded-node LRU layered above the pool (see node_cache).
+        self.node_cache = node_cache
         # node id -> tuple of (page_id, offset, length) chunks
         self._directory: list[tuple[tuple[int, int, int], ...]] = []
         self._uid = next(_file_uid_counter)
@@ -131,14 +139,26 @@ class NodeFile:
     # -- detach / reattach ----------------------------------------------------
 
     def spec(self) -> NodeFileSpec:
-        """Picklable extent map for reattaching in another process."""
+        """Picklable extent map for reattaching in another process.
+
+        Detaching invalidates this file's decoded-node cache: the spec is
+        about to be rebound against a different pool/store, and cached
+        node objects must not outlive the store they were decoded from.
+        """
         self.flush()
+        if self.node_cache is not None:
+            self.node_cache.clear()
         return NodeFileSpec(directory=tuple(self._directory), pack_pages=self.pack_pages)
 
     @classmethod
-    def reattach(cls, pool: BufferPool, spec: NodeFileSpec) -> "NodeFile":
+    def reattach(
+        cls,
+        pool: BufferPool,
+        spec: NodeFileSpec,
+        node_cache: DecodedNodeCache | None = None,
+    ) -> "NodeFile":
         """Rebind a :class:`NodeFileSpec` to a (reopened) buffer pool."""
-        file = cls(pool, pack_pages=spec.pack_pages)
+        file = cls(pool, pack_pages=spec.pack_pages, node_cache=node_cache)
         file._directory = list(spec.directory)
         return file
 
@@ -151,12 +171,24 @@ class NodeFile:
         """Fetch and decode a node through the buffer pool.
 
         The decoded object is memoised on its (first) page frame, so it
-        lives exactly as long as the page stays in the pool.
+        lives exactly as long as the page stays in the pool.  With a
+        :class:`DecodedNodeCache` attached, it additionally survives pool
+        eviction up to the cache's entry budget; a cache hit performs no
+        pool access at all (no logical read, no miss — the hit is counted
+        on the cache instead, see :mod:`repro.storage.node_cache`).
         """
+        cache = self.node_cache
+        if cache is not None:
+            key = (self._uid, node_id)
+            hit = cache.get(key)
+            if hit is not None:
+                return cast(T, hit)
         chunks = self._directory[node_id]
         first_frame = self._fetch_frame(chunks[0][0])
         cached = first_frame.nodes.get(node_id)
         if cached is not None:
+            if cache is not None:
+                cache.put((self._uid, node_id), cached)
             return cast(T, cached)
         if len(chunks) == 1:
             page_id, offset, length = chunks[0]
@@ -168,4 +200,6 @@ class NodeFile:
                 parts.append(frame.raw[offset : offset + length])
             obj = decode(b"".join(parts))
         first_frame.nodes[node_id] = obj
+        if cache is not None:
+            cache.put((self._uid, node_id), obj)
         return obj

@@ -335,3 +335,62 @@ class TestNxndistArgOrder:
                 return minmindist(n, m)
         """
         assert _rules(code) == []
+
+
+class TestScalarMetricInLoop:
+    HOT = "src/repro/core/mba.py"
+
+    def test_scalar_call_in_for_loop_fires(self):
+        code = """
+            from repro.core.metrics import minmindist
+
+            def expand(owner, children):
+                for child in children:
+                    d = minmindist(owner, child)
+        """
+        assert _rules(code, path=self.HOT) == ["scalar-metric-in-loop"]
+
+    def test_scalar_call_in_while_loop_fires(self):
+        code = """
+            from repro.core import metrics
+
+            def drain(lpq, rect):
+                while lpq:
+                    entry = lpq.pop()
+                    bound = metrics.nxndist(rect, entry.rect)
+        """
+        assert _rules(code, path="src/repro/core/lpq.py") == [
+            "scalar-metric-in-loop"
+        ]
+
+    def test_batch_call_in_loop_is_fine(self):
+        code = """
+            from repro.core.metrics import minmindist_cross, nxndist_batch
+
+            def expand(owner, nodes):
+                for node in nodes:
+                    minds = minmindist_cross(owner, node.rects)
+                    bounds = nxndist_batch(owner.rect, node.rects)
+        """
+        assert _rules(code, path=self.HOT) == []
+
+    def test_scalar_call_outside_loop_is_fine(self):
+        code = """
+            from repro.core.metrics import maxmaxdist
+
+            def seed(a, b):
+                return maxmaxdist(a, b)
+        """
+        assert _rules(code, path=self.HOT) == []
+
+    def test_other_files_are_exempt(self):
+        code = """
+            from repro.core.metrics import minmindist
+
+            def brute_force(rects):
+                for a in rects:
+                    for b in rects:
+                        yield minmindist(a, b)
+        """
+        assert _rules(code, path="tests/join/test_reference.py") == []
+        assert _rules(code, path="src/repro/join/brute.py") == []

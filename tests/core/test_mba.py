@@ -171,6 +171,77 @@ class TestTraversalVariants:
         assert res.same_pairs_as(brute_force_join(r, s))
 
 
+class TestEmptyOwnerExpansion:
+    """Regression: a childless owner node must prune, not crash.
+
+    ``_expand_node_owner`` used to take ``bounds.max()`` over the child
+    bounds before checking there were any children; with zero children the
+    empty-array reduction raised.  The guard now prunes every queued entry
+    wholesale and returns no child LPQs.
+    """
+
+    def test_childless_owner_prunes_queue(self, rng, monkeypatch):
+        from repro.core.lpq import make_node_lpq
+        from repro.core.mba import _Engine
+        from repro.core.stats import QueryStats
+
+        r, s, ir, is_, __ = make_pair(rng, n=60)
+        stats = QueryStats()
+        engine = _Engine(
+            index_r=ir,
+            index_s=is_,
+            metric=PruningMetric.NXNDIST,
+            k=1,
+            exclude_self=False,
+            bidirectional=True,
+            filter_stage=True,
+            need_count=1,
+            counts_valid=False,
+            batch_tighten=True,
+            early_break=True,
+            result=None,
+            stats=stats,
+        )
+        monkeypatch.setattr(_Engine, "_make_child_lpqs", lambda self, rnode, b: [])
+
+        root = ir.node(ir.root_id)
+        lpq = make_node_lpq(ir.root_rect, ir.root_id, np.inf, stats)
+        snode = is_.node(is_.root_id)
+        lpq.push_nodes(
+            snode.child_ids if not snode.is_leaf else snode.point_ids,
+            np.ones(snode.n_entries, dtype=np.int64),
+            np.zeros(snode.n_entries),
+            np.full(snode.n_entries, 5.0),
+        )
+        queued = len(lpq)
+        assert queued > 0 and root.n_entries > 0
+
+        children = engine._expand_node_owner(lpq)
+        assert children == []
+        assert stats.pruned_entries >= queued
+
+    def test_join_survives_empty_expansion(self, rng, monkeypatch):
+        # End to end: if some expansion yields no children the traversal
+        # must terminate cleanly (with fewer result pairs, never an error).
+        from repro.core.mba import _Engine
+
+        original = _Engine._make_child_lpqs
+        starved = {"done": False}
+
+        def starve_once(self, rnode, inherited):
+            if not starved["done"]:
+                starved["done"] = True
+                return []
+            return original(self, rnode, inherited)
+
+        monkeypatch.setattr(_Engine, "_make_child_lpqs", starve_once)
+        __, __, ir, is_, __ = make_pair(rng, n=120)
+        res, stats = mba_join(ir, is_)
+        assert starved["done"]
+        assert stats.pruned_entries > 0
+        assert len(list(res.pairs())) == 0  # the starved root expansion
+
+
 class TestCounters:
     def test_counters_populated(self, rng):
         r, s, ir, is_, storage = make_pair(rng, n=400)

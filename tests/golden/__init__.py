@@ -1,0 +1,1 @@
+"""Golden-comparison fixtures for the MBA engine (see harness.py)."""

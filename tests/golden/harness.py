@@ -1,0 +1,147 @@
+"""Shared runner for the engine golden-comparison fixture.
+
+The columnar LPQ rewrite must be *observationally equivalent* to the
+tuple-heap engine it replaced: same result pairs, same distances, and the
+same global pop sequence (the order in which entries leave every LPQ,
+interleaved across the whole traversal).  This module runs one workload
+configuration and reduces its behaviour to a compact, hash-based record;
+``record.py`` wrote the fixture with the pre-rewrite engine, and
+``test_golden_engine.py`` replays the same configurations against the
+current engine and compares.
+
+What goes into the record:
+
+* ``pairs_sha`` — SHA-256 over the ``(r_id, s_id, repr(dist))`` stream in
+  the stable by-query-id order of :meth:`NeighborResult.pairs`.
+* ``pop_sha`` — SHA-256 over every ``LPQ.pop`` return, annotated with the
+  owning LPQ (captured by patching ``LPQ.pop``; serial runs only — worker
+  processes cannot be instrumented across the pickle boundary).
+* traversal counters that any behavioural drift would disturb
+  (enqueues, filter discards, pruned entries, node expansions).
+
+``distance_evaluations`` is recorded but compared as an *upper bound*:
+the PR that introduced this fixture also stopped charging the distance
+counter for upper-bound rows that are masked out before being scored, so
+the new engine may evaluate (and count) fewer metric rows — never more,
+and never different values for the rows it does evaluate (``pairs_sha``
+and ``pop_sha`` pin those bit-exactly).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+import repro.core.lpq as lpq_module
+from repro.api import build_index
+from repro.core.mba import mba_join
+from repro.core.pruning import PruningMetric
+from repro.data import gstd
+from repro.parallel.executor import parallel_mba_join
+from repro.storage.manager import StorageManager
+
+DATASET = {"distribution": "gaussian", "n": 400, "dims": 2, "seed": 1234}
+PAGE_SIZE = 2048
+POOL_BYTES = 512 * 1024
+
+#: The workload grid of the acceptance criterion: both index kinds, k=1
+#: and k=3, with and without exclude_self, serial and workers=2, plus a
+#: MAXMAXDIST run covering the count-aware AkNN bound.
+CONFIGS: list[dict[str, Any]] = [
+    {"kind": "mbrqt", "k": 1, "exclude_self": True, "workers": 1, "metric": "nxndist"},
+    {"kind": "mbrqt", "k": 1, "exclude_self": False, "workers": 1, "metric": "nxndist"},
+    {"kind": "mbrqt", "k": 3, "exclude_self": True, "workers": 1, "metric": "nxndist"},
+    {"kind": "mbrqt", "k": 3, "exclude_self": False, "workers": 1, "metric": "nxndist"},
+    {"kind": "rstar", "k": 1, "exclude_self": True, "workers": 1, "metric": "nxndist"},
+    {"kind": "rstar", "k": 3, "exclude_self": False, "workers": 1, "metric": "nxndist"},
+    {"kind": "mbrqt", "k": 3, "exclude_self": True, "workers": 1, "metric": "maxmaxdist"},
+    {"kind": "mbrqt", "k": 1, "exclude_self": True, "workers": 2, "metric": "nxndist"},
+    {"kind": "rstar", "k": 3, "exclude_self": True, "workers": 2, "metric": "nxndist"},
+]
+
+#: Counters compared for exact equality between fixture and replay.
+EXACT_COUNTERS = (
+    "node_expansions",
+    "lpq_enqueues",
+    "lpq_filter_discards",
+    "pruned_entries",
+    "result_pairs",
+)
+
+
+def dataset_points() -> np.ndarray:
+    return gstd.generate(
+        DATASET["n"], DATASET["dims"], DATASET["distribution"], seed=DATASET["seed"]
+    )
+
+
+def config_id(cfg: dict[str, Any]) -> str:
+    return (
+        f"{cfg['kind']}-k{cfg['k']}-"
+        f"{'noself' if cfg['exclude_self'] else 'self'}-"
+        f"w{cfg['workers']}-{cfg['metric']}"
+    )
+
+
+def run_config(
+    points: np.ndarray, cfg: dict[str, Any], node_cache_entries: int = 0
+) -> dict[str, Any]:
+    """Run one configuration and reduce it to a comparable record."""
+    storage = StorageManager.with_pool_bytes(
+        POOL_BYTES, PAGE_SIZE, node_cache_entries=node_cache_entries
+    )
+    index = build_index(points, storage, kind=cfg["kind"])
+    storage.reset_counters()
+    storage.drop_caches()
+    metric = PruningMetric(cfg["metric"])
+
+    pop_events: list[str] = []
+    original_pop = lpq_module.LPQ.pop
+
+    def recording_pop(self: Any) -> Any:
+        out = original_pop(self)
+        if out is not None:
+            mind, kind, ident, count, maxd, __ = out
+            pop_events.append(
+                f"{self.owner_kind},{self.owner_id},{self.owner_node_id},"
+                f"{kind},{ident},{count},{mind!r},{maxd!r}"
+            )
+        return out
+
+    try:
+        lpq_module.LPQ.pop = recording_pop  # type: ignore[method-assign]
+        if cfg["workers"] > 1:
+            result, stats, __ = parallel_mba_join(
+                index, index, storage, n_workers=cfg["workers"],
+                metric=metric, k=cfg["k"], exclude_self=cfg["exclude_self"],
+            )
+        else:
+            result, stats = mba_join(
+                index, index, metric=metric, k=cfg["k"], exclude_self=cfg["exclude_self"]
+            )
+    finally:
+        lpq_module.LPQ.pop = original_pop  # type: ignore[method-assign]
+
+    pair_hash = hashlib.sha256()
+    n_pairs = 0
+    for r_id, s_id, dist in result.pairs():
+        pair_hash.update(f"{r_id},{s_id},{dist!r}\n".encode())
+        n_pairs += 1
+    record: dict[str, Any] = {
+        "config": config_id(cfg),
+        "pair_count": n_pairs,
+        "total_distance": repr(result.total_distance()),
+        "pairs_sha": pair_hash.hexdigest(),
+        "distance_evaluations": stats.distance_evaluations,
+        "counters": {name: getattr(stats, name) for name in EXACT_COUNTERS},
+    }
+    if cfg["workers"] == 1:
+        pop_hash = hashlib.sha256()
+        for event in pop_events:
+            pop_hash.update(event.encode())
+            pop_hash.update(b"\n")
+        record["pop_sha"] = pop_hash.hexdigest()
+        record["pop_count"] = len(pop_events)
+    return record

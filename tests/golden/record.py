@@ -1,0 +1,36 @@
+"""Regenerate the engine golden fixture: ``python -m tests.golden.record``.
+
+Run this ONLY from a revision whose engine behaviour is the intended
+reference (it was first recorded from the tuple-heap engine immediately
+before the columnar LPQ rewrite).  Regenerating from a drifted engine
+would launder a behaviour change through the fixture — treat a diff in
+``mba_golden.json`` as a reviewed, deliberate act.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .harness import CONFIGS, DATASET, PAGE_SIZE, POOL_BYTES, dataset_points, run_config
+
+FIXTURE = Path(__file__).with_name("mba_golden.json")
+
+
+def main() -> None:
+    points = dataset_points()
+    records = [run_config(points, cfg) for cfg in CONFIGS]
+    payload = {
+        "schema": "repro.golden.mba/v1",
+        "dataset": DATASET,
+        "page_size": PAGE_SIZE,
+        "pool_bytes": POOL_BYTES,
+        "configs": CONFIGS,
+        "records": records,
+    }
+    FIXTURE.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {FIXTURE} ({len(records)} records)")
+
+
+if __name__ == "__main__":
+    main()

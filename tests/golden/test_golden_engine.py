@@ -1,0 +1,65 @@
+"""Golden-engine replay: the columnar engine must be bit-identical.
+
+``mba_golden.json`` was recorded from the tuple-heap LPQ engine
+immediately before the columnar rewrite (see ``record.py``).  Every
+config is replayed here and compared field by field:
+
+* ``pairs_sha`` — SHA-256 over the full result stream (pairs *and*
+  distance reprs): the answer, bit for bit.
+* ``pop_sha`` / ``pop_count`` — SHA-256 over every ``LPQ.pop`` event
+  (owner, entry, mind/maxd reprs): the traversal *order*, bit for bit.
+* exact counters — node_expansions, lpq_enqueues, lpq_filter_discards,
+  pruned_entries, result_pairs: the work done.
+* ``distance_evaluations`` — compared as an upper bound, because the
+  Gather Stage now skips scoring the pruning metric on rows its MIND
+  already excludes (a strict reduction, never a change in behaviour).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from .harness import CONFIGS, EXACT_COUNTERS, config_id, dataset_points, run_config
+
+FIXTURE = Path(__file__).with_name("mba_golden.json")
+
+GOLDEN = json.loads(FIXTURE.read_text())
+_BY_ID = {record["config"]: record for record in GOLDEN["records"]}
+
+
+@pytest.fixture(scope="module")
+def points():
+    return dataset_points()
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=config_id)
+def test_engine_matches_golden(points, cfg):
+    record = _BY_ID[config_id(cfg)]
+    got = run_config(points, cfg)
+    assert got["pairs_sha"] == record["pairs_sha"], "result stream changed"
+    assert got["pair_count"] == record["pair_count"]
+    assert got["total_distance"] == record["total_distance"]
+    if "pop_sha" in record:
+        assert got["pop_count"] == record["pop_count"], "pop event count changed"
+        assert got["pop_sha"] == record["pop_sha"], "pop order changed"
+    for counter in EXACT_COUNTERS:
+        assert got["counters"][counter] == record["counters"][counter], (
+            f"{counter} changed"
+        )
+    assert got["distance_evaluations"] <= record["distance_evaluations"], (
+        "the engine may only ever evaluate fewer distances than the "
+        "recorded reference"
+    )
+
+
+def test_cache_enabled_run_matches_golden(points):
+    """The decoded-node cache changes I/O accounting, never the traversal:
+    a cache-enabled run must replay the cache-off fixture exactly."""
+    cfg = next(c for c in CONFIGS if c["workers"] == 1)
+    record = _BY_ID[config_id(cfg)]
+    got = run_config(points, cfg, node_cache_entries=128)
+    assert got["pairs_sha"] == record["pairs_sha"]
+    assert got["pop_sha"] == record["pop_sha"]
+    for counter in EXACT_COUNTERS:
+        assert got["counters"][counter] == record["counters"][counter]

@@ -1,0 +1,170 @@
+"""The decoded-node LRU cache and its StorageManager integration.
+
+Unit tests pin the LRU mechanics and the hit/miss accounting contract
+(hits short-circuit the buffer pool: no logical read, no miss, no
+simulated I/O); integration tests check the manager-level wiring — the
+``node_cache_entries`` budget, counter surfacing through
+``io_snapshot``, invalidation on snapshot/drop_caches, and the
+per-worker budget slicing used by the sharded executor.
+"""
+
+import pytest
+
+from repro.storage.manager import StorageManager, worker_node_cache_entries
+from repro.storage.node_cache import DecodedNodeCache
+
+
+class TestDecodedNodeCacheUnit:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DecodedNodeCache(0)
+        with pytest.raises(ValueError):
+            DecodedNodeCache(-3)
+
+    def test_miss_then_hit(self):
+        cache = DecodedNodeCache(4)
+        assert cache.get((0, 1)) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put((0, 1), "node-a")
+        assert cache.get((0, 1)) == "node-a"
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = DecodedNodeCache(2)
+        cache.put((0, 1), "a")
+        cache.put((0, 2), "b")
+        # Touch (0, 1) so (0, 2) becomes the LRU entry.
+        assert cache.get((0, 1)) == "a"
+        cache.put((0, 3), "c")
+        assert (0, 2) not in cache
+        assert (0, 1) in cache and (0, 3) in cache
+        assert len(cache) == 2
+
+    def test_put_refreshes_existing_key(self):
+        cache = DecodedNodeCache(2)
+        cache.put((0, 1), "a")
+        cache.put((0, 2), "b")
+        cache.put((0, 1), "a2")  # refresh, not insert: nothing evicted
+        assert len(cache) == 2
+        cache.put((0, 3), "c")  # now (0, 2) is LRU
+        assert (0, 2) not in cache
+        assert cache.get((0, 1)) == "a2"
+
+    def test_keys_are_per_file(self):
+        cache = DecodedNodeCache(4)
+        cache.put((7, 1), "file7-node1")
+        assert cache.get((8, 1)) is None  # same node id, other file
+        assert cache.get((7, 1)) == "file7-node1"
+
+    def test_clear_keeps_counters_reset_keeps_entries(self):
+        cache = DecodedNodeCache(4)
+        cache.put((0, 1), "a")
+        cache.get((0, 1))
+        cache.get((0, 9))
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.put((0, 2), "b")
+        cache.reset_counters()
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert len(cache) == 1
+        assert cache.hit_rate == 0.0
+
+
+def _file_with_nodes(manager, n_nodes):
+    file = manager.create_file()
+    ids = [file.append_node(bytes([i]) * 16) for i in range(n_nodes)]
+    file.flush()
+    return file, ids
+
+
+class TestManagerIntegration:
+    def test_zero_entries_disables_layer(self):
+        manager = StorageManager(node_cache_entries=0)
+        assert manager.node_cache is None
+        snap = manager.io_snapshot()
+        assert snap["node_cache_hits"] == 0
+        assert snap["node_cache_misses"] == 0
+
+    def test_repeat_read_hits_without_pool_traffic(self):
+        manager = StorageManager(node_cache_entries=8)
+        file, ids = _file_with_nodes(manager, 3)
+        manager.reset_counters()
+
+        first = file.read_node(ids[0], lambda raw: ("decoded", raw))
+        after_first = manager.io_snapshot()
+        assert after_first["node_cache_misses"] == 1
+        assert after_first["logical_reads"] >= 1
+
+        again = file.read_node(ids[0], lambda raw: ("decoded", raw))
+        after_second = manager.io_snapshot()
+        assert again is first  # the decoded object itself is reused
+        assert after_second["node_cache_hits"] == 1
+        # A hit short-circuits the pool entirely: no new logical read,
+        # no new miss, no extra simulated I/O time.
+        assert after_second["logical_reads"] == after_first["logical_reads"]
+        assert after_second["page_misses"] == after_first["page_misses"]
+        assert after_second["io_time_s"] == after_first["io_time_s"]
+
+    def test_cache_survives_pool_pressure(self):
+        # One pool page, many nodes: the pool thrashes, but re-reading a
+        # cached node must not touch the store again.
+        manager = StorageManager(pool_pages=1, node_cache_entries=16)
+        file, ids = _file_with_nodes(manager, 6)
+        manager.reset_counters()
+        for node_id in ids:  # decode everything once (all misses)
+            file.read_node(node_id, bytes)
+        snap = manager.io_snapshot()
+        assert snap["node_cache_misses"] == len(ids)
+        reads_before = snap["physical_reads"]
+        for node_id in ids:  # second sweep: all hits, zero physical I/O
+            file.read_node(node_id, bytes)
+        snap = manager.io_snapshot()
+        assert snap["node_cache_hits"] == len(ids)
+        assert snap["physical_reads"] == reads_before
+
+    def test_drop_caches_invalidates(self):
+        manager = StorageManager(node_cache_entries=8)
+        file, ids = _file_with_nodes(manager, 2)
+        file.read_node(ids[0], bytes)
+        assert manager.node_cache is not None and len(manager.node_cache) == 1
+        manager.drop_caches()
+        assert len(manager.node_cache) == 0
+        # The next read is a genuine (counted) miss again.
+        manager.reset_counters()
+        file.read_node(ids[0], bytes)
+        assert manager.io_snapshot()["node_cache_misses"] == 1
+
+    def test_snapshot_invalidates_and_reopen_is_independent(self):
+        manager = StorageManager(node_cache_entries=8)
+        file, ids = _file_with_nodes(manager, 2)
+        file.read_node(ids[0], bytes)
+        snapshot = manager.snapshot()
+        assert manager.node_cache is not None and len(manager.node_cache) == 0
+        reopened = StorageManager.reopen(snapshot, node_cache_entries=4)
+        assert reopened.node_cache is not None
+        assert reopened.node_cache.max_entries == 4
+        assert len(reopened.node_cache) == 0
+        cacheless = StorageManager.reopen(snapshot)
+        assert cacheless.node_cache is None
+
+
+class TestWorkerBudgetSlicing:
+    def test_even_split(self):
+        assert worker_node_cache_entries(128, 4) == 32
+
+    def test_floors_but_never_below_one(self):
+        assert worker_node_cache_entries(5, 4) == 1
+        assert worker_node_cache_entries(3, 8) == 1
+
+    def test_cacheless_parent_stays_cacheless(self):
+        assert worker_node_cache_entries(0, 4) == 0
+        assert worker_node_cache_entries(-1, 4) == 0
+
+    def test_single_worker_keeps_full_budget(self):
+        assert worker_node_cache_entries(64, 1) == 64
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            worker_node_cache_entries(64, 0)

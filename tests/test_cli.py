@@ -80,6 +80,32 @@ class TestCommands:
         with pytest.raises(SystemExit, match="unknown dataset"):
             main(["parallel-bench", "--dataset", "tac", "-n", "100", "--out", "-"])
 
+    def test_join_node_cache_preserves_checksum(self, capsys):
+        base = ["join", "--method", "mba", "--dataset", "uniform", "-n", "300"]
+        assert main(base) == 0
+        first = capsys.readouterr().out
+        assert main(base + ["--node-cache", "128"]) == 0
+        second = capsys.readouterr().out
+        checksum = [l for l in first.splitlines() if "checksum" in l]
+        assert checksum == [l for l in second.splitlines() if "checksum" in l]
+
+    def test_join_node_cache_negative_rejected(self):
+        with pytest.raises(SystemExit, match=">= 0"):
+            main(["join", "--method", "mba", "-n", "100", "--node-cache", "-1"])
+
+    def test_kernel_bench_smoke_writes_artifact(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_core.json"
+        assert main(["kernel-bench", "--smoke", "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "End-to-end mba_join" in printed
+        assert out.exists()
+
+    def test_kernel_bench_dash_out_skips_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["kernel-bench", "--smoke", "--out", "-"]) == 0
+        assert "LPQ push/pop" in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_core.json").exists()
+
     def test_join_checksum_deterministic(self, capsys):
         main(["join", "--method", "mba", "--dataset", "uniform", "-n", "200"])
         first = capsys.readouterr().out
