@@ -10,16 +10,22 @@ R*-tree, and the BNN, MNN and GORDER join algorithms.
 Quickstart::
 
     import numpy as np
-    from repro import all_nearest_neighbors
+    from repro import JoinConfig, all_nearest_neighbors
 
     rng = np.random.default_rng(0)
     r = rng.random((1000, 2))
     s = rng.random((1000, 2))
     result, stats = all_nearest_neighbors(r, s)
     print(result.nn_of(0), stats)
+
+    # Every knob (and observability) goes through JoinConfig:
+    cfg = JoinConfig(k=5, workers=4, trace="trace.json")
+    result, stats = all_nearest_neighbors(r, config=cfg)
 """
 
 from .api import aknn_join, all_nearest_neighbors, build_index, build_join_indexes
+from .config import JoinConfig
+from .obs import Tracer, TraceSession, format_trace_report, load_trace, validate_trace
 from .core import (
     NeighborResult,
     PruningMetric,
@@ -55,6 +61,12 @@ __version__ = "1.0.0"
 __all__ = [
     "all_nearest_neighbors",
     "aknn_join",
+    "JoinConfig",
+    "Tracer",
+    "TraceSession",
+    "load_trace",
+    "validate_trace",
+    "format_trace_report",
     "build_index",
     "build_join_indexes",
     "mba_join",

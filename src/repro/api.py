@@ -2,11 +2,19 @@
 
 Most users need only these functions::
 
-    from repro import all_nearest_neighbors
+    from repro import JoinConfig, all_nearest_neighbors
 
     result, stats = all_nearest_neighbors(r_points, s_points)
     for r_id, s_id, dist in result.pairs():
         ...
+
+    # Every knob lives on the validated, frozen JoinConfig:
+    cfg = JoinConfig(k=5, workers=4, node_cache_entries=256, trace="t.json")
+    result, stats = all_nearest_neighbors(r_points, config=cfg)
+
+The pre-``JoinConfig`` keyword spellings (``k=``, ``workers=``, …) still
+work through a ``DeprecationWarning`` shim; see
+:func:`repro.config.config_from_legacy_kwargs`.
 
 Everything is built on the lower-level pieces, which remain public for
 power users: index builders (:func:`build_index`), the traversal engine
@@ -17,18 +25,20 @@ and the storage substrate in :mod:`repro.storage`.
 from __future__ import annotations
 
 import time
-from typing import Any
+from contextlib import ExitStack, nullcontext
+from typing import Any, ContextManager
 
 import numpy as np
 
+from .config import INDEX_KINDS, JoinConfig, config_from_legacy_kwargs
 from .core.geometry import Rect
 from .core.mba import mba_join
-from .core.pruning import PruningMetric
 from .core.result import NeighborResult
 from .core.stats import QueryStats
 from .index.base import PagedIndex
 from .index.mbrqt import build_mbrqt
 from .index.rstar import build_rstar
+from .obs.tracer import TraceDestination, TraceSession
 from .parallel.executor import parallel_mba_join
 from .storage.manager import StorageManager
 
@@ -39,7 +49,7 @@ __all__ = [
     "aknn_join",
 ]
 
-_INDEX_KINDS = ("mbrqt", "rstar")
+_INDEX_KINDS = INDEX_KINDS
 
 
 def build_index(
@@ -94,15 +104,43 @@ def build_join_indexes(
     raise ValueError(f"unknown index kind {kind!r}; expected one of {_INDEX_KINDS}")
 
 
+def _resolve_config(
+    config: JoinConfig | None,
+    legacy: dict[str, Any],
+    trace: TraceDestination,
+    api_name: str,
+    base: JoinConfig | None = None,
+) -> JoinConfig:
+    """One JoinConfig out of whatever spelling the caller used.
+
+    Precedence: explicit ``config`` < legacy keyword shim < the first-class
+    ``trace=`` keyword (which is *not* deprecated — it is the documented
+    way to request a trace without building a config object).
+    """
+    if config is not None and legacy:
+        raise TypeError(
+            f"{api_name}() got both `config=` and legacy keyword argument(s) "
+            f"{sorted(legacy)}; put everything on the JoinConfig"
+        )
+    if legacy:
+        cfg = config_from_legacy_kwargs(
+            legacy, defaults=base if base is not None else JoinConfig(), api_name=api_name
+        )
+    else:
+        cfg = config if config is not None else (base if base is not None else JoinConfig())
+    if trace is not None:
+        cfg = cfg.replace(trace=trace)
+    return cfg
+
+
 def all_nearest_neighbors(
     r_points: np.ndarray,
     s_points: np.ndarray | None = None,
-    k: int = 1,
-    kind: str = "mbrqt",
-    metric: PruningMetric = PruningMetric.NXNDIST,
+    config: JoinConfig | None = None,
+    *,
     storage: StorageManager | None = None,
-    exclude_self: bool | None = None,
-    workers: int = 1,
+    trace: TraceDestination = None,
+    **legacy: Any,
 ) -> tuple[NeighborResult, QueryStats]:
     """All-(k-)nearest-neighbour query with the paper's MBA algorithm.
 
@@ -112,54 +150,128 @@ def all_nearest_neighbors(
     ``r_points`` and ``exclude_self`` defaults to True (a point is not its
     own neighbour — the convention clustering applications expect).
 
-    ``workers > 1`` shards the query index across that many worker
-    processes (:func:`repro.parallel.parallel_mba_join`); the result is
-    identical to the serial run, and the returned counters are the sum
-    over the workers (each with a ``pool/workers`` buffer-pool slice).
+    Parameters
+    ----------
+    r_points, s_points:
+        Query and target datasets (``s_points=None`` makes a self-join).
+    config:
+        A :class:`~repro.config.JoinConfig` carrying every knob: index
+        ``kind``, pruning ``metric``, ``k``, ``exclude_self``, ``workers``,
+        ``node_cache_entries`` and ``trace``.  ``workers > 1`` shards the
+        query index across worker processes
+        (:func:`repro.parallel.parallel_mba_join`); the result is identical
+        to the serial run, and the returned counters are the sum over the
+        workers (each with ``pool/workers`` buffer-pool and
+        ``node_cache_entries/workers`` decoded-cache slices).
+    storage:
+        Optional pre-built :class:`StorageManager` (e.g. a specific pool
+        size).  When omitted, a default manager is created honouring
+        ``config.node_cache_entries``; when given, its own cache setting
+        wins and a conflicting nonzero ``node_cache_entries`` raises.
+    trace:
+        Shorthand for ``config.trace`` — a path writes the JSON trace
+        artifact there, a live :class:`~repro.obs.Tracer` records into it.
+        Traced and untraced runs return bit-identical results.
+
+    Legacy keywords (``k=``, ``kind=``, ``metric=``, ``exclude_self=``,
+    ``workers=``, ``node_cache_entries=``) are still accepted with a
+    ``DeprecationWarning``; they cannot be mixed with ``config=``.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+    # A self-join with a positional config — all_nearest_neighbors(r, cfg)
+    # — reads naturally but lands the config in the s_points slot; shift
+    # it rather than letting np.asarray blow up on a dataclass.
+    if isinstance(s_points, JoinConfig):
+        if config is not None:
+            raise TypeError("two JoinConfig arguments given (s_points slot and config=)")
+        config, s_points = s_points, None
+    cfg = _resolve_config(config, legacy, trace, "all_nearest_neighbors")
     r_points = np.asarray(r_points, dtype=np.float64)
     self_join = s_points is None
-    if exclude_self is None:
-        exclude_self = self_join
+    exclude_self = cfg.resolve_exclude_self(self_join)
     if storage is None:
-        storage = StorageManager()
-
-    if self_join:
-        index_r = build_index(r_points, storage, kind=kind)
-        index_s = index_r
-    else:
-        index_r, index_s = build_join_indexes(r_points, np.asarray(s_points), storage, kind=kind)
-
-    storage.reset_counters()
-    storage.drop_caches()
-    if workers > 1:
-        result, stats, __ = parallel_mba_join(
-            index_r, index_s, storage, n_workers=workers,
-            metric=metric, k=k, exclude_self=exclude_self,
+        storage = StorageManager(node_cache_entries=cfg.node_cache_entries)
+    elif cfg.node_cache_entries > 0 and storage.node_cache is None:
+        raise ValueError(
+            "config.node_cache_entries > 0 but `storage` was built without a "
+            "decoded-node cache; pass node_cache_entries to StorageManager "
+            "(or drop it from the JoinConfig)"
         )
-        return result, stats
-    t0 = time.process_time()
-    result, stats = mba_join(
-        index_r, index_s, metric=metric, k=k, exclude_self=exclude_self
+
+    session = TraceSession(cfg.trace)
+    tracer = session.tracer
+
+    def span(name: str, **attrs: Any) -> ContextManager[Any]:
+        return tracer.span(name, **attrs) if tracer is not None else nullcontext()
+
+    with ExitStack() as scope:
+        if tracer is not None:
+            scope.enter_context(tracer.source("storage", storage.layer_counters))
+        with span("index-build", kind=cfg.kind, self_join=self_join):
+            if self_join:
+                index_r = build_index(r_points, storage, kind=cfg.kind)
+                index_s = index_r
+            else:
+                index_r, index_s = build_join_indexes(
+                    r_points, np.asarray(s_points), storage, kind=cfg.kind
+                )
+
+        storage.reset_counters()
+        storage.drop_caches()
+        with span("query", k=cfg.k, metric=str(cfg.metric.value), workers=cfg.workers):
+            if cfg.workers > 1:
+                result, stats, __ = parallel_mba_join(
+                    index_r, index_s, storage, n_workers=cfg.workers,
+                    metric=cfg.metric, k=cfg.k, exclude_self=exclude_self,
+                    trace=tracer,
+                )
+            else:
+                t0 = time.process_time()
+                result, stats = mba_join(
+                    index_r, index_s, metric=cfg.metric, k=cfg.k,
+                    exclude_self=exclude_self, trace=tracer,
+                )
+                stats.cpu_time_s += time.process_time() - t0
+                io = storage.io_snapshot()
+                stats.logical_reads += io["logical_reads"]
+                stats.page_misses += io["page_misses"]
+                stats.io_time_s += io["io_time_s"]
+                stats.node_cache_hits += io["node_cache_hits"]
+                stats.node_cache_misses += io["node_cache_misses"]
+
+    session.finalize(
+        meta={
+            **cfg.describe(),
+            "api": "all_nearest_neighbors",
+            "self_join": self_join,
+            "n_r": int(len(r_points)),
+            "n_s": int(len(r_points) if self_join else len(np.asarray(s_points))),
+        },
+        totals=stats.as_dict(),
     )
-    stats.cpu_time_s += time.process_time() - t0
-    io = storage.io_snapshot()
-    stats.logical_reads += io["logical_reads"]
-    stats.page_misses += io["page_misses"]
-    stats.io_time_s += io["io_time_s"]
-    stats.node_cache_hits += io["node_cache_hits"]
-    stats.node_cache_misses += io["node_cache_misses"]
     return result, stats
 
 
 def aknn_join(
     r_points: np.ndarray,
     s_points: np.ndarray | None = None,
-    k: int = 10,
-    **kwargs: Any,
+    config: JoinConfig | None = None,
+    *,
+    storage: StorageManager | None = None,
+    trace: TraceDestination = None,
+    **legacy: Any,
 ) -> tuple[NeighborResult, QueryStats]:
     """All-k-nearest-neighbour query (Section 3.4); sugar over
-    :func:`all_nearest_neighbors` with ``k`` defaulting to 10."""
-    return all_nearest_neighbors(r_points, s_points, k=k, **kwargs)
+    :func:`all_nearest_neighbors` with ``k`` defaulting to 10.
+
+    An explicit ``config`` is used as-is (its ``k`` wins); legacy
+    keywords ride the same deprecation shim as
+    :func:`all_nearest_neighbors`.
+    """
+    if isinstance(s_points, JoinConfig):
+        if config is not None:
+            raise TypeError("two JoinConfig arguments given (s_points slot and config=)")
+        config, s_points = s_points, None
+    cfg = _resolve_config(
+        config, legacy, trace, "aknn_join", base=JoinConfig(k=10)
+    )
+    return all_nearest_neighbors(r_points, s_points, cfg, storage=storage)

@@ -11,7 +11,7 @@ from .experiments import (
     fig5_aknn_tac,
     fig6_aknn_fc,
 )
-from .harness import MethodRun, format_series, format_table, run_method
+from .harness import MethodRun, format_series, format_table, run_method, run_registered
 from .kernels import format_kernel_report, kernel_bench
 from .parallel import format_parallel_report, parallel_scaling
 
@@ -19,6 +19,7 @@ __all__ = [
     "BenchConfig",
     "MethodRun",
     "run_method",
+    "run_registered",
     "format_table",
     "format_series",
     "kernel_bench",

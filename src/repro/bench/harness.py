@@ -5,21 +5,40 @@ Every experiment in :mod:`repro.bench.experiments` funnels through
 (Section 4.1): cold buffer pool per run, CPU time measured around the
 call, I/O time taken from the simulated disk clock, and the machine-
 independent counters preserved alongside.
+
+The harness is trace-aware through the *ambient* tracer
+(:func:`repro.obs.current_tracer`): when an enclosing scope — e.g.
+``python -m repro experiment fig4 --trace t.json`` — activates one,
+every measured run becomes a span carrying its counter deltas, without
+any experiment code changing.
+
+:func:`run_registered` runs a method by its
+:mod:`repro.join.registry` name, sharing the dispatch table (and its
+measurement discipline) with the CLI.
 """
 
 from __future__ import annotations
 
 import time
 from collections.abc import Callable
+from contextlib import ExitStack
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from ..config import JoinConfig
 
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
+from ..obs.tracer import current_tracer
 from ..storage.manager import StorageManager
 
 __all__ = [
     "MethodRun",
     "run_method",
+    "run_registered",
     "format_table",
     "format_series",
     "modeled_cpu_seconds",
@@ -113,12 +132,22 @@ def run_method(
     ``fn`` must perform the query through ``storage`` and return
     ``(result, stats)``.  Counters are reset before, I/O is snapshotted
     after, and wall-process CPU time is measured around the call.
+
+    When an ambient tracer is active (see :func:`repro.obs.use_tracer`),
+    the run executes inside a ``method`` span with a ``storage`` counter
+    source bound, so traced experiments attribute costs per measured run.
     """
     storage.reset_counters()
     storage.drop_caches()
-    t0 = time.process_time()
-    result, stats = fn()
-    cpu = time.process_time() - t0
+    tracer = current_tracer()
+    with ExitStack() as scope:
+        if tracer is not None:
+            if not tracer.has_source("storage"):
+                scope.enter_context(tracer.source("storage", storage.layer_counters))
+            scope.enter_context(tracer.span("method", label=label))
+        t0 = time.process_time()
+        result, stats = fn()
+        cpu = time.process_time() - t0
     io = storage.io_snapshot()
     stats.cpu_time_s += cpu
     stats.io_time_s += io["io_time_s"]
@@ -133,6 +162,43 @@ def run_method(
         stats=stats,
         dims=dims,
         result=result if keep_result else None,
+        params=params,
+    )
+
+
+def run_registered(
+    method: str,
+    points: np.ndarray,
+    storage: StorageManager,
+    config: "JoinConfig | None" = None,
+    label: str | None = None,
+    keep_result: bool = False,
+    dims: int | None = None,
+    exclude_self: bool = True,
+    **params: object,
+) -> MethodRun:
+    """Measure one :mod:`repro.join.registry` method as a :class:`MethodRun`.
+
+    The registry's :func:`~repro.join.registry.run_join` supplies the
+    build/reset/query discipline (identical to the CLI's); the tracer, if
+    ambient, is passed through so MBA/RBA runs get per-stage spans.
+    ``config.workers > 1`` shards the run exactly as ``--workers`` does.
+    """
+    from ..config import JoinConfig
+    from ..join.registry import run_join
+
+    cfg = config if config is not None else JoinConfig()
+    pts = np.asarray(points, dtype=np.float64)
+    outcome = run_join(
+        method, pts, storage, cfg, exclude_self=exclude_self, tracer=current_tracer()
+    )
+    return MethodRun(
+        label=label if label is not None else method,
+        cpu_s=outcome.query_s,
+        io_s=outcome.stats.io_time_s,
+        stats=outcome.stats,
+        dims=dims if dims is not None else int(pts.shape[1]),
+        result=outcome.result if keep_result else None,
         params=params,
     )
 

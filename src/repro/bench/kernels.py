@@ -58,6 +58,7 @@ from ..api import build_index
 from ..core.geometry import Rect, RectArray
 from ..core.lpq import make_node_lpq
 from ..core.mba import mba_join
+from ..obs.tracer import current_tracer
 from ..core.metrics import maxmaxdist_cross, minmindist_cross, nxndist_cross
 from ..core.stats import QueryStats
 from ..data import gstd
@@ -169,8 +170,13 @@ def _bench_end_to_end(
     index = build_index(pts, storage, kind=kind)
     storage.reset_counters()
     storage.drop_caches()
+    tracer = current_tracer()
     t0 = time.perf_counter()
-    result, stats = mba_join(index, index, k=k, exclude_self=True)
+    if tracer is None:
+        result, stats = mba_join(index, index, k=k, exclude_self=True)
+    else:
+        with tracer.span("end-to-end", kind=kind, n=n, k=k):
+            result, stats = mba_join(index, index, k=k, exclude_self=True, trace=tracer)
     wall = time.perf_counter() - t0
     io = storage.io_snapshot()
     stats.logical_reads += io["logical_reads"]

@@ -56,6 +56,7 @@ from ..api import build_index
 from ..core.pruning import PruningMetric
 from ..core.stats import QueryStats
 from ..data import gstd
+from ..obs.tracer import current_tracer
 from ..parallel.executor import ShardReport, parallel_mba_join
 from .experiments import BenchConfig
 from .harness import modeled_cpu_seconds
@@ -106,10 +107,18 @@ def parallel_scaling(
     runs: list[dict[str, object]] = []
     baseline_wall: float | None = None
     baseline_checksum: tuple[int, float] | None = None
+    tracer = current_tracer()
     for workers in worker_counts:
-        result, stats, reports = parallel_mba_join(
-            index, index, storage, n_workers=workers, k=k, exclude_self=True
-        )
+        if tracer is None:
+            result, stats, reports = parallel_mba_join(
+                index, index, storage, n_workers=workers, k=k, exclude_self=True
+            )
+        else:
+            with tracer.span("parallel-run", workers=workers):
+                result, stats, reports = parallel_mba_join(
+                    index, index, storage, n_workers=workers, k=k,
+                    exclude_self=True, trace=tracer,
+                )
         shard_rows = [_shard_row(r, dims) for r in reports]
         aggregate = QueryStats()
         for report in reports:

@@ -1,49 +1,55 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows without writing any code:
+Six commands cover the common workflows without writing any code:
 
 * ``datasets`` — generate and describe the Table 2 workloads.
-* ``join`` — run one ANN/AkNN method on a generated workload and print
-  the result summary plus cost counters.  ``--workers N`` shards the
-  MBA/RBA join across N worker processes (exact, same result);
+* ``join`` — run one ANN/AkNN method (dispatched through
+  :data:`repro.join.registry.REGISTRY`) on a generated workload and
+  print the result summary plus cost counters.  ``--workers N`` shards
+  the MBA/RBA join across N worker processes (exact, same result);
   ``--node-cache E`` layers an E-entry decoded-node cache above the
-  buffer pool.
-* ``experiment`` — regenerate one of the paper's figures.
+  buffer pool; ``--trace out.json`` writes the schema-validated trace
+  artifact (bit-identical results, per-stage/per-layer attribution).
+* ``experiment`` — regenerate one of the paper's figures
+  (``--trace`` records a span per measured method run).
 * ``parallel-bench`` — sweep worker counts and write the
   ``BENCH_parallel.json`` scaling artifact.
 * ``kernel-bench`` — microbenchmark the core kernels (LPQ push/pop,
   cross metrics, end-to-end ``mba_join``) and write ``BENCH_core.json``.
+* ``trace-report`` — summarize a trace artifact as stage/layer
+  attribution tables.
 
 Examples::
 
     python -m repro datasets --scale 0.01
     python -m repro join --method mba --dataset tac -n 5000 -k 3
     python -m repro join --method mba --dataset gaussian -n 5000 --workers 4
-    python -m repro join --method mba --dataset tac -n 5000 --node-cache 256
+    python -m repro join --method mba --dataset tac -n 5000 --trace t.json
+    python -m repro trace-report t.json
     python -m repro experiment fig4
     python -m repro parallel-bench --workers 1 2 4 --out BENCH_parallel.json
     python -m repro kernel-bench --smoke --out BENCH_core.json
+
+Every ``join`` run is validated through the same
+:class:`repro.config.JoinConfig` the Python API uses, so flag validation
+and API validation cannot drift.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
+from contextlib import nullcontext
 
 import numpy as np
 
 from . import bench
-from .api import build_index
-from .core.mba import mba_join
-from .core.pruning import PruningMetric
+from .config import JoinConfig
+from .core.stats import QueryStats
 from .data import gstd
 from .data.datasets import fc_surrogate, table2_datasets, tac_surrogate
-from .join.bnn import bnn_join
-from .join.gorder import gorder_join
-from .join.hnn import hnn_join
-from .join.mnn import mnn_join
-from .parallel.executor import parallel_mba_join
+from .join.registry import get_method, method_names, run_join
+from .obs import TraceSession, format_trace_report, load_trace, use_tracer
 from .storage.manager import StorageManager
 
 __all__ = ["main"]
@@ -84,82 +90,73 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_join(args: argparse.Namespace) -> int:
-    points = _make_dataset(args.dataset, args.n, args.dims, args.seed)
-    if args.node_cache < 0:
-        raise SystemExit(f"--node-cache must be >= 0, got {args.node_cache}")
-    storage = StorageManager.with_pool_bytes(
-        args.pool_kb * 1024, args.page_size, node_cache_entries=args.node_cache
-    )
-    metric = PruningMetric.NXNDIST if args.metric == "nxndist" else PruningMetric.MAXMAXDIST
+def _join_config(args: argparse.Namespace) -> JoinConfig:
+    """One validated :class:`JoinConfig` out of the ``join`` flags.
 
+    Validation errors surface as ``SystemExit`` with the flag spelled the
+    way the user typed it.
+    """
+    method = get_method(args.method)
     if args.workers < 1:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
-    if args.workers > 1 and args.method not in ("mba", "rba"):
+    if args.workers > 1 and not method.supports_workers:
         raise SystemExit(
             f"--workers applies only to the sharded MBA/RBA executor, not {args.method!r}"
         )
+    if args.node_cache < 0:
+        raise SystemExit(f"--node-cache must be >= 0, got {args.node_cache}")
+    try:
+        return JoinConfig(
+            kind=method.index_kind if method.index_kind is not None else "mbrqt",
+            metric=args.metric,
+            k=args.k,
+            exclude_self=True,
+            workers=args.workers,
+            node_cache_entries=args.node_cache,
+            trace=args.trace,
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
 
-    t0 = time.process_time()
-    if args.method in ("mba", "rba"):
-        kind = "mbrqt" if args.method == "mba" else "rstar"
-        index = build_index(points, storage, kind=kind)
-        build_s = time.process_time() - t0
-        storage.reset_counters()
-        storage.drop_caches()
-        t0 = time.process_time()
-        if args.workers > 1:
-            result, stats, reports = parallel_mba_join(
-                index, index, storage, n_workers=args.workers,
-                metric=metric, k=args.k, exclude_self=True,
-            )
-        else:
-            result, stats = mba_join(index, index, metric=metric, k=args.k, exclude_self=True)
-    elif args.method == "bnn":
-        index = build_index(points, storage, kind="rstar")
-        build_s = time.process_time() - t0
-        storage.reset_counters()
-        storage.drop_caches()
-        t0 = time.process_time()
-        result, stats = bnn_join(index, points, metric=metric, k=args.k, exclude_self=True)
-    elif args.method == "mnn":
-        index = build_index(points, storage, kind="rstar")
-        build_s = time.process_time() - t0
-        storage.reset_counters()
-        storage.drop_caches()
-        t0 = time.process_time()
-        result, stats = mnn_join(index, points, k=args.k, exclude_self=True)
-    elif args.method == "gorder":
-        build_s = 0.0
-        t0 = time.process_time()
-        result, stats = gorder_join(points, points, storage, k=args.k, exclude_self=True)
-    elif args.method == "hnn":
-        build_s = 0.0
-        t0 = time.process_time()
-        result, stats = hnn_join(points, points, storage, k=args.k, exclude_self=True)
-    else:
-        raise SystemExit(f"unknown method {args.method!r}")
-    query_s = time.process_time() - t0
-    if args.workers > 1:
-        # Workers counted their own I/O into stats; the coordinator's
-        # storage saw only the shard-planning reads.
-        io_time_s, page_misses = stats.io_time_s, stats.page_misses
-    else:
-        io = storage.io_snapshot()
-        io_time_s, page_misses = io["io_time_s"], io["page_misses"]
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    points = _make_dataset(args.dataset, args.n, args.dims, args.seed)
+    cfg = _join_config(args)
+    storage = StorageManager.with_pool_bytes(
+        args.pool_kb * 1024, args.page_size, node_cache_entries=args.node_cache
+    )
+    session = TraceSession(cfg.trace)
+    outcome = run_join(
+        args.method, points, storage, cfg, exclude_self=True, tracer=session.tracer
+    )
+    result, stats = outcome.result, outcome.stats
+    session.finalize(
+        meta={
+            **cfg.describe(),
+            "command": "join",
+            "method": args.method,
+            "dataset": args.dataset,
+            "n": args.n,
+            "seed": args.seed,
+        },
+        totals=stats.as_dict(),
+    )
 
     print(f"{args.method.upper()} self-{'ANN' if args.k == 1 else f'A{args.k}NN'} "
           f"on {args.dataset} (n={args.n:,})")
-    if args.workers > 1:
+    if args.workers > 1 and outcome.reports is not None:
+        reports = outcome.reports
         shard_pts = ", ".join(f"{r.points:,}" for r in reports)
         print(f"  workers          : {args.workers} ({len(reports)} shards; points {shard_pts})")
-    print(f"  index build      : {build_s:.2f}s")
-    print(f"  query CPU        : {query_s:.2f}s")
-    print(f"  simulated I/O    : {io_time_s:.2f}s ({page_misses:,} misses)")
+    print(f"  index build      : {outcome.build_s:.2f}s")
+    print(f"  query CPU        : {outcome.query_s:.2f}s")
+    print(f"  simulated I/O    : {stats.io_time_s:.2f}s ({stats.page_misses:,} misses)")
     print(f"  distance evals   : {stats.distance_evaluations:,}")
     print(f"  node expansions  : {stats.node_expansions:,}")
     print(f"  result pairs     : {result.pair_count():,}")
     print(f"  total distance   : {result.total_distance():.4f} (checksum)")
+    if args.trace is not None:
+        print(f"  trace            : wrote {args.trace}")
     return 0
 
 
@@ -168,9 +165,37 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if entry is None:
         raise SystemExit(f"unknown experiment {args.name!r}: choose from {sorted(_EXPERIMENTS)}")
     fn, title = entry
-    runs = fn()
+    session = TraceSession(args.trace)
+    if session.tracer is not None:
+        # The benchmark harness consults the ambient tracer, so every
+        # measured method run becomes a span without threading a tracer
+        # through the figure functions.
+        with use_tracer(session.tracer):
+            runs = fn()
+    else:
+        runs = fn()
+    totals = QueryStats()
+    for r in runs:
+        totals.merge(r.stats)
+    session.finalize(
+        meta={"command": "experiment", "experiment": args.name, "title": title},
+        totals=totals.as_dict(),
+    )
     extra = sorted({key for r in runs for key in r.params})
     print(bench.format_table(title, runs, extra_cols=extra))
+    if args.trace is not None:
+        print(f"\nwrote trace {args.trace}")
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    try:
+        doc = load_trace(args.path)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {args.path!r}: {exc}") from None
+    except ValueError as exc:
+        raise SystemExit(f"invalid trace {args.path!r}: {exc}") from None
+    print(format_trace_report(doc))
     return 0
 
 
@@ -187,28 +212,40 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     if args.pool_kb is not None:
         cfg.pool_bytes = args.pool_kb * 1024
     out = None if args.out == "-" else args.out
-    report = bench.parallel_scaling(
-        cfg,
-        worker_counts=tuple(args.workers),
-        kind=args.kind,
-        distribution=args.dataset,
-        n=args.n,
-        dims=args.dims,
-        k=args.k,
-        out_path=out,
+    session = TraceSession(args.trace)
+    with use_tracer(session.tracer) if session.tracer is not None else nullcontext():
+        report = bench.parallel_scaling(
+            cfg,
+            worker_counts=tuple(args.workers),
+            kind=args.kind,
+            distribution=args.dataset,
+            n=args.n,
+            dims=args.dims,
+            k=args.k,
+            out_path=out,
+        )
+    session.finalize(
+        meta={"command": "parallel-bench", "dataset": args.dataset, "kind": args.kind}
     )
     print(bench.format_parallel_report(report))
     if out is not None:
         print(f"\nwrote {out}")
+    if args.trace is not None:
+        print(f"wrote trace {args.trace}")
     return 0
 
 
 def _cmd_kernel_bench(args: argparse.Namespace) -> int:
     out = None if args.out == "-" else args.out
-    report = bench.kernel_bench(smoke=args.smoke, seed=args.seed, out_path=out)
+    session = TraceSession(args.trace)
+    with use_tracer(session.tracer) if session.tracer is not None else nullcontext():
+        report = bench.kernel_bench(smoke=args.smoke, seed=args.seed, out_path=out)
+    session.finalize(meta={"command": "kernel-bench", "smoke": args.smoke})
     print(bench.format_kernel_report(report))
     if out is not None:
         print(f"\nwrote {out}")
+    if args.trace is not None:
+        print(f"wrote trace {args.trace}")
     return 0
 
 
@@ -224,8 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_datasets)
 
     p = sub.add_parser("join", help="run one ANN/AkNN method on a generated workload")
-    p.add_argument("--method", default="mba",
-                   choices=["mba", "rba", "bnn", "mnn", "gorder", "hnn"])
+    p.add_argument("--method", default="mba", choices=list(method_names()))
     p.add_argument("--dataset", default="tac",
                    help="tac, fc, uniform, gaussian, skewed, correlated")
     p.add_argument("-n", type=int, default=10_000, help="number of points")
@@ -240,11 +276,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--node-cache", type=int, default=0,
                    help="decoded-node cache entries above the buffer pool "
                         "(0 disables; sliced per worker when sharded)")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write the schema-validated JSON trace artifact here "
+                        "(results are bit-identical with tracing on or off)")
     p.set_defaults(fn=_cmd_join)
 
     p = sub.add_parser("experiment", help="regenerate one of the paper's figures")
     p.add_argument("name", help=f"one of {sorted(_EXPERIMENTS)}")
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write a JSON trace with one span per measured method run")
     p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("trace-report", help="summarize a repro.trace JSON artifact")
+    p.add_argument("path", help="trace file written by --trace or the trace= API")
+    p.set_defaults(fn=_cmd_trace_report)
 
     p = sub.add_parser(
         "parallel-bench",
@@ -265,6 +310,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dataset seed (default: bench config seed)")
     p.add_argument("--page-size", type=int, default=None)
     p.add_argument("--pool-kb", type=int, default=None)
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write a JSON trace with per-run and per-worker spans")
     p.set_defaults(fn=_cmd_parallel_bench)
 
     p = sub.add_parser(
@@ -276,6 +323,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_core.json",
                    help="artifact path ('-' to skip writing)")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write a JSON trace of the end-to-end runs")
     p.set_defaults(fn=_cmd_kernel_bench)
 
     return parser

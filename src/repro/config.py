@@ -1,0 +1,159 @@
+"""The public API's front door: one validated, frozen configuration object.
+
+Every knob that used to arrive as an ad-hoc keyword argument (or, for
+``node_cache_entries``, only as a CLI flag) now lives on
+:class:`JoinConfig`::
+
+    from repro import JoinConfig, all_nearest_neighbors
+
+    cfg = JoinConfig(k=5, workers=4, node_cache_entries=256, trace="t.json")
+    result, stats = all_nearest_neighbors(points, config=cfg)
+
+The old keyword forms still work — :func:`config_from_legacy_kwargs`
+forwards them into a :class:`JoinConfig` and emits a
+``DeprecationWarning`` — so existing callers keep running while the
+config object becomes the single place where validation happens.  The
+CLI builds a :class:`JoinConfig` from its flags too, so Python callers
+and command-line runs go through identical validation.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Any
+
+from .core.pruning import PruningMetric
+from .obs.tracer import TraceDestination, Tracer
+
+__all__ = ["JoinConfig", "config_from_legacy_kwargs", "INDEX_KINDS"]
+
+INDEX_KINDS = ("mbrqt", "rstar")
+
+#: Keyword names the deprecation shim accepts (the pre-JoinConfig API).
+_LEGACY_KEYS = frozenset(
+    {"k", "kind", "metric", "exclude_self", "workers", "node_cache_entries", "trace"}
+)
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """Validated, immutable configuration for one ANN/AkNN join.
+
+    Parameters
+    ----------
+    kind:
+        Index family — ``"mbrqt"`` (the paper's quadtree, giving MBA) or
+        ``"rstar"`` (giving RBA).
+    metric:
+        Pruning upper bound; accepts a :class:`PruningMetric` or its
+        string value (``"nxndist"`` / ``"maxmaxdist"``).
+    k:
+        Neighbours per query point (k=1 is ANN, k>1 AkNN).
+    exclude_self:
+        Self-join convention; ``None`` (default) resolves to True for
+        self-joins and False for two-dataset joins at call time.
+    workers:
+        Worker processes for the sharded executor; 1 runs serially.
+    node_cache_entries:
+        Decoded-node LRU budget above the buffer pool (0 disables the
+        layer).  Sharded runs slice the budget per worker, so aggregate
+        cache memory never exceeds the serial run's.
+    trace:
+        Observability destination: a path writes the schema-validated
+        JSON trace artifact there; a :class:`~repro.obs.Tracer` records
+        into that tracer (``tracer.document`` after the call); ``None``
+        disables tracing entirely (the default — tracing is strictly
+        pay-for-what-you-use).
+    """
+
+    kind: str = "mbrqt"
+    metric: PruningMetric = PruningMetric.NXNDIST
+    k: int = 1
+    exclude_self: bool | None = None
+    workers: int = 1
+    node_cache_entries: int = 0
+    trace: TraceDestination = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in INDEX_KINDS:
+            raise ValueError(
+                f"unknown index kind {self.kind!r}; expected one of {INDEX_KINDS}"
+            )
+        # Accept the string spelling everywhere a metric is configured
+        # (the CLI, JSON configs); normalise onto the enum.
+        if not isinstance(self.metric, PruningMetric):
+            object.__setattr__(self, "metric", PruningMetric(self.metric))
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.node_cache_entries < 0:
+            raise ValueError(
+                f"node_cache_entries must be >= 0, got {self.node_cache_entries}"
+            )
+        if self.trace is not None and not isinstance(self.trace, (str, Tracer)):
+            # Path objects are fine too; import locally to keep the
+            # isinstance tuple simple.
+            from pathlib import Path
+
+            if not isinstance(self.trace, Path):
+                raise TypeError(
+                    "trace must be a path, a Tracer, or None; "
+                    f"got {type(self.trace).__name__}"
+                )
+
+    def resolve_exclude_self(self, self_join: bool) -> bool:
+        """The effective ``exclude_self`` for a concrete call.
+
+        ``None`` keeps the long-standing convention: a self-join does not
+        report a point as its own neighbour, a two-dataset join reports
+        every true nearest neighbour.
+        """
+        if self.exclude_self is None:
+            return self_join
+        return self.exclude_self
+
+    def describe(self) -> dict[str, Any]:
+        """Flat, JSON-friendly view (used for trace ``meta``)."""
+        return {
+            "kind": self.kind,
+            "metric": str(self.metric.value),
+            "k": self.k,
+            "exclude_self": self.exclude_self,
+            "workers": self.workers,
+            "node_cache_entries": self.node_cache_entries,
+        }
+
+    def replace(self, **changes: Any) -> "JoinConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)
+
+
+def config_from_legacy_kwargs(
+    legacy: dict[str, Any],
+    defaults: JoinConfig | None = None,
+    api_name: str = "all_nearest_neighbors",
+) -> JoinConfig:
+    """Fold pre-``JoinConfig`` keyword arguments into a config object.
+
+    This is the deprecation shim behind :func:`repro.all_nearest_neighbors`
+    and :func:`repro.aknn_join`: every recognised key is forwarded onto a
+    :class:`JoinConfig` (warning once per call site), and unknown keys
+    raise ``TypeError`` exactly as an unexpected keyword would.
+    """
+    unknown = set(legacy) - _LEGACY_KEYS
+    if unknown:
+        raise TypeError(
+            f"{api_name}() got unexpected keyword argument(s) "
+            f"{sorted(unknown)}; valid JoinConfig fields are "
+            f"{sorted(f.name for f in fields(JoinConfig))}"
+        )
+    warnings.warn(
+        f"passing {sorted(legacy)} as keyword arguments to {api_name}() is "
+        "deprecated; build a repro.JoinConfig and pass it as `config=` instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    base = defaults if defaults is not None else JoinConfig()
+    return replace(base, **legacy)

@@ -320,6 +320,7 @@ class LPQ:
         if n == 1:
             self._append_row(kind, ids[0], counts[0], minds[0], maxds[0])
             self.stats.lpq_enqueues += 1
+            self.stats.lpq_push_batches += 1
             self._refresh_bound()
             return [0]
         batch_order = sorted(range(n), key=maxds.__getitem__)
@@ -366,6 +367,7 @@ class LPQ:
             order.insert(pos, base + j)
             ord_minds.insert(pos, mind)
         self.stats.lpq_enqueues += n
+        self.stats.lpq_push_batches += 1
         self._refresh_bound()
         return batch_order
 
@@ -492,6 +494,7 @@ class LPQ:
         self._append_row(kind, ident, count, mind, maxd)
         self._extras.append(extra)
         self.stats.lpq_enqueues += 1
+        self.stats.lpq_push_batches += 1
         self._refresh_bound()
         self._maybe_compact()
 
@@ -547,6 +550,7 @@ class LPQ:
                 # while queued.
                 self.stats.lpq_filter_discards += 1
                 continue
+            self.stats.lpq_pops += 1
             return (
                 mind,
                 int(self._kinds[row]),  # type: ignore[index]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
+from contextlib import ExitStack
 
 import numpy as np
 
@@ -51,6 +52,7 @@ from ..core.pruning import PruningMetric
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
 from ..index.base import Node, PagedIndex, ShardRoot
+from ..obs.tracer import Tracer
 
 __all__ = ["mba_join"]
 
@@ -69,6 +71,7 @@ def mba_join(
     stats: QueryStats | None = None,
     root_entry: ShardRoot | None = None,
     seed_bound: float = math.inf,
+    trace: Tracer | None = None,
 ) -> tuple[NeighborResult, QueryStats]:
     """All-(k-)nearest-neighbour join: for each point of ``index_r``'s
     dataset, find its k nearest neighbours among ``index_s``'s dataset.
@@ -107,6 +110,14 @@ def mba_join(
         it has already established for ``root_entry``; it must be a valid
         upper bound on the k-NN distance of *every* query point under the
         shard root, or results will be wrong.
+    trace:
+        Optional :class:`~repro.obs.Tracer`.  When given, every Expand
+        and Gather step accumulates into the current span's stage
+        aggregates (with counter deltas), and a ``stats`` counter source
+        is bound for the traversal unless an enclosing scope already
+        bound one.  Tracing only *reads* counters, so traced and
+        untraced runs are bit-identical; when ``None`` (the default) the
+        only cost is one ``is None`` check per node expansion.
 
     Returns
     -------
@@ -142,6 +153,7 @@ def mba_join(
         early_break,
         result,
         stats,
+        trace,
     )
 
     # Algorithm 2 (MBA): seed the root LPQ with IS's root entry.  With a
@@ -172,13 +184,18 @@ def mba_join(
         rects=(root_rect.lo[None, :], root_rect.hi[None, :]) if not bidirectional else None,
     )
 
-    if depth_first:
-        _run_depth_first(engine, root_lpq)
-    else:
-        queue = deque([root_lpq])
-        while queue:
-            lpq = queue.popleft()
-            queue.extend(engine.expand_and_prune(lpq))
+    with ExitStack() as scope:
+        # Bind this traversal's stats as a counter source unless an
+        # enclosing scope (a shard worker) already bound a wider one.
+        if trace is not None and not trace.has_source("stats"):
+            scope.enter_context(trace.source("stats", stats.as_dict))
+        if depth_first:
+            _run_depth_first(engine, root_lpq)
+        else:
+            queue = deque([root_lpq])
+            while queue:
+                lpq = queue.popleft()
+                queue.extend(engine.expand_and_prune(lpq))
 
     result.finalize()
     stats.result_pairs += result.pair_count()
@@ -213,6 +230,7 @@ class _Engine:
         early_break: bool,
         result: NeighborResult,
         stats: QueryStats,
+        trace: Tracer | None = None,
     ) -> None:
         self.index_r = index_r
         self.index_s = index_s
@@ -227,14 +245,26 @@ class _Engine:
         self.early_break = early_break
         self.result = result
         self.stats = stats
+        self.trace = trace
 
     # -- Algorithm 4 -----------------------------------------------------------
 
     def expand_and_prune(self, lpq: LPQ) -> list[LPQ]:
+        # The untraced branches are the hot path: tracing disabled costs
+        # exactly one identity check here, and the traced branches call
+        # the same methods, so results are bit-identical either way.
+        trace = self.trace
         if lpq.owner_kind == OBJECT:
-            self._gather(lpq)
+            if trace is None:
+                self._gather(lpq)
+            else:
+                with trace.stage("gather"):
+                    self._gather(lpq)
             return []
-        return self._expand_node_owner(lpq)
+        if trace is None:
+            return self._expand_node_owner(lpq)
+        with trace.stage("expand"):
+            return self._expand_node_owner(lpq)
 
     # -- Gather Stage (owner is a data object) ---------------------------------
 

@@ -12,6 +12,9 @@ observed speedups:
 * ``node_expansions`` — index nodes whose children were fetched.
 * ``lpq_enqueues`` / ``lpq_filter_discards`` — Local Priority Queue traffic
   and the effectiveness of the Filter Stage (Section 3.3.3).
+* ``lpq_push_batches`` / ``lpq_pops`` — how that traffic arrived (batch
+  pushes) and left (pops); the ratio of enqueues to push batches is the
+  batch width the columnar LPQ's fast paths amortise over.
 * ``pruned_entries`` — candidate entries rejected by the pruning bound.
 * page I/O counters, filled in by the storage layer.
 
@@ -43,6 +46,15 @@ class QueryStats:
     lpq_filter_discards: int = 0
     pruned_entries: int = 0
     result_pairs: int = 0
+
+    # LPQ batch traffic: how many push operations carried the enqueued
+    # entries (so enqueues / push_batches is the mean batch width the
+    # columnar fast paths see), and how many entries left queues via
+    # ``pop``.  The trace layer reads these per span/stage to attribute
+    # queue churn; they are maintained unconditionally because a bare
+    # integer increment is noise next to the work each batch does.
+    lpq_push_batches: int = 0
+    lpq_pops: int = 0
 
     # Storage-layer counters (filled by BufferPool / PageStore).
     logical_reads: int = 0

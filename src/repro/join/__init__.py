@@ -15,6 +15,9 @@
   correctness testing.
 
 The paper's own algorithm (MBA/RBA) lives in :mod:`repro.core.mba`.
+:mod:`repro.join.registry` maps method names (``"mba"``, ``"bnn"``, …)
+to runnable entries — the dispatch table shared by the CLI and the
+benchmark harness.
 """
 
 from .bnn import bnn_join
@@ -24,8 +27,24 @@ from .hnn import hnn_join
 from .mnn import knn_search, mnn_join
 from .mux import MuxFile, mux_knn_join
 from .naive import brute_force_join, kdtree_join
+from .registry import (
+    REGISTRY,
+    JoinMethod,
+    JoinOutcome,
+    JoinRequest,
+    get_method,
+    method_names,
+    run_join,
+)
 
 __all__ = [
+    "REGISTRY",
+    "JoinMethod",
+    "JoinOutcome",
+    "JoinRequest",
+    "get_method",
+    "method_names",
+    "run_join",
     "bnn_join",
     "hnn_join",
     "distance_join",

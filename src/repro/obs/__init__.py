@@ -1,0 +1,44 @@
+"""Structured tracing and metrics (``repro.obs``).
+
+Zero-dependency observability for the ANN engine: hierarchical spans
+with counter-delta attribution (:mod:`~repro.obs.tracer`), a validated
+JSON artifact contract (:mod:`~repro.obs.schema`), and the
+``trace-report`` renderer (:mod:`~repro.obs.report`).
+
+The layer is strictly pay-for-what-you-use: nothing is recorded unless
+a ``trace=`` destination (or ``--trace`` flag) was supplied, and traced
+runs are bit-identical to untraced ones — the tracer only ever *reads*
+counters that the engine maintains anyway.
+"""
+
+from .report import aggregate_stages, format_trace_report, load_trace
+from .schema import TRACE_SCHEMA, TraceValidationError, validate_trace
+from .tracer import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    Span,
+    StageAggregate,
+    TraceDestination,
+    Tracer,
+    TraceSession,
+    current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "StageAggregate",
+    "TraceSession",
+    "TraceDestination",
+    "current_tracer",
+    "use_tracer",
+    "TRACE_SCHEMA",
+    "TraceValidationError",
+    "validate_trace",
+    "load_trace",
+    "format_trace_report",
+    "aggregate_stages",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,199 @@
+"""Schema for the ``repro.trace`` JSON artifact — declaration + validator.
+
+The trace file is a contract between producers (the Python API, the CLI,
+the benchmark commands, worker processes) and consumers (``python -m
+repro trace-report``, CI artifact diffing, ad-hoc notebooks).  The
+contract lives here twice, deliberately:
+
+* :data:`TRACE_SCHEMA` — a JSON-Schema (draft-07 shaped) document, the
+  machine-readable description published for external tooling.
+* :func:`validate_trace` — a hand-rolled, zero-dependency validator that
+  enforces exactly the same shape.  The container bakes in no
+  ``jsonschema`` package and the library must stay dependency-free, so
+  the validator is first-party code; the test suite keeps the two in
+  lockstep (every constraint asserted by one is exercised against the
+  other).
+
+Validation errors carry a JSON-pointer-style path (``root.children[2].
+stages.expand.calls``) so a malformed artifact names the offending node.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .tracer import SCHEMA_NAME, SCHEMA_VERSION
+
+__all__ = ["TRACE_SCHEMA", "TraceValidationError", "validate_trace"]
+
+
+#: JSON-Schema description of the trace artifact (draft-07 dialect).
+TRACE_SCHEMA: dict[str, Any] = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "title": SCHEMA_NAME,
+    "type": "object",
+    "required": ["schema", "version", "meta", "totals", "root"],
+    "additionalProperties": False,
+    "properties": {
+        "schema": {"const": SCHEMA_NAME},
+        "version": {"const": SCHEMA_VERSION},
+        "meta": {
+            "type": "object",
+            "additionalProperties": {"type": ["string", "number", "boolean", "null"]},
+        },
+        "totals": {"type": "object", "additionalProperties": {"type": "number"}},
+        "root": {"$ref": "#/definitions/span"},
+    },
+    "definitions": {
+        "span": {
+            "type": "object",
+            "required": ["name", "start_s", "duration_s", "attrs", "counters",
+                         "stages", "children"],
+            "additionalProperties": False,
+            "properties": {
+                "name": {"type": "string", "minLength": 1},
+                "start_s": {"type": "number", "minimum": 0},
+                "duration_s": {"type": "number", "minimum": 0},
+                "attrs": {
+                    "type": "object",
+                    "additionalProperties": {
+                        "type": ["string", "number", "boolean", "null"]
+                    },
+                },
+                "counters": {"type": "object", "additionalProperties": {"type": "number"}},
+                "stages": {
+                    "type": "object",
+                    "additionalProperties": {"$ref": "#/definitions/stage"},
+                },
+                "children": {"type": "array", "items": {"$ref": "#/definitions/span"}},
+            },
+        },
+        "stage": {
+            "type": "object",
+            "required": ["calls", "time_s", "counters"],
+            "additionalProperties": False,
+            "properties": {
+                "calls": {"type": "integer", "minimum": 0},
+                "time_s": {"type": "number", "minimum": 0},
+                "counters": {"type": "object", "additionalProperties": {"type": "number"}},
+            },
+        },
+    },
+}
+
+
+class TraceValidationError(ValueError):
+    """A trace document deviates from :data:`TRACE_SCHEMA`.
+
+    ``path`` locates the offending node (dotted keys, ``[i]`` for list
+    indices, ``$`` for the document root).
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+def _require_mapping(obj: object, path: str) -> dict[str, Any]:
+    if not isinstance(obj, dict):
+        raise TraceValidationError(path, f"expected object, got {type(obj).__name__}")
+    for key in obj:
+        if not isinstance(key, str):
+            raise TraceValidationError(path, f"non-string key {key!r}")
+    return obj
+
+
+def _require_number(value: object, path: str, minimum: float | None = None) -> float:
+    # bool is an int subclass; a counter of `true` is a bug, not a 1.
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TraceValidationError(path, f"expected number, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        raise TraceValidationError(path, f"expected >= {minimum}, got {value}")
+    return float(value)
+
+
+def _check_scalar_map(obj: object, path: str) -> None:
+    mapping = _require_mapping(obj, path)
+    for key, value in mapping.items():
+        if value is not None and not isinstance(value, (str, int, float, bool)):
+            raise TraceValidationError(
+                f"{path}.{key}", f"expected scalar, got {type(value).__name__}"
+            )
+
+
+def _check_counter_map(obj: object, path: str) -> None:
+    mapping = _require_mapping(obj, path)
+    for key, value in mapping.items():
+        _require_number(value, f"{path}.{key}")
+
+
+def _check_stage(obj: object, path: str) -> None:
+    stage = _require_mapping(obj, path)
+    missing = {"calls", "time_s", "counters"} - stage.keys()
+    if missing:
+        raise TraceValidationError(path, f"missing keys {sorted(missing)}")
+    extra = stage.keys() - {"calls", "time_s", "counters"}
+    if extra:
+        raise TraceValidationError(path, f"unexpected keys {sorted(extra)}")
+    calls = stage["calls"]
+    if isinstance(calls, bool) or not isinstance(calls, int):
+        raise TraceValidationError(f"{path}.calls", "expected integer")
+    if calls < 0:
+        raise TraceValidationError(f"{path}.calls", f"expected >= 0, got {calls}")
+    _require_number(stage["time_s"], f"{path}.time_s", minimum=0.0)
+    _check_counter_map(stage["counters"], f"{path}.counters")
+
+
+_SPAN_KEYS = {"name", "start_s", "duration_s", "attrs", "counters", "stages", "children"}
+
+
+def _check_span(obj: object, path: str) -> None:
+    span = _require_mapping(obj, path)
+    missing = _SPAN_KEYS - span.keys()
+    if missing:
+        raise TraceValidationError(path, f"missing keys {sorted(missing)}")
+    extra = span.keys() - _SPAN_KEYS
+    if extra:
+        raise TraceValidationError(path, f"unexpected keys {sorted(extra)}")
+    name = span["name"]
+    if not isinstance(name, str) or not name:
+        raise TraceValidationError(f"{path}.name", "expected non-empty string")
+    _require_number(span["start_s"], f"{path}.start_s", minimum=0.0)
+    _require_number(span["duration_s"], f"{path}.duration_s", minimum=0.0)
+    _check_scalar_map(span["attrs"], f"{path}.attrs")
+    _check_counter_map(span["counters"], f"{path}.counters")
+    stages = _require_mapping(span["stages"], f"{path}.stages")
+    for stage_name, stage in stages.items():
+        _check_stage(stage, f"{path}.stages.{stage_name}")
+    children = span["children"]
+    if not isinstance(children, list):
+        raise TraceValidationError(f"{path}.children", "expected array")
+    for i, child in enumerate(children):
+        _check_span(child, f"{path}.children[{i}]")
+
+
+def validate_trace(doc: object) -> dict[str, Any]:
+    """Validate a trace document against :data:`TRACE_SCHEMA`.
+
+    Returns the document (narrowed to ``dict``) on success; raises
+    :class:`TraceValidationError` naming the first offending node
+    otherwise.
+    """
+    root = _require_mapping(doc, "$")
+    required = {"schema", "version", "meta", "totals", "root"}
+    missing = required - root.keys()
+    if missing:
+        raise TraceValidationError("$", f"missing keys {sorted(missing)}")
+    extra = root.keys() - required
+    if extra:
+        raise TraceValidationError("$", f"unexpected keys {sorted(extra)}")
+    if root["schema"] != SCHEMA_NAME:
+        raise TraceValidationError("$.schema", f"expected {SCHEMA_NAME!r}, got {root['schema']!r}")
+    if root["version"] != SCHEMA_VERSION:
+        raise TraceValidationError(
+            "$.version", f"expected {SCHEMA_VERSION}, got {root['version']!r}"
+        )
+    _check_scalar_map(root["meta"], "$.meta")
+    _check_counter_map(root["totals"], "$.totals")
+    _check_span(root["root"], "$.root")
+    return root

@@ -1,0 +1,368 @@
+"""Hierarchical span tracer and metrics registry — the observability spine.
+
+The paper's evaluation (Sections 4–5) explains MBA's advantage entirely
+through *cost attribution*: node accesses, pruning-stage hit rates, and
+the I/O versus CPU split.  :class:`Tracer` makes those attributions a
+first-class artifact instead of flat end-of-run totals:
+
+* **Spans** form a tree (index build, traversal, per-worker shards…).
+  Each span snapshots every bound *counter source* on entry and exit and
+  stores the deltas, so a span is a self-contained cost breakdown —
+  "this much I/O, these many distance evaluations happened *here*".
+* **Stages** are aggregates *within* a span: the MBA engine runs
+  thousands of Expand/Gather steps per query, far too many for one span
+  each, so a stage accumulates call count, self-time and counter deltas
+  under the innermost open span (``span.stages["expand"]``).
+* **Counter sources** are zero-cost observers: callables returning a flat
+  ``name -> number`` mapping (:meth:`~repro.core.stats.QueryStats.as_dict`,
+  :meth:`~repro.storage.manager.StorageManager.layer_counters`).  The
+  tracer only ever *reads* them, which is what guarantees traced and
+  untraced runs produce bit-identical results.
+
+Pay-for-what-you-use: nothing in this module is imported by the hot
+paths unless a trace was requested — the engine's traced branches are
+guarded by ``trace is None`` checks, so the disabled-mode overhead is a
+single identity comparison per node expansion.
+
+The exported artifact (see :mod:`repro.obs.schema`) is schema-validated
+JSON; :mod:`repro.obs.report` renders it as stage/layer attribution
+tables (``python -m repro trace-report``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Callable, Iterator, Mapping
+from contextlib import contextmanager
+from contextvars import ContextVar
+from pathlib import Path
+from typing import Any, Union
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "StageAggregate",
+    "TraceSession",
+    "TraceDestination",
+    "current_tracer",
+    "use_tracer",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_NAME = "repro.trace"
+SCHEMA_VERSION = 1
+
+#: A counter source: reads a flat ``name -> number`` mapping.  Sources
+#: must be pure observers — the tracer calls them at span/stage
+#: boundaries and never mutates anything through them.
+CounterSource = Callable[[], Mapping[str, float]]
+
+#: What a ``trace=`` argument accepts: a path to write the JSON artifact
+#: to, an existing :class:`Tracer` to record into (programmatic access),
+#: or ``None`` for no tracing.
+TraceDestination = Union[str, Path, "Tracer", None]
+
+
+class StageAggregate:
+    """Accumulated cost of one named stage within a span.
+
+    ``calls`` × enter/exit pairs, total ``time_s`` between them, and the
+    summed counter deltas observed across those windows.
+    """
+
+    __slots__ = ("calls", "time_s", "counters")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.time_s = 0.0
+        self.counters: dict[str, float] = {}
+
+    def add(self, elapsed: float, deltas: Mapping[str, float]) -> None:
+        self.calls += 1
+        self.time_s += elapsed
+        counters = self.counters
+        for name, value in deltas.items():
+            counters[name] = counters.get(name, 0.0) + value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "time_s": self.time_s,
+            "counters": dict(self.counters),
+        }
+
+
+class Span:
+    """One node of the trace tree: a named, timed, counter-attributed unit."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_s",
+        "duration_s",
+        "counters",
+        "stages",
+        "children",
+        "_entry_snapshot",
+    )
+
+    def __init__(self, name: str, attrs: dict[str, Any], start_s: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = start_s
+        self.duration_s = 0.0
+        self.counters: dict[str, float] = {}
+        self.stages: dict[str, StageAggregate] = {}
+        self.children: list[dict[str, Any]] = []
+        self._entry_snapshot: dict[str, float] = {}
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "stages": {name: agg.as_dict() for name, agg in self.stages.items()},
+            "children": list(self.children),
+        }
+
+
+class Tracer:
+    """Span tree builder with delta-snapshotting counter sources.
+
+    Typical producer flow::
+
+        tracer = Tracer()
+        with tracer.source("storage", storage.layer_counters):
+            with tracer.span("index-build"):
+                ...
+            with tracer.span("query"):
+                ...  # engine binds its "stats" source and emits stages
+        doc = tracer.finish(meta={"method": "mba"}, totals=stats.as_dict())
+
+    ``finish`` closes the root span and produces the schema-validated
+    trace document (also kept on :attr:`document`).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self._sources: dict[str, CounterSource] = {}
+        self.root = Span("trace", {}, 0.0)
+        self.root._entry_snapshot = {}
+        self._stack: list[Span] = [self.root]
+        self.document: dict[str, Any] | None = None
+
+    # -- counter sources -----------------------------------------------------
+
+    @contextmanager
+    def source(self, name: str, fn: CounterSource) -> Iterator[None]:
+        """Bind counter source ``fn`` under ``name`` for the duration.
+
+        Spans and stages opened while the source is bound include its
+        deltas, prefixed ``"<name>."``.  Re-binding an existing name is
+        an error — it would silently corrupt delta attribution.
+        """
+        if name in self._sources:
+            raise ValueError(f"counter source {name!r} already bound")
+        self._sources[name] = fn
+        try:
+            yield
+        finally:
+            del self._sources[name]
+
+    def has_source(self, name: str) -> bool:
+        """Whether a counter source is currently bound under ``name``.
+
+        Lets nested layers cooperate: the engine binds its ``stats``
+        source only when an enclosing scope (a shard worker) has not
+        already bound one covering a wider window.
+        """
+        return name in self._sources
+
+    def _snapshot(self) -> dict[str, float]:
+        snap: dict[str, float] = {}
+        for src_name, fn in self._sources.items():
+            for key, value in fn().items():
+                snap[f"{src_name}.{key}"] = float(value)
+        return snap
+
+    @staticmethod
+    def _deltas(before: Mapping[str, float], after: Mapping[str, float]) -> dict[str, float]:
+        # Keys only present on one side contribute their present value
+        # (a source bound mid-span starts from an implicit zero).
+        out: dict[str, float] = {}
+        for key, end in after.items():
+            delta = end - before.get(key, 0.0)
+            if delta != 0.0:
+                out[key] = delta
+        return out
+
+    # -- spans and stages ----------------------------------------------------
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a child span of the innermost open span."""
+        t_enter = self._clock()
+        span = Span(name, attrs, t_enter - self._t0)
+        span._entry_snapshot = self._snapshot()
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.duration_s = self._clock() - t_enter
+            for key, delta in self._deltas(span._entry_snapshot, self._snapshot()).items():
+                span.counters[key] = span.counters.get(key, 0.0) + delta
+            self._stack[-1].children.append(span.as_dict())
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Accumulate one enter/exit window into the current span's stage."""
+        t_enter = self._clock()
+        before = self._snapshot()
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - t_enter
+            deltas = self._deltas(before, self._snapshot())
+            span = self._stack[-1]
+            agg = span.stages.get(name)
+            if agg is None:
+                agg = span.stages[name] = StageAggregate()
+            agg.add(elapsed, deltas)
+
+    def counter(self, name: str, delta: float) -> None:
+        """Add a manual counter delta to the current span."""
+        span = self._stack[-1]
+        span.counters[name] = span.counters.get(name, 0.0) + float(delta)
+
+    def attach(self, span_dict: dict[str, Any]) -> None:
+        """Graft an externally produced span dict (e.g. a worker process's
+        trace root) as a child of the current span.
+
+        The grafted span's counters are *not* folded into this tracer's
+        sources — a worker counts against its own storage manager — which
+        is exactly why the trace document carries explicit ``totals``.
+        """
+        self._stack[-1].children.append(span_dict)
+
+    # -- finishing -----------------------------------------------------------
+
+    def finish(
+        self,
+        meta: Mapping[str, Any] | None = None,
+        totals: Mapping[str, float] | None = None,
+    ) -> dict[str, Any]:
+        """Close the root span and build the trace document.
+
+        ``meta`` is free-form run identification (method, dataset, CLI
+        command); ``totals`` are the authoritative end-of-run counters —
+        for a sharded run these include the worker counters that the
+        coordinator's own sources never saw.
+        """
+        if len(self._stack) != 1:
+            open_spans = ", ".join(s.name for s in self._stack[1:])
+            raise RuntimeError(f"cannot finish trace with open spans: {open_spans}")
+        root = self.root
+        root.duration_s = self._clock() - self._t0
+        for key, delta in self._deltas(root._entry_snapshot, self._snapshot()).items():
+            root.counters[key] = root.counters.get(key, 0.0) + delta
+        self.document = {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "meta": dict(meta) if meta else {},
+            "totals": {k: float(v) for k, v in totals.items()} if totals else {},
+            "root": root.as_dict(),
+        }
+        return self.document
+
+
+# -- ambient tracer (benchmark harness integration) --------------------------
+
+_CURRENT: ContextVar[Tracer | None] = ContextVar("repro_obs_tracer", default=None)
+
+
+def current_tracer() -> Tracer | None:
+    """The ambient tracer, if a ``use_tracer`` scope is active.
+
+    The benchmark harness consults this so experiment code paths gain
+    spans without threading a tracer through every figure function.
+    """
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the ambient tracer for the dynamic extent."""
+    token = _CURRENT.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _CURRENT.reset(token)
+
+
+class TraceSession:
+    """Resolve a ``trace=`` destination into an optional live tracer.
+
+    The one policy point shared by the Python API, the join registry and
+    the CLI:
+
+    * ``None`` — tracing disabled, :attr:`tracer` is ``None``.
+    * a path (``str`` / :class:`~pathlib.Path`) — a fresh tracer; on
+      :meth:`finalize` the validated JSON document is written there.
+    * an existing :class:`Tracer` — recorded into for programmatic use;
+      :meth:`finalize` builds the document (``tracer.document``) but
+      writes nothing.
+    """
+
+    __slots__ = ("tracer", "_path")
+
+    def __init__(self, destination: TraceDestination) -> None:
+        self._path: Path | None
+        if destination is None:
+            self.tracer: Tracer | None = None
+            self._path = None
+        elif isinstance(destination, Tracer):
+            self.tracer = destination
+            self._path = None
+        elif isinstance(destination, (str, Path)):
+            self.tracer = Tracer()
+            self._path = Path(destination)
+        else:
+            raise TypeError(
+                f"trace destination must be a path, a Tracer, or None; "
+                f"got {type(destination).__name__}"
+            )
+
+    @property
+    def active(self) -> bool:
+        return self.tracer is not None
+
+    def finalize(
+        self,
+        meta: Mapping[str, Any] | None = None,
+        totals: Mapping[str, float] | None = None,
+    ) -> dict[str, Any] | None:
+        """Finish the trace; validate and write it if a path was given."""
+        if self.tracer is None:
+            return None
+        doc = self.tracer.finish(meta=meta, totals=totals)
+        # Validate before writing: an artifact that fails its own schema
+        # should never reach disk.  Imported lazily to keep the module
+        # dependency graph acyclic.
+        from .schema import validate_trace
+
+        validate_trace(doc)
+        if self._path is not None:
+            self._path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return doc

@@ -35,11 +35,15 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from contextlib import ExitStack
+from typing import Any
+
 from ..core.mba import mba_join
 from ..core.pruning import PruningMetric
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
 from ..index.base import PagedIndex, PagedIndexSpec, ShardRoot
+from ..obs.tracer import Tracer
 from ..storage.manager import (
     IOSnapshot,
     StorageManager,
@@ -49,7 +53,7 @@ from ..storage.manager import (
 )
 from .sharding import pack_shards, shard_seed_bound
 
-__all__ = ["parallel_mba_join", "ShardTask", "ShardReport", "run_shard"]
+__all__ = ["parallel_mba_join", "ShardTask", "ShardReport", "ShardOutcome", "run_shard"]
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,9 @@ class ShardTask:
     filter_stage: bool
     batch_tighten: bool
     early_break: bool
+    trace: bool = False
+    """Build a per-worker tracer and ship its span tree back (a span dict
+    pickles fine; a live tracer would not)."""
 
 
 @dataclass(frozen=True)
@@ -85,14 +92,25 @@ class ShardReport:
     points: int
     stats: QueryStats
     io: IOSnapshot
+    trace: dict[str, Any] | None = None
+    """The worker's ``shard`` span dict when tracing was requested."""
 
 
-def run_shard(task: ShardTask) -> tuple[int, NeighborResult, QueryStats, IOSnapshot]:
+ShardOutcome = tuple[int, NeighborResult, QueryStats, IOSnapshot, "dict[str, Any] | None"]
+"""What :func:`run_shard` ships back: id, merged result, counters, I/O,
+and the worker's span dict (``None`` when the task did not request one)."""
+
+
+def run_shard(task: ShardTask) -> ShardOutcome:
     """Execute one shard (module-level so ProcessPoolExecutor can pickle it).
 
     Reopens the snapshot read-only with this shard's pool slice, then runs
     one :func:`mba_join` per assigned subtree root, accumulating into a
-    single result and counter bundle.
+    single result and counter bundle.  With ``task.trace`` the whole shard
+    runs under a worker-local ``shard`` span — the worker binds its own
+    ``stats`` and ``storage`` counter sources, so the span's deltas are
+    exactly this worker's costs — and the span dict rides home in the
+    outcome tuple for the coordinator to graft into its trace.
     """
     manager = StorageManager.reopen(
         task.snapshot,
@@ -103,24 +121,39 @@ def run_shard(task: ShardTask) -> tuple[int, NeighborResult, QueryStats, IOSnaps
     index_s = index_r if task.s_spec is None else PagedIndex.attach(task.s_spec, manager)
     stats = QueryStats()
     merged = NeighborResult(task.k)
+    trace = Tracer() if task.trace else None
     t0 = time.process_time()
-    for root, seed in zip(task.roots, task.seed_bounds):
-        result, __ = mba_join(
-            index_r,
-            index_s,
-            metric=task.metric,
-            k=task.k,
-            exclude_self=task.exclude_self,
-            depth_first=task.depth_first,
-            bidirectional=task.bidirectional,
-            filter_stage=task.filter_stage,
-            batch_tighten=task.batch_tighten,
-            early_break=task.early_break,
-            stats=stats,
-            root_entry=root,
-            seed_bound=seed,
-        )
-        merged.merge(result)
+    with ExitStack() as scope:
+        if trace is not None:
+            scope.enter_context(trace.source("stats", stats.as_dict))
+            scope.enter_context(trace.source("storage", manager.layer_counters))
+            scope.enter_context(
+                trace.span(
+                    "shard",
+                    shard_id=task.shard_id,
+                    n_roots=len(task.roots),
+                    pool_pages=task.pool_pages,
+                    node_cache_entries=task.node_cache_entries,
+                )
+            )
+        for root, seed in zip(task.roots, task.seed_bounds):
+            result, __ = mba_join(
+                index_r,
+                index_s,
+                metric=task.metric,
+                k=task.k,
+                exclude_self=task.exclude_self,
+                depth_first=task.depth_first,
+                bidirectional=task.bidirectional,
+                filter_stage=task.filter_stage,
+                batch_tighten=task.batch_tighten,
+                early_break=task.early_break,
+                stats=stats,
+                root_entry=root,
+                seed_bound=seed,
+                trace=trace,
+            )
+            merged.merge(result)
     stats.cpu_time_s += time.process_time() - t0
     io = manager.io_snapshot()
     stats.logical_reads += io["logical_reads"]
@@ -128,7 +161,8 @@ def run_shard(task: ShardTask) -> tuple[int, NeighborResult, QueryStats, IOSnaps
     stats.io_time_s += io["io_time_s"]
     stats.node_cache_hits += io["node_cache_hits"]
     stats.node_cache_misses += io["node_cache_misses"]
-    return task.shard_id, merged, stats, io
+    span_dict = trace.root.children[0] if trace is not None else None
+    return task.shard_id, merged, stats, io, span_dict
 
 
 def parallel_mba_join(
@@ -144,6 +178,7 @@ def parallel_mba_join(
     filter_stage: bool = True,
     batch_tighten: bool = True,
     early_break: bool = True,
+    trace: Tracer | None = None,
 ) -> tuple[NeighborResult, QueryStats, list[ShardReport]]:
     """Sharded all-(k-)nearest-neighbour join, exact and deterministic.
 
@@ -154,6 +189,12 @@ def parallel_mba_join(
     where ``stats`` is the exact sum of the per-shard counters (plus the
     coordinator's seed-bound distance evaluations) and ``reports`` lists
     each shard's own counters and I/O snapshot for the scaling benchmark.
+
+    With ``trace`` every worker records a ``shard`` span (against its own
+    counter sources); the coordinator grafts those spans as children of
+    the current span, so a sharded trace shows per-worker attribution.
+    Worker counters never pass through the coordinator's sources — the
+    trace document's ``totals`` carry the merged counters instead.
 
     Both indexes must be persisted in ``storage``; the result is
     identical — pairs and distances — to a serial ``mba_join`` call.
@@ -208,6 +249,7 @@ def parallel_mba_join(
                 filter_stage=filter_stage,
                 batch_tighten=batch_tighten,
                 early_break=early_break,
+                trace=trace is not None,
             )
         )
 
@@ -223,9 +265,11 @@ def parallel_mba_join(
     result = NeighborResult(k)
     stats = coord_stats
     reports: list[ShardReport] = []
-    for shard_id, shard_result, shard_stats, io in outcomes:
+    for shard_id, shard_result, shard_stats, io, span_dict in outcomes:
         result.merge(shard_result)
         stats.merge(shard_stats)
+        if trace is not None and span_dict is not None:
+            trace.attach(span_dict)
         reports.append(
             ShardReport(
                 shard_id=shard_id,
@@ -233,6 +277,7 @@ def parallel_mba_join(
                 points=sum(r.count for r in shards[shard_id]),
                 stats=shard_stats,
                 io=io,
+                trace=span_dict,
             )
         )
     return result, stats, reports

@@ -132,6 +132,14 @@ class BufferPool:
         self.logical_reads = 0
         self.misses = 0
 
+    def counters(self) -> dict[str, int]:
+        """Flat hit/miss counters (a tracer counter source)."""
+        return {
+            "logical_reads": self.logical_reads,
+            "misses": self.misses,
+            "hits": self.hits,
+        }
+
     @property
     def hits(self) -> int:
         return self.logical_reads - self.misses

@@ -203,3 +203,22 @@ class StorageManager:
             node_cache_hits=cache.hits if cache is not None else 0,
             node_cache_misses=cache.misses if cache is not None else 0,
         )
+
+    def layer_counters(self) -> dict[str, float]:
+        """Per-layer counters, prefixed by layer name — a tracer source.
+
+        Spans bound to this source attribute their reads to the decoded-
+        node cache, the buffer pool, or the simulated disk; the keys are
+        stable (``cache.* / pool.* / disk.*``) so ``trace-report`` can
+        build the layer table from any span's deltas.
+        """
+        out: dict[str, float] = {}
+        for key, value in self.pool.counters().items():
+            out[f"pool.{key}"] = float(value)
+        if self.node_cache is not None:
+            for key, value in self.node_cache.counters().items():
+                out[f"cache.{key}"] = float(value)
+        out["disk.physical_reads"] = float(self.store.physical_reads)
+        out["disk.physical_writes"] = float(self.store.physical_writes)
+        out["disk.io_time_s"] = self.store.io_time_s
+        return out

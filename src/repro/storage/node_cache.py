@@ -88,6 +88,10 @@ class DecodedNodeCache:
         self.hits = 0
         self.misses = 0
 
+    def counters(self) -> dict[str, int]:
+        """Flat hit/miss counters (a tracer counter source)."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -39,6 +39,7 @@ from repro.api import build_index
 from repro.core.mba import mba_join
 from repro.core.pruning import PruningMetric
 from repro.data import gstd
+from repro.obs.tracer import Tracer
 from repro.parallel.executor import parallel_mba_join
 from repro.storage.manager import StorageManager
 
@@ -86,9 +87,17 @@ def config_id(cfg: dict[str, Any]) -> str:
 
 
 def run_config(
-    points: np.ndarray, cfg: dict[str, Any], node_cache_entries: int = 0
+    points: np.ndarray,
+    cfg: dict[str, Any],
+    node_cache_entries: int = 0,
+    trace: Tracer | None = None,
 ) -> dict[str, Any]:
-    """Run one configuration and reduce it to a comparable record."""
+    """Run one configuration and reduce it to a comparable record.
+
+    ``trace`` threads an :class:`~repro.obs.Tracer` through the engine —
+    the record must come out identical with or without it (the tracer
+    only reads counters; the bit-identity tests assert exactly that).
+    """
     storage = StorageManager.with_pool_bytes(
         POOL_BYTES, PAGE_SIZE, node_cache_entries=node_cache_entries
     )
@@ -116,10 +125,12 @@ def run_config(
             result, stats, __ = parallel_mba_join(
                 index, index, storage, n_workers=cfg["workers"],
                 metric=metric, k=cfg["k"], exclude_self=cfg["exclude_self"],
+                trace=trace,
             )
         else:
             result, stats = mba_join(
-                index, index, metric=metric, k=cfg["k"], exclude_self=cfg["exclude_self"]
+                index, index, metric=metric, k=cfg["k"],
+                exclude_self=cfg["exclude_self"], trace=trace,
             )
     finally:
         lpq_module.LPQ.pop = original_pop  # type: ignore[method-assign]

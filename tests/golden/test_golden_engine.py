@@ -20,6 +20,8 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs.tracer import Tracer
+
 from .harness import CONFIGS, EXACT_COUNTERS, config_id, dataset_points, run_config
 
 FIXTURE = Path(__file__).with_name("mba_golden.json")
@@ -63,3 +65,32 @@ def test_cache_enabled_run_matches_golden(points):
     assert got["pop_sha"] == record["pop_sha"]
     for counter in EXACT_COUNTERS:
         assert got["counters"][counter] == record["counters"][counter]
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=config_id)
+def test_traced_run_matches_golden(points, cfg):
+    """Tracing must be observationally invisible: a run with a live
+    Tracer replays the untraced fixture bit for bit — the same result
+    stream, the same pop order, the same exact counters."""
+    record = _BY_ID[config_id(cfg)]
+    tracer = Tracer()
+    with tracer.span("golden-replay", config=config_id(cfg)):
+        got = run_config(points, cfg, trace=tracer)
+    assert got["pairs_sha"] == record["pairs_sha"], "tracing changed the result stream"
+    assert got["pair_count"] == record["pair_count"]
+    assert got["total_distance"] == record["total_distance"]
+    if "pop_sha" in record:
+        assert got["pop_count"] == record["pop_count"], "tracing changed pop events"
+        assert got["pop_sha"] == record["pop_sha"], "tracing changed pop order"
+    for counter in EXACT_COUNTERS:
+        assert got["counters"][counter] == record["counters"][counter], (
+            f"tracing changed {counter}"
+        )
+    # The tracer actually observed the traversal (not a silent no-op).
+    doc = tracer.finish(meta={"test": "golden-traced"})
+    replay = doc["root"]["children"][0]
+    stage_calls = sum(s["calls"] for s in replay["stages"].values())
+    child_stage_calls = sum(
+        s["calls"] for c in replay["children"] for s in c["stages"].values()
+    )
+    assert stage_calls + child_stage_calls > 0

@@ -1,0 +1,98 @@
+"""Tests for the join-method registry (repro.join.registry)."""
+
+import pytest
+
+from repro import JoinConfig, StorageManager, Tracer, brute_force_join
+from repro.join import REGISTRY, JoinOutcome, get_method, method_names, run_join
+
+ALL_METHODS = ("mba", "rba", "bnn", "mnn", "gorder", "hnn")
+
+
+class TestRegistryTable:
+    def test_method_names_and_order(self):
+        assert method_names() == ALL_METHODS
+
+    def test_get_method_returns_entry(self):
+        method = get_method("mba")
+        assert method.name == "mba"
+        assert method.index_kind == "mbrqt"
+        assert method.supports_workers
+
+    def test_get_method_unknown_lists_valid_names(self):
+        with pytest.raises(KeyError, match="mba.*gorder"):
+            get_method("quantum")
+
+    def test_declared_index_kinds(self):
+        assert {m.index_kind for m in REGISTRY.values()} == {"mbrqt", "rstar", None}
+        assert get_method("gorder").index_kind is None
+        assert get_method("hnn").index_kind is None
+
+    def test_only_mba_rba_support_workers(self):
+        sharded = {name for name, m in REGISTRY.items() if m.supports_workers}
+        assert sharded == {"mba", "rba"}
+
+
+class TestRunJoin:
+    @pytest.mark.parametrize("name", ALL_METHODS)
+    def test_every_method_answers_correctly(self, rng, name):
+        pts = rng.random((150, 2))
+        storage = StorageManager()
+        outcome = run_join(name, pts, storage, JoinConfig())
+        assert isinstance(outcome, JoinOutcome)
+        assert outcome.method == name
+        assert outcome.result.same_pairs_as(
+            brute_force_join(pts, pts, exclude_self=True)
+        )
+        assert outcome.stats.result_pairs == 150
+        assert outcome.build_s >= 0 and outcome.query_s >= 0
+
+    def test_serial_run_folds_storage_io(self, rng):
+        storage = StorageManager()
+        outcome = run_join("mba", rng.random((200, 2)), storage, JoinConfig())
+        assert outcome.stats.io_time_s > 0
+        assert outcome.stats.logical_reads > 0
+        assert outcome.reports is None
+
+    def test_sharded_run_returns_reports(self, rng):
+        storage = StorageManager()
+        outcome = run_join("mba", rng.random((400, 2)), storage, JoinConfig(workers=2))
+        assert outcome.reports is not None
+        assert len(outcome.reports) >= 1
+        # Workers count their own I/O; the fold must not double it.
+        assert outcome.stats.logical_reads > 0
+
+    def test_sharded_matches_serial(self, rng):
+        pts = rng.random((400, 2))
+        serial = run_join("mba", pts, StorageManager(), JoinConfig(k=2))
+        sharded = run_join("mba", pts, StorageManager(), JoinConfig(k=2, workers=2))
+        assert list(serial.result.pairs()) == list(sharded.result.pairs())
+
+    def test_workers_rejected_for_unsupporting_method(self, rng):
+        with pytest.raises(ValueError, match="sharded MBA/RBA"):
+            run_join(
+                "bnn", rng.random((50, 2)), StorageManager(), JoinConfig(workers=2)
+            )
+
+    def test_unknown_method(self, rng):
+        with pytest.raises(KeyError, match="unknown join method"):
+            run_join("nope", rng.random((20, 2)), StorageManager(), JoinConfig())
+
+    def test_traced_run_produces_spans_and_identical_result(self, rng):
+        pts = rng.random((150, 2))
+        plain = run_join("mba", pts, StorageManager(), JoinConfig())
+        tracer = Tracer()
+        traced = run_join("mba", pts, StorageManager(), JoinConfig(), tracer=tracer)
+        assert list(plain.result.pairs()) == list(traced.result.pairs())
+        doc = tracer.finish()
+        names = [c["name"] for c in doc["root"]["children"]]
+        assert names == ["index-build", "query"]
+        query = doc["root"]["children"][1]
+        assert query["attrs"]["method"] == "mba"
+        assert "expand" in query["stages"]
+
+    def test_indexless_method_has_no_build_span(self, rng):
+        tracer = Tracer()
+        run_join("gorder", rng.random((80, 2)), StorageManager(), JoinConfig(),
+                 tracer=tracer)
+        names = [c["name"] for c in tracer.finish()["root"]["children"]]
+        assert names == ["query"]

@@ -1,0 +1,115 @@
+"""Tests for the trace-report renderer (repro.obs.report)."""
+
+import json
+
+import pytest
+
+from repro.obs import Tracer, aggregate_stages, format_trace_report, load_trace
+
+
+def make_traced_doc():
+    """A document shaped like a sharded engine run: query span with two
+    shard children, each carrying expand/gather stages."""
+    stats = {"distance_evaluations": 0.0, "lpq_filter_discards": 0.0}
+    tracer = Tracer()
+    with tracer.source("stats", lambda: stats):
+        with tracer.span("index-build", kind="mbrqt"):
+            pass
+        with tracer.span("query", k=1):
+            for shard_id in range(2):
+                with tracer.span("shard", shard_id=shard_id):
+                    with tracer.stage("expand"):
+                        stats["distance_evaluations"] += 10.0
+                    with tracer.stage("gather"):
+                        stats["distance_evaluations"] += 5.0
+    return tracer.finish(
+        meta={"method": "mba", "dataset": "uniform"},
+        totals={
+            "lpq_filter_discards": 42.0,
+            "logical_reads": 100.0,
+            "page_misses": 20.0,
+            "io_time_s": 0.5,
+            "node_cache_hits": 30.0,
+            "node_cache_misses": 10.0,
+        },
+    )
+
+
+class TestLoadTrace:
+    def test_reads_and_validates(self, tmp_path):
+        doc = make_traced_doc()
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(doc))
+        assert load_trace(path) == doc
+
+    def test_rejects_invalid_artifact(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "repro.trace"}))
+        with pytest.raises(ValueError, match="missing keys"):
+            load_trace(path)
+
+
+class TestAggregateStages:
+    def test_sums_over_subtree(self):
+        doc = make_traced_doc()
+        stages = aggregate_stages(doc["root"])
+        assert stages["expand"]["calls"] == 2
+        assert stages["expand"]["counters"]["stats.distance_evaluations"] == 20.0
+        assert stages["gather"]["calls"] == 2
+        assert stages["gather"]["counters"]["stats.distance_evaluations"] == 10.0
+
+    def test_empty_tree(self):
+        assert aggregate_stages(Tracer().finish()["root"]) == {}
+
+
+class TestFormatTraceReport:
+    def test_report_sections(self):
+        text = format_trace_report(make_traced_doc())
+        assert "Trace report — repro.trace v1" in text
+        assert "method=mba" in text
+        assert "Spans:" in text
+        assert "index-build" in text and "shard" in text
+        assert "Stage attribution" in text
+        assert "Layer attribution" in text
+
+    def test_stage_rows_in_canonical_order(self):
+        lines = format_trace_report(make_traced_doc()).splitlines()
+        stage_rows = [
+            line.split()[0]
+            for line in lines
+            if line.startswith(("expand", "filter", "gather"))
+        ]
+        assert stage_rows == ["expand", "filter", "gather"]
+
+    def test_lazy_filter_row_uses_totals_discards(self):
+        text = format_trace_report(make_traced_doc())
+        filter_line = next(
+            line for line in text.splitlines() if line.startswith("filter")
+        )
+        assert "(lazy)" in filter_line
+        assert "42" in filter_line
+
+    def test_layer_table_rates(self):
+        text = format_trace_report(make_traced_doc())
+        cache_line = next(
+            line for line in text.splitlines() if line.startswith("node-cache")
+        )
+        assert "75.0" in cache_line  # 30 hits / 40 requests
+        pool_line = next(line for line in text.splitlines() if line.startswith("pool"))
+        assert "80.0" in pool_line  # 80 hits / 100 logical reads
+
+    def test_tolerates_empty_totals(self):
+        doc = Tracer().finish()
+        text = format_trace_report(doc)
+        assert "no totals" in text
+
+    def test_real_run_reports_real_stages(self, rng, tmp_path):
+        # End-to-end: the artifact a traced API run writes renders with
+        # nonzero expand/gather attribution.
+        from repro import JoinConfig, all_nearest_neighbors
+
+        path = tmp_path / "t.json"
+        all_nearest_neighbors(rng.random((200, 2)), JoinConfig(k=2, trace=path))
+        text = format_trace_report(load_trace(path))
+        expand = next(line for line in text.splitlines() if line.startswith("expand"))
+        assert expand.split()[1] != "0"

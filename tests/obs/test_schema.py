@@ -1,0 +1,179 @@
+"""Tests for the trace schema and its hand-rolled validator.
+
+The validator and :data:`TRACE_SCHEMA` declare the same contract twice;
+these tests keep them in lockstep by exercising each constraint the
+schema states against the validator.
+"""
+
+import copy
+
+import pytest
+
+from repro.obs import TRACE_SCHEMA, Tracer, TraceValidationError, validate_trace
+
+
+def make_doc():
+    """A small, valid document with one span, stage and child."""
+    tracer = Tracer()
+    counters = {"reads": 0.0}
+    with tracer.source("io", lambda: counters):
+        with tracer.span("query", k=1, label="x", flag=True, none=None):
+            counters["reads"] += 3.0
+            with tracer.stage("expand"):
+                counters["reads"] += 1.0
+            with tracer.span("child"):
+                pass
+    return tracer.finish(meta={"method": "mba", "n": 100}, totals={"reads": 4.0})
+
+
+class TestValidDocuments:
+    def test_produced_document_validates(self):
+        doc = make_doc()
+        assert validate_trace(doc) is doc
+
+    def test_empty_meta_and_totals(self):
+        doc = Tracer().finish()
+        assert validate_trace(doc)["meta"] == {}
+
+    def test_round_trips_through_json(self, tmp_path):
+        import json
+
+        doc = make_doc()
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(doc))
+        validate_trace(json.loads(path.read_text()))
+
+
+class TestRejections:
+    def test_non_mapping(self):
+        with pytest.raises(TraceValidationError, match=r"\$: expected object"):
+            validate_trace([1, 2])
+
+    def test_missing_top_level_key(self):
+        doc = make_doc()
+        del doc["totals"]
+        with pytest.raises(TraceValidationError, match="missing keys.*totals"):
+            validate_trace(doc)
+
+    def test_extra_top_level_key(self):
+        doc = make_doc()
+        doc["extra"] = 1
+        with pytest.raises(TraceValidationError, match="unexpected keys.*extra"):
+            validate_trace(doc)
+
+    def test_wrong_schema_name(self):
+        doc = make_doc()
+        doc["schema"] = "other.trace"
+        with pytest.raises(TraceValidationError, match=r"\$\.schema"):
+            validate_trace(doc)
+
+    def test_wrong_version(self):
+        doc = make_doc()
+        doc["version"] = 99
+        with pytest.raises(TraceValidationError, match=r"\$\.version"):
+            validate_trace(doc)
+
+    def test_non_scalar_meta_value(self):
+        doc = make_doc()
+        doc["meta"]["nested"] = {"a": 1}
+        with pytest.raises(TraceValidationError, match=r"\$\.meta\.nested"):
+            validate_trace(doc)
+
+    def test_non_numeric_total(self):
+        doc = make_doc()
+        doc["totals"]["reads"] = "many"
+        with pytest.raises(TraceValidationError, match=r"\$\.totals\.reads"):
+            validate_trace(doc)
+
+    def test_boolean_is_not_a_number(self):
+        # bool subclasses int; a counter of `true` is a producer bug.
+        doc = make_doc()
+        doc["totals"]["reads"] = True
+        with pytest.raises(TraceValidationError, match="expected number, got bool"):
+            validate_trace(doc)
+
+    def test_span_missing_key(self):
+        doc = make_doc()
+        del doc["root"]["children"][0]["stages"]
+        with pytest.raises(TraceValidationError, match=r"children\[0\].*missing"):
+            validate_trace(doc)
+
+    def test_span_extra_key(self):
+        doc = make_doc()
+        doc["root"]["extra"] = 1
+        with pytest.raises(TraceValidationError, match=r"\$\.root.*unexpected"):
+            validate_trace(doc)
+
+    def test_empty_span_name(self):
+        doc = make_doc()
+        doc["root"]["children"][0]["name"] = ""
+        with pytest.raises(TraceValidationError, match="non-empty string"):
+            validate_trace(doc)
+
+    def test_negative_duration(self):
+        doc = make_doc()
+        doc["root"]["duration_s"] = -1.0
+        with pytest.raises(TraceValidationError, match=">= 0"):
+            validate_trace(doc)
+
+    def test_children_must_be_array(self):
+        doc = make_doc()
+        doc["root"]["children"] = {"oops": 1}
+        with pytest.raises(TraceValidationError, match="expected array"):
+            validate_trace(doc)
+
+    def test_stage_calls_must_be_integer(self):
+        doc = make_doc()
+        doc["root"]["children"][0]["stages"]["expand"]["calls"] = 1.5
+        with pytest.raises(TraceValidationError, match=r"stages\.expand\.calls"):
+            validate_trace(doc)
+
+    def test_stage_extra_key(self):
+        doc = make_doc()
+        doc["root"]["children"][0]["stages"]["expand"]["note"] = "hi"
+        with pytest.raises(TraceValidationError, match="unexpected keys.*note"):
+            validate_trace(doc)
+
+    def test_error_path_names_deep_node(self):
+        doc = make_doc()
+        doc["root"]["children"][0]["children"][0]["counters"]["bad"] = []
+        with pytest.raises(TraceValidationError) as exc:
+            validate_trace(doc)
+        assert exc.value.path == "$.root.children[0].children[0].counters.bad"
+
+
+class TestSchemaDocument:
+    """The published JSON-Schema must describe what the validator enforces."""
+
+    def test_declares_draft07(self):
+        assert TRACE_SCHEMA["$schema"] == "http://json-schema.org/draft-07/schema#"
+
+    def test_top_level_required_matches_validator(self):
+        assert set(TRACE_SCHEMA["required"]) == {
+            "schema", "version", "meta", "totals", "root"
+        }
+        assert TRACE_SCHEMA["additionalProperties"] is False
+
+    def test_span_definition_matches_validator(self):
+        span = TRACE_SCHEMA["definitions"]["span"]
+        assert set(span["required"]) == {
+            "name", "start_s", "duration_s", "attrs", "counters", "stages", "children"
+        }
+        assert span["additionalProperties"] is False
+        assert span["properties"]["children"]["items"] == {"$ref": "#/definitions/span"}
+
+    def test_stage_definition_matches_validator(self):
+        stage = TRACE_SCHEMA["definitions"]["stage"]
+        assert set(stage["required"]) == {"calls", "time_s", "counters"}
+        assert stage["properties"]["calls"]["type"] == "integer"
+
+    def test_schema_is_json_serialisable(self):
+        import json
+
+        assert json.loads(json.dumps(TRACE_SCHEMA)) == TRACE_SCHEMA
+
+    def test_validator_does_not_mutate(self):
+        doc = make_doc()
+        snapshot = copy.deepcopy(doc)
+        validate_trace(doc)
+        assert doc == snapshot

@@ -1,0 +1,231 @@
+"""Unit tests for the span tracer (repro.obs.tracer)."""
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    Tracer,
+    TraceSession,
+    current_tracer,
+    use_tracer,
+    validate_trace,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", label="a"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner2"):
+                pass
+        doc = tracer.finish()
+        (outer,) = doc["root"]["children"]
+        assert outer["name"] == "outer"
+        assert outer["attrs"] == {"label": "a"}
+        assert [c["name"] for c in outer["children"]] == ["inner", "inner2"]
+
+    def test_span_durations_from_clock(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("work"):
+            pass
+        (span,) = tracer.finish()["root"]["children"]
+        assert span["duration_s"] > 0
+
+    def test_span_closed_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+        # The span was popped and recorded despite the exception.
+        doc = tracer.finish()
+        assert [c["name"] for c in doc["root"]["children"]] == ["fails"]
+
+    def test_finish_rejects_open_spans(self):
+        tracer = Tracer()
+        cm = tracer.span("still-open")
+        cm.__enter__()
+        with pytest.raises(RuntimeError, match="still-open"):
+            tracer.finish()
+
+    def test_finish_document_shape(self):
+        tracer = Tracer()
+        doc = tracer.finish(meta={"method": "mba"}, totals={"result_pairs": 10})
+        assert doc["schema"] == SCHEMA_NAME
+        assert doc["version"] == SCHEMA_VERSION
+        assert doc["meta"] == {"method": "mba"}
+        assert doc["totals"] == {"result_pairs": 10.0}
+        assert tracer.document is doc
+        validate_trace(doc)
+
+    def test_manual_counter(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            tracer.counter("retries", 2)
+            tracer.counter("retries", 1)
+        (span,) = tracer.finish()["root"]["children"]
+        assert span["counters"]["retries"] == 3.0
+
+
+class TestCounterSources:
+    def test_span_records_source_deltas(self):
+        counters = {"reads": 0.0}
+        tracer = Tracer()
+        with tracer.source("io", lambda: counters):
+            with tracer.span("work"):
+                counters["reads"] = 7.0
+        (span,) = tracer.finish()["root"]["children"]
+        assert span["counters"] == {"io.reads": 7.0}
+
+    def test_zero_deltas_are_omitted(self):
+        counters = {"reads": 5.0}
+        tracer = Tracer()
+        with tracer.source("io", lambda: counters):
+            with tracer.span("idle"):
+                pass
+        (span,) = tracer.finish()["root"]["children"]
+        assert span["counters"] == {}
+
+    def test_duplicate_source_name_rejected(self):
+        tracer = Tracer()
+        with tracer.source("io", dict):
+            with pytest.raises(ValueError, match="already bound"):
+                with tracer.source("io", dict):
+                    pass
+
+    def test_has_source_tracks_binding_window(self):
+        tracer = Tracer()
+        assert not tracer.has_source("io")
+        with tracer.source("io", dict):
+            assert tracer.has_source("io")
+        assert not tracer.has_source("io")
+
+    def test_source_bound_mid_span_counts_from_zero(self):
+        counters = {"reads": 3.0}
+        tracer = Tracer()
+        with tracer.span("work"):
+            with tracer.source("io", lambda: counters):
+                counters["reads"] = 5.0
+                with tracer.span("inner"):
+                    counters["reads"] = 9.0
+        outer, = tracer.finish()["root"]["children"]
+        (inner,) = outer["children"]
+        assert inner["counters"] == {"io.reads": 4.0}
+
+
+class TestStages:
+    def test_stage_accumulates_calls_and_deltas(self):
+        counters = {"n": 0.0}
+        tracer = Tracer()
+        with tracer.source("stats", lambda: counters):
+            with tracer.span("query") as span:
+                for __ in range(3):
+                    with tracer.stage("expand"):
+                        counters["n"] += 2.0
+                with tracer.stage("gather"):
+                    counters["n"] += 1.0
+        assert span.stages["expand"].calls == 3
+        assert span.stages["expand"].counters == {"stats.n": 6.0}
+        assert span.stages["gather"].calls == 1
+        doc = tracer.finish()
+        validate_trace(doc)
+
+    def test_stage_attaches_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                with tracer.stage("expand"):
+                    pass
+        (outer,) = tracer.finish()["root"]["children"]
+        assert outer["stages"] == {}
+        assert outer["children"][0]["stages"]["expand"]["calls"] == 1
+
+
+class TestAttach:
+    def test_grafted_span_becomes_child(self):
+        worker = Tracer()
+        with worker.span("shard", shard_id=0):
+            with worker.stage("expand"):
+                pass
+        worker_span = worker.root.children[0]
+
+        coordinator = Tracer()
+        with coordinator.span("query"):
+            coordinator.attach(worker_span)
+        doc = coordinator.finish()
+        validate_trace(doc)
+        (query,) = doc["root"]["children"]
+        assert query["children"][0]["name"] == "shard"
+        assert query["children"][0]["attrs"]["shard_id"] == 0
+
+
+class TestAmbientTracer:
+    def test_default_is_none(self):
+        assert current_tracer() is None
+
+    def test_use_tracer_scopes_the_ambient(self):
+        tracer = Tracer()
+        with use_tracer(tracer) as active:
+            assert active is tracer
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_use_tracer_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with use_tracer(tracer):
+                raise RuntimeError("x")
+        assert current_tracer() is None
+
+
+class TestTraceSession:
+    def test_none_destination_is_disabled(self):
+        session = TraceSession(None)
+        assert session.tracer is None
+        assert not session.active
+        assert session.finalize(meta={"a": 1}) is None
+
+    def test_path_destination_writes_validated_json(self, tmp_path):
+        path = tmp_path / "t.json"
+        session = TraceSession(path)
+        assert session.active
+        with session.tracer.span("work"):
+            pass
+        doc = session.finalize(meta={"cmd": "test"}, totals={"x": 1})
+        assert doc is not None
+        from repro.obs import load_trace
+
+        on_disk = load_trace(path)
+        assert on_disk == doc
+
+    def test_str_destination(self, tmp_path):
+        path = tmp_path / "t.json"
+        session = TraceSession(str(path))
+        session.finalize()
+        assert path.exists()
+
+    def test_tracer_destination_builds_but_does_not_write(self):
+        tracer = Tracer()
+        session = TraceSession(tracer)
+        assert session.tracer is tracer
+        doc = session.finalize(meta={"m": "x"})
+        assert tracer.document is doc
+
+    def test_bad_destination_type(self):
+        with pytest.raises(TypeError, match="trace destination"):
+            TraceSession(3.14)

@@ -113,3 +113,71 @@ class TestCommands:
         second = capsys.readouterr().out
         checksum = [l for l in first.splitlines() if "checksum" in l]
         assert checksum == [l for l in second.splitlines() if "checksum" in l]
+
+
+class TestTracing:
+    def test_traced_join_writes_valid_artifact(self, capsys, tmp_path):
+        from repro import load_trace
+
+        path = tmp_path / "t.json"
+        base = ["join", "--method", "mba", "--dataset", "uniform", "-n", "300"]
+        assert main(base) == 0
+        untraced = capsys.readouterr().out
+        assert main(base + ["--trace", str(path)]) == 0
+        traced = capsys.readouterr().out
+        # Tracing must not change the answer the CLI prints.
+        checksum = [l for l in untraced.splitlines() if "checksum" in l]
+        assert checksum == [l for l in traced.splitlines() if "checksum" in l]
+        assert f"wrote {path}" in traced
+        doc = load_trace(path)  # schema-validates
+        assert doc["meta"]["command"] == "join"
+        assert doc["meta"]["method"] == "mba"
+        assert doc["totals"]["result_pairs"] == 300.0
+
+    def test_trace_report_renders_artifact(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        assert main(["join", "--method", "mba", "-n", "300", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Stage attribution" in out
+        assert "Layer attribution" in out
+        assert "expand" in out and "gather" in out and "filter" in out
+
+    def test_trace_report_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="trace"):
+            main(["trace-report", str(tmp_path / "nope.json")])
+
+    def test_trace_report_invalid_artifact(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "repro.trace"}')
+        with pytest.raises(SystemExit, match="missing keys"):
+            main(["trace-report", str(bad)])
+
+    def test_traced_sharded_join(self, tmp_path):
+        from repro import load_trace
+
+        path = tmp_path / "t.json"
+        args = ["join", "--method", "mba", "-n", "600", "--workers", "2",
+                "--trace", str(path)]
+        assert main(args) == 0
+        doc = load_trace(path)
+        query = next(c for c in doc["root"]["children"] if c["name"] == "query")
+        assert any(c["name"] == "shard" for c in query["children"])
+
+    def test_traced_kernel_bench(self, capsys, tmp_path):
+        path = tmp_path / "t.json"
+        args = ["kernel-bench", "--smoke", "--out", "-", "--trace", str(path)]
+        assert main(args) == 0
+        assert path.exists()
+
+    def test_traced_experiment(self, capsys, tmp_path, monkeypatch):
+        from repro import load_trace
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        path = tmp_path / "t.json"
+        assert main(["experiment", "filter", "--trace", str(path)]) == 0
+        doc = load_trace(path)
+        assert doc["meta"]["command"] == "experiment"
+        # Each measured method run became a span via the ambient tracer.
+        assert any(c["name"] == "method" for c in doc["root"]["children"])
