@@ -7,6 +7,7 @@ docstrings (and DESIGN.md) for the paper sections they guard.
 from __future__ import annotations
 
 from ..engine import RuleRegistry
+from .blocking_calls import BlockingCall
 from .counters import CounterDiscipline
 from .determinism import Nondeterminism
 from .hygiene import BareExcept, MutableDefaultArg
@@ -24,6 +25,7 @@ __all__ = [
     "BareExcept",
     "NxndistArgOrder",
     "ScalarMetricInLoop",
+    "BlockingCall",
     "ALL_RULES",
     "build_registry",
 ]
@@ -37,6 +39,7 @@ ALL_RULES = (
     BareExcept,
     NxndistArgOrder,
     ScalarMetricInLoop,
+    BlockingCall,
 )
 
 

@@ -1,0 +1,100 @@
+"""Rule: no blocking primitives in the serving and traversal hot paths.
+
+:mod:`repro.service` answers an online request stream; :mod:`repro.core`
+is the traversal inner loop every flush rides.  A stray ``time.sleep``,
+an unbounded ``Queue.get()`` (no timeout — it can park a worker thread
+forever), or a ``subprocess`` spawn inside either package turns a
+micro-batch window measured in milliseconds into an unbounded stall:
+the coalescer's latency guarantee (``max_delay_ms``) only holds if no
+step of a flush can block indefinitely.  Waiting is allowed exactly one
+way — the service's own condition-variable wait, whose timeout is the
+window's ripen time.
+
+Heuristic: a call to ``time.sleep`` (through any import alias), any
+call into the ``subprocess`` module (``subprocess.run``, a bare
+``Popen`` imported from it, …), or a ``.get(...)`` on a queue-ish
+receiver (name contains ``queue``/``fifo``) with no ``timeout=``
+keyword and no positional timeout — ``get_nowait`` and
+``get(timeout=...)`` are fine.  Only ``repro/service`` and
+``repro/core`` sources are checked; tests and bench harnesses may sleep.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import PurePosixPath
+
+from ..engine import Diagnostic, FileContext, Rule
+
+__all__ = ["BlockingCall"]
+
+_HOT_PACKAGES = ("service", "core")
+
+
+def _is_queue_receiver(node: ast.expr) -> bool:
+    """Whether a ``.get`` receiver looks like a queue (name heuristic)."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    lowered = name.lower()
+    return "queue" in lowered or "fifo" in lowered
+
+
+def _has_timeout(call: ast.Call) -> bool:
+    """``Queue.get(block, timeout)``: bounded if a timeout was given."""
+    if any(kw.arg == "timeout" for kw in call.keywords):
+        return True
+    # Positional form: get(block, timeout) — a second positional arg is
+    # the timeout (unknowable value, give it the benefit of the doubt).
+    return len(call.args) >= 2
+
+
+class BlockingCall(Rule):
+    """Flag blocking primitives inside ``repro/service`` and ``repro/core``."""
+
+    name = "blocking-call"
+    summary = "time.sleep / unbounded Queue.get / subprocess in a serving hot path"
+    rationale = "max_delay_ms only bounds latency if no flush step can block forever"
+
+    def applies_to(self, path: str) -> bool:
+        parts = PurePosixPath(path).parts
+        return "repro" in parts and any(pkg in parts for pkg in _HOT_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = ctx.dotted_name(node.func)
+            if dotted == "time.sleep":
+                yield ctx.flag(
+                    node,
+                    self,
+                    "time.sleep blocks the serving hot path; wait on the service "
+                    "condition variable (with the window's ripen timeout) instead",
+                )
+                continue
+            if dotted is not None and dotted.partition(".")[0] == "subprocess":
+                yield ctx.flag(
+                    node,
+                    self,
+                    f"subprocess call ({dotted}) in a serving hot path: process "
+                    "spawns block unboundedly and are invisible to the cost model",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and _is_queue_receiver(node.func.value)
+                and not _has_timeout(node)
+            ):
+                yield ctx.flag(
+                    node,
+                    self,
+                    "unbounded Queue.get() can park a worker forever; pass "
+                    "timeout= (or use get_nowait) so the flush loop stays "
+                    "responsive to shutdown and ripen deadlines",
+                )

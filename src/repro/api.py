@@ -123,8 +123,15 @@ def _resolve_config(
             f"{sorted(legacy)}; put everything on the JoinConfig"
         )
     if legacy:
+        # stacklevel=4 walks warn -> config_from_legacy_kwargs ->
+        # _resolve_config -> all_nearest_neighbors/aknn_join -> the
+        # caller's own line, so the DeprecationWarning blames the
+        # deprecated call site, not this module.
         cfg = config_from_legacy_kwargs(
-            legacy, defaults=base if base is not None else JoinConfig(), api_name=api_name
+            legacy,
+            defaults=base if base is not None else JoinConfig(),
+            api_name=api_name,
+            stacklevel=4,
         )
     else:
         cfg = config if config is not None else (base if base is not None else JoinConfig())

@@ -14,6 +14,7 @@ from .experiments import (
 from .harness import MethodRun, format_series, format_table, run_method, run_registered
 from .kernels import format_kernel_report, kernel_bench
 from .parallel import format_parallel_report, parallel_scaling
+from .service import format_service_report, run_service_bench
 
 __all__ = [
     "BenchConfig",
@@ -26,6 +27,8 @@ __all__ = [
     "format_kernel_report",
     "parallel_scaling",
     "format_parallel_report",
+    "run_service_bench",
+    "format_service_report",
     "fig3a_tac_methods",
     "fig3b_bufferpool",
     "fig4_dimensionality",

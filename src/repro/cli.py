@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common workflows without writing any code:
+These commands cover the common workflows without writing any code:
 
 * ``datasets`` — generate and describe the Table 2 workloads.
 * ``join`` — run one ANN/AkNN method (dispatched through
@@ -16,8 +16,13 @@ Six commands cover the common workflows without writing any code:
   ``BENCH_parallel.json`` scaling artifact.
 * ``kernel-bench`` — microbenchmark the core kernels (LPQ push/pop,
   cross metrics, end-to-end ``mba_join``) and write ``BENCH_core.json``.
+* ``serve`` — run the online micro-batching ANN query service
+  (:mod:`repro.service`) over a generated dataset; ``--once`` does a
+  single self-query round trip (the CI smoke).
+* ``service-bench`` — closed-loop micro-batching sweep (throughput and
+  latency quantiles vs. coalescing window) writing ``BENCH_service.json``.
 * ``trace-report`` — summarize a trace artifact as stage/layer
-  attribution tables.
+  attribution tables (service traces add a service-counter section).
 
 Examples::
 
@@ -235,6 +240,80 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import AnnService, ServiceConfig
+
+    points = _make_dataset(args.dataset, args.n, args.dims, args.seed)
+    try:
+        cfg = ServiceConfig(
+            max_batch=args.max_batch,
+            max_delay_ms=args.max_delay_ms,
+            queue_capacity=args.queue_capacity,
+            deadline_ms=args.deadline_ms,
+            workers=args.workers,
+            trace=args.trace,
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    n_requests = 1 if args.once else args.requests
+    if n_requests < 1:
+        raise SystemExit(f"--requests must be >= 1, got {n_requests}")
+    rng = np.random.default_rng(args.seed + 1)
+    queries = points[rng.integers(0, len(points), size=n_requests)]
+
+    service = AnnService(points, cfg)
+    with service.serving():
+        tickets = [service.submit(q, k=args.k) for q in queries]
+        answers = [t.result(timeout_s=60.0) for t in tickets]
+    exact = sum(1 for a in answers if not a.approximate)
+    print(f"serve — {args.dataset} (n={args.n:,}, D={points.shape[1]}), "
+          f"{n_requests} self-quer{'y' if n_requests == 1 else 'ies'}, k={args.k}")
+    print(f"  answered         : {len(answers)} ({exact} exact, "
+          f"{len(answers) - exact} degraded)")
+    print(f"  batches          : {service.counters.batches} "
+          f"(singleton {service.counters.singleton_flushes}, "
+          f"batched {service.counters.batched_flushes}, "
+          f"sharded {service.counters.sharded_flushes})")
+    print(f"  max queue length : {service.counters.max_queue_len} "
+          f"(capacity {cfg.queue_capacity})")
+    if args.once:
+        answer = answers[0]
+        print(f"  self-query answer: ids={list(answer.neighbor_ids)} "
+              f"dists={[f'{d:.6f}' for d in answer.distances]}")
+        # A self-query's nearest neighbour is the point itself at
+        # distance zero — the one-shot smoke asserts the round trip.
+        if answer.distances and answer.distances[0] == 0.0:
+            print("  round-trip       : OK (nearest neighbour is the query point)")
+        else:
+            raise SystemExit("self-query round trip failed: expected distance 0.0")
+    if args.trace is not None:
+        print(f"  trace            : wrote {args.trace}")
+    return 0
+
+
+def _cmd_service_bench(args: argparse.Namespace) -> int:
+    out = None if args.out == "-" else args.out
+    try:
+        doc = bench.run_service_bench(
+            windows=tuple(args.windows),
+            clients=args.clients,
+            n_target=args.n,
+            n_requests=args.requests,
+            dims=args.dims,
+            k=args.k,
+            kind=args.kind,
+            seed=args.seed,
+            smoke=args.smoke,
+            out_path=out,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(bench.format_service_report(doc))
+    if out is not None:
+        print(f"\nwrote {out}")
+    return 0
+
+
 def _cmd_kernel_bench(args: argparse.Namespace) -> int:
     out = None if args.out == "-" else args.out
     session = TraceSession(args.trace)
@@ -313,6 +392,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="OUT.json",
                    help="write a JSON trace with per-run and per-worker spans")
     p.set_defaults(fn=_cmd_parallel_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the micro-batching ANN query service on a generated dataset",
+    )
+    p.add_argument("--dataset", default="uniform",
+                   help="tac, fc, uniform, gaussian, skewed, correlated")
+    p.add_argument("-n", type=int, default=2_000, help="target dataset size")
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("-k", type=int, default=1, help="neighbours per request")
+    p.add_argument("--requests", type=int, default=64,
+                   help="self-queries to push through the live service")
+    p.add_argument("--once", action="store_true",
+                   help="one self-query round trip, assert distance 0, exit "
+                        "(the CI smoke)")
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument("--max-delay-ms", type=float, default=2.0)
+    p.add_argument("--queue-capacity", type=int, default=1024)
+    p.add_argument("--deadline-ms", type=float, default=None)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker threads for sharding large flushes")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--trace", default=None, metavar="OUT.json",
+                   help="write the service trace artifact (per-batch spans, "
+                        "service counter section) on close")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "service-bench",
+        help="closed-loop micro-batching sweep; writes BENCH_service.json",
+    )
+    p.add_argument("--windows", type=int, nargs="+", default=[1, 2, 8, 32],
+                   help="max_batch values to sweep (first must be the "
+                        "one-at-a-time baseline, 1)")
+    p.add_argument("--clients", type=int, default=32,
+                   help="closed-loop clients (each keeps one request in flight)")
+    p.add_argument("-n", type=int, default=2_000, help="target dataset size")
+    p.add_argument("--requests", type=int, default=256,
+                   help="total requests per swept window")
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("-k", type=int, default=1)
+    p.add_argument("--kind", default="mbrqt", choices=["mbrqt", "rstar"])
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--smoke", action="store_true",
+                   help="seconds-long CI configuration (same code paths)")
+    p.add_argument("--out", default="BENCH_service.json",
+                   help="artifact path ('-' to skip writing)")
+    p.set_defaults(fn=_cmd_service_bench)
 
     p = sub.add_parser(
         "kernel-bench",

@@ -134,6 +134,7 @@ def config_from_legacy_kwargs(
     legacy: dict[str, Any],
     defaults: JoinConfig | None = None,
     api_name: str = "all_nearest_neighbors",
+    stacklevel: int = 2,
 ) -> JoinConfig:
     """Fold pre-``JoinConfig`` keyword arguments into a config object.
 
@@ -141,6 +142,14 @@ def config_from_legacy_kwargs(
     and :func:`repro.aknn_join`: every recognised key is forwarded onto a
     :class:`JoinConfig` (warning once per call site), and unknown keys
     raise ``TypeError`` exactly as an unexpected keyword would.
+
+    ``stacklevel`` is the number of frames between this function and the
+    *deprecated call site* the warning should point at, counted the way
+    :func:`warnings.warn` counts: 2 blames this function's direct caller
+    (the default for external users of the shim); wrappers add one per
+    intervening frame — the public API passes 4 for the chain
+    ``user -> all_nearest_neighbors -> _resolve_config -> here``, so the
+    warning's filename/lineno land on the user's own line.
     """
     unknown = set(legacy) - _LEGACY_KEYS
     if unknown:
@@ -153,7 +162,7 @@ def config_from_legacy_kwargs(
         f"passing {sorted(legacy)} as keyword arguments to {api_name}() is "
         "deprecated; build a repro.JoinConfig and pass it as `config=` instead",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
     base = defaults if defaults is not None else JoinConfig()
     return replace(base, **legacy)

@@ -181,6 +181,26 @@ def _layer_section(doc: dict[str, Any]) -> list[str]:
     return lines
 
 
+def _service_section(doc: dict[str, Any]) -> list[str]:
+    service = doc["service"]
+    lines = ["Service counters (online run):"]
+    if not service:
+        lines.append("(empty service section)")
+        return lines
+    headers = ["counter", "value"]
+    rows = [[name, _fmt_num(value)] for name, value in sorted(service.items())]
+    lines += _table(headers, rows)
+    submitted = service.get("submitted", 0.0)
+    rejected = service.get("rejected", 0.0)
+    degraded = service.get("degraded", 0.0)
+    if submitted > 0:
+        lines.append(
+            f"(rejected {100.0 * rejected / (submitted + rejected):.1f}% at admission, "
+            f"degraded {100.0 * degraded / submitted:.1f}% of admitted)"
+        )
+    return lines
+
+
 def format_trace_report(doc: dict[str, Any]) -> str:
     """The full text report for one (already validated) trace document."""
     meta = doc["meta"]
@@ -194,4 +214,7 @@ def format_trace_report(doc: dict[str, Any]) -> str:
     lines += _stage_section(doc)
     lines.append("")
     lines += _layer_section(doc)
+    if "service" in doc:
+        lines.append("")
+        lines += _service_section(doc)
     return "\n".join(lines)

@@ -43,6 +43,10 @@ TRACE_SCHEMA: dict[str, Any] = {
         },
         "totals": {"type": "object", "additionalProperties": {"type": "number"}},
         "root": {"$ref": "#/definitions/span"},
+        # Lifetime counters of an online service run (repro.service):
+        # submissions, rejections, degradations, flush-mode breakdown.
+        # Optional — offline traces omit the key entirely.
+        "service": {"type": "object", "additionalProperties": {"type": "number"}},
     },
     "definitions": {
         "span": {
@@ -146,6 +150,11 @@ def _check_stage(obj: object, path: str) -> None:
 
 _SPAN_KEYS = {"name", "start_s", "duration_s", "attrs", "counters", "stages", "children"}
 
+_OPTIONAL_KEYS = {"service"}
+"""Optional top-level keys.  Must mirror the non-required properties of
+:data:`TRACE_SCHEMA` exactly — the lockstep test derives the expected
+set from the schema document and fails if either side drifts."""
+
 
 def _check_span(obj: object, path: str) -> None:
     span = _require_mapping(obj, path)
@@ -184,7 +193,7 @@ def validate_trace(doc: object) -> dict[str, Any]:
     missing = required - root.keys()
     if missing:
         raise TraceValidationError("$", f"missing keys {sorted(missing)}")
-    extra = root.keys() - required
+    extra = root.keys() - required - _OPTIONAL_KEYS
     if extra:
         raise TraceValidationError("$", f"unexpected keys {sorted(extra)}")
     if root["schema"] != SCHEMA_NAME:
@@ -196,4 +205,6 @@ def validate_trace(doc: object) -> dict[str, Any]:
     _check_scalar_map(root["meta"], "$.meta")
     _check_counter_map(root["totals"], "$.totals")
     _check_span(root["root"], "$.root")
+    if "service" in root:
+        _check_counter_map(root["service"], "$.service")
     return root

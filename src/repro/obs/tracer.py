@@ -241,6 +241,35 @@ class Tracer:
                 agg = span.stages[name] = StageAggregate()
             agg.add(elapsed, deltas)
 
+    def stage_add(
+        self,
+        name: str,
+        elapsed_s: float,
+        calls: int = 1,
+        counters: Mapping[str, float] | None = None,
+    ) -> None:
+        """Fold an externally measured window into the current span's stage.
+
+        :meth:`stage` measures with the tracer's own clock, which is
+        wrong for costs measured on a *different* clock — a request's
+        queue wait on the service clock, a worker's elapsed time shipped
+        across a process boundary.  ``stage_add`` records those:
+        ``elapsed_s`` and optional counter deltas are credited as
+        ``calls`` calls of stage ``name``, exactly as if that many
+        :meth:`stage` windows had been observed.
+        """
+        if calls < 0:
+            raise ValueError(f"calls must be >= 0, got {calls}")
+        span = self._stack[-1]
+        agg = span.stages.get(name)
+        if agg is None:
+            agg = span.stages[name] = StageAggregate()
+        agg.calls += calls
+        agg.time_s += float(elapsed_s)
+        if counters:
+            for key, value in counters.items():
+                agg.counters[key] = agg.counters.get(key, 0.0) + float(value)
+
     def counter(self, name: str, delta: float) -> None:
         """Add a manual counter delta to the current span."""
         span = self._stack[-1]
@@ -262,13 +291,17 @@ class Tracer:
         self,
         meta: Mapping[str, Any] | None = None,
         totals: Mapping[str, float] | None = None,
+        service: Mapping[str, float] | None = None,
     ) -> dict[str, Any]:
         """Close the root span and build the trace document.
 
         ``meta`` is free-form run identification (method, dataset, CLI
         command); ``totals`` are the authoritative end-of-run counters —
         for a sharded run these include the worker counters that the
-        coordinator's own sources never saw.
+        coordinator's own sources never saw.  ``service`` carries the
+        lifetime counters of an online service run (submissions,
+        rejections, flush-mode breakdown); the key is present in the
+        document only when given, so offline traces are unchanged.
         """
         if len(self._stack) != 1:
             open_spans = ", ".join(s.name for s in self._stack[1:])
@@ -284,6 +317,8 @@ class Tracer:
             "totals": {k: float(v) for k, v in totals.items()} if totals else {},
             "root": root.as_dict(),
         }
+        if service is not None:
+            self.document["service"] = {k: float(v) for k, v in service.items()}
         return self.document
 
 
@@ -352,11 +387,12 @@ class TraceSession:
         self,
         meta: Mapping[str, Any] | None = None,
         totals: Mapping[str, float] | None = None,
+        service: Mapping[str, float] | None = None,
     ) -> dict[str, Any] | None:
         """Finish the trace; validate and write it if a path was given."""
         if self.tracer is None:
             return None
-        doc = self.tracer.finish(meta=meta, totals=totals)
+        doc = self.tracer.finish(meta=meta, totals=totals, service=service)
         # Validate before writing: an artifact that fails its own schema
         # should never reach disk.  Imported lazily to keep the module
         # dependency graph acyclic.

@@ -1,0 +1,59 @@
+"""Clocks for the query service: real time for serving, fake time for tests.
+
+Every time-dependent decision the service makes — micro-batch window
+expiry, per-request deadlines, queue-wait attribution — reads one
+injected :class:`Clock` instead of calling ``time`` directly.  That is
+what makes the deadline and backpressure paths *deterministic under
+test*: a :class:`FakeClock` advances only when the test says so, so "a
+request is past its deadline" is a statement the test constructs, not a
+race it hopes to win.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+__all__ = ["Clock", "SystemClock", "FakeClock"]
+
+
+class Clock(Protocol):
+    """Monotonic seconds; the only time source the service consults."""
+
+    def now(self) -> float:
+        """Current monotonic time in seconds."""
+        ...
+
+
+class SystemClock:
+    """The real monotonic clock (serving mode)."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic tests and simulations.
+
+    The closed-loop load generator drives one of these with *modeled*
+    batch costs, so ``BENCH_service.json`` is machine-independent, and
+    the deadline/backpressure tests advance it past a deadline with no
+    sleeping and no flakiness.
+    """
+
+    __slots__ = ("_now_s",)
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self._now_s = float(start_s)
+
+    def now(self) -> float:
+        return self._now_s
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a clock backwards ({seconds})")
+        self._now_s += float(seconds)
+        return self._now_s

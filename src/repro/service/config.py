@@ -1,0 +1,159 @@
+"""One validated, frozen configuration object for the query service.
+
+:class:`ServiceConfig` mirrors :class:`~repro.config.JoinConfig` — same
+frozen-dataclass shape, same validation style — and *shares* the join
+validation outright: the join-side knobs (``kind``, ``metric``,
+``workers``, ``node_cache_entries``, ``trace``) are folded into an
+embedded :class:`JoinConfig` in ``__post_init__``, so an invalid value
+fails with exactly the error the offline API would raise.
+
+The service-side knobs are the micro-batching and admission policy:
+
+* ``max_batch`` / ``max_delay_ms`` — the coalescing window: flush when
+  full or when the oldest request has waited this long.
+* ``queue_capacity`` — the admission bound; submissions beyond it raise
+  :class:`~repro.service.queueing.Overloaded`.
+* ``deadline_ms`` — default per-request deadline (``None`` = never
+  degrade); a request past its deadline at flush time is answered from
+  a budgeted browse of ``degrade_budget`` node expansions and flagged
+  ``approximate=True``.
+* ``workers`` / ``parallel_threshold`` — flushes of at least
+  ``parallel_threshold`` requests are sharded across ``workers`` threads
+  using the :mod:`repro.parallel` shard machinery.
+* ``cold_flush`` — drop the buffer pool before every flush (the
+  harness's cold-run measurement discipline; models a pool shared with
+  heavy unrelated traffic).  Leave True for benchmarking; a dedicated
+  cache can turn it off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..config import JoinConfig
+from ..core.pruning import PruningMetric
+from ..obs.tracer import TraceDestination
+from ..storage.disk import DEFAULT_PAGE_SIZE
+from ..storage.manager import DEFAULT_POOL_PAGES
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Validated, immutable configuration for one :class:`~repro.service.
+    service.AnnService`.
+
+    Parameters
+    ----------
+    kind, metric, workers, node_cache_entries, trace:
+        Join-side knobs, validated through the embedded
+        :class:`~repro.config.JoinConfig` (see :attr:`join`).  ``trace``
+        names the service's trace destination: the artifact (with
+        per-batch spans and the ``service`` counter section) is written
+        when the service closes.
+    max_batch:
+        Largest flush the coalescer releases (>= 1; 1 disables batching
+        — every request takes the singleton ``nearest_iter`` path).
+    max_delay_ms:
+        Coalescing window: a non-full batch flushes once its oldest
+        request has waited this long (>= 0; 0 = flush whenever the
+        worker is free).
+    queue_capacity:
+        Admission bound on queued requests (>= 1).
+    deadline_ms:
+        Default deadline applied to every request that does not carry
+        its own; ``None`` disables deadlines by default.
+    degrade_budget:
+        Node expansions granted to a past-deadline request's budgeted
+        best-candidate browse (>= 0; 0 returns an empty approximate
+        answer immediately).
+    parallel_threshold:
+        Minimum flush size that engages the sharded thread path when
+        ``workers > 1`` (>= 2).
+    pool_pages / page_size:
+        Storage geometry of the service's read-only snapshot manager
+        (and of the per-flush query-side scratch index).
+    cold_flush:
+        Drop caches before each flush (measurement discipline).
+    """
+
+    kind: str = "mbrqt"
+    metric: PruningMetric = PruningMetric.NXNDIST
+    max_batch: int = 32
+    max_delay_ms: float = 2.0
+    queue_capacity: int = 1024
+    deadline_ms: float | None = None
+    degrade_budget: int = 32
+    workers: int = 1
+    parallel_threshold: int = 64
+    pool_pages: int = DEFAULT_POOL_PAGES
+    page_size: int = DEFAULT_PAGE_SIZE
+    node_cache_entries: int = 0
+    cold_flush: bool = True
+    trace: TraceDestination = None
+
+    #: The embedded join configuration (built in ``__post_init__``); the
+    #: single place join-side validation happens, shared with the
+    #: offline API.
+    join: JoinConfig = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        # Join-side validation is JoinConfig's; an invalid kind/metric/
+        # workers/node_cache_entries/trace raises its exact error.
+        join = JoinConfig(
+            kind=self.kind,
+            metric=self.metric,
+            workers=self.workers,
+            node_cache_entries=self.node_cache_entries,
+            trace=self.trace,
+            exclude_self=False,
+        )
+        object.__setattr__(self, "join", join)
+        # JoinConfig normalised the metric string onto the enum; mirror it.
+        object.__setattr__(self, "metric", join.metric)
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {self.max_delay_ms}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive (or None), got {self.deadline_ms}"
+            )
+        if self.degrade_budget < 0:
+            raise ValueError(f"degrade_budget must be >= 0, got {self.degrade_budget}")
+        if self.parallel_threshold < 2:
+            raise ValueError(
+                f"parallel_threshold must be >= 2, got {self.parallel_threshold}"
+            )
+        if self.pool_pages < 1:
+            raise ValueError(f"pool_pages must be >= 1, got {self.pool_pages}")
+
+    @property
+    def max_delay_s(self) -> float:
+        return self.max_delay_ms / 1000.0
+
+    def describe(self) -> dict[str, Any]:
+        """Flat, JSON-friendly view (used for trace ``meta``)."""
+        return {
+            "kind": self.kind,
+            "metric": str(self.metric.value),
+            "max_batch": self.max_batch,
+            "max_delay_ms": self.max_delay_ms,
+            "queue_capacity": self.queue_capacity,
+            "deadline_ms": self.deadline_ms,
+            "degrade_budget": self.degrade_budget,
+            "workers": self.workers,
+            "parallel_threshold": self.parallel_threshold,
+            "pool_pages": self.pool_pages,
+            "page_size": self.page_size,
+            "node_cache_entries": self.node_cache_entries,
+            "cold_flush": self.cold_flush,
+        }
+
+    def replace(self, **changes: Any) -> "ServiceConfig":
+        """A copy with ``changes`` applied (re-validated)."""
+        return replace(self, **changes)

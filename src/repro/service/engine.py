@@ -1,0 +1,372 @@
+"""Micro-batch execution core: one flush, one batched MBA traversal.
+
+:class:`BatchEngine` owns the *target* side of the service: the dataset
+is indexed once at startup, snapshotted, and reopened **read-only** —
+the same discipline :mod:`repro.parallel` uses for worker processes, so
+a long-lived service can never mutate the store it queries and every
+flush accounts exactly for its own I/O.
+
+Per flush, the engine packs the coalesced query points into a tiny
+query-side MBRQT (built in a scratch manager, so its build/read I/O is
+charged to the batch that needed it) and answers all of them with one
+:func:`~repro.core.mba.mba_join` traversal — the paper's batching
+thesis applied to an online arrival stream.  Three execution modes:
+
+* ``singleton`` — a flush of one request skips the scratch index and
+  runs plain incremental browsing (:func:`~repro.index.queries.
+  nearest_iter`); micro-batching degrades gracefully to exactly the
+  one-at-a-time baseline.
+* ``batched`` — the default: scratch MBRQT + one MBA traversal.
+* ``sharded`` — flushes of at least ``parallel_threshold`` requests
+  with ``workers > 1`` split the scratch index into subtree shards
+  (:func:`~repro.parallel.sharding.pack_shards`) and traverse them on
+  worker threads, each against its own read-only reopen of both
+  snapshots with a fair slice of the pool budget.
+
+Past-deadline requests never ride the exact traversal: they get a
+*budgeted browse* — ``nearest_iter`` abandoned after ``degrade_budget``
+node expansions — returning the best candidates found so far, flagged
+approximate, so one late request cannot stall the whole batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack, nullcontext
+from dataclasses import dataclass
+from typing import ContextManager, Sequence
+
+import numpy as np
+
+from ..core.geometry import Rect
+from ..core.mba import mba_join
+from ..core.result import NeighborResult
+from ..core.stats import QueryStats
+from ..index.base import PagedIndex, ShardRoot
+from ..index.mbrqt import build_mbrqt
+from ..index.queries import nearest_iter
+from ..index.rstar import build_rstar
+from ..obs.tracer import Tracer
+from ..parallel.sharding import pack_shards, shard_seed_bound
+from ..storage.manager import (
+    StorageManager,
+    worker_node_cache_entries,
+    worker_pool_pages,
+)
+from .config import ServiceConfig
+from .request import Request
+
+__all__ = ["BatchEngine", "FlushOutcome", "RawAnswer"]
+
+#: Pool budget of the per-flush scratch manager holding the query-side
+#: index.  The scratch tree is tiny (max_batch points); a handful of
+#: pages is plenty and keeps the batch's own memory footprint honest.
+SCRATCH_POOL_PAGES = 8
+
+#: ``request_id -> (neighbor_ids, distances, approximate)``.
+RawAnswer = tuple[tuple[int, ...], tuple[float, ...], bool]
+
+
+@dataclass(frozen=True)
+class FlushOutcome:
+    """What one flush produced: per-request answers plus attribution."""
+
+    answers: dict[int, RawAnswer]
+    stats: QueryStats
+    mode: str
+    """``"singleton"``, ``"batched"``, ``"sharded"``, or ``"degraded"``
+    (every request in the flush was past deadline)."""
+    n_exact: int
+    n_degraded: int
+
+
+class BatchEngine:
+    """Answers flushed batches against a frozen, read-only target index."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        config: ServiceConfig,
+        point_ids: np.ndarray | None = None,
+    ) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or len(points) == 0:
+            raise ValueError(
+                f"target dataset must be a non-empty (n, D) array, got shape {points.shape}"
+            )
+        self.config = config
+        # Build once in a private manager, then freeze: the serving path
+        # only ever sees the read-only reopen, so no request can write.
+        builder = StorageManager(
+            page_size=config.page_size,
+            pool_pages=config.pool_pages,
+            node_cache_entries=config.node_cache_entries,
+        )
+        index = self._build(points, builder, point_ids)
+        self._spec = index.detach()
+        self.snapshot = builder.snapshot()
+        self.manager = StorageManager.reopen(
+            self.snapshot,
+            pool_pages=config.pool_pages,
+            node_cache_entries=config.node_cache_entries,
+        )
+        self.index = PagedIndex.attach(self._spec, self.manager)
+        self.dims = int(self.index.dims)
+        self.size = int(self.index.size)
+
+    def _build(
+        self,
+        points: np.ndarray,
+        storage: StorageManager,
+        point_ids: np.ndarray | None,
+        universe: Rect | None = None,
+    ) -> PagedIndex:
+        if self.config.kind == "mbrqt":
+            return build_mbrqt(points, storage, point_ids=point_ids, universe=universe)
+        return build_rstar(points, storage, point_ids=point_ids)
+
+    # -- flush execution -----------------------------------------------------
+
+    def execute(
+        self,
+        requests: Sequence[Request],
+        now_s: float,
+        trace: Tracer | None = None,
+    ) -> FlushOutcome:
+        """Answer one flushed batch; every request gets an answer.
+
+        ``now_s`` is the flush instant on the service clock — the instant
+        deadlines are judged against, so degradation is a property of the
+        batch, deterministic under a fake clock.
+        """
+        if not requests:
+            raise ValueError("cannot execute an empty batch")
+        if self.config.cold_flush:
+            self.manager.drop_caches()
+        self.manager.reset_counters()
+        stats = QueryStats()
+        answers: dict[int, RawAnswer] = {}
+        live = [r for r in requests if not r.past_deadline(now_s)]
+        late = [r for r in requests if r.past_deadline(now_s)]
+
+        def stage(name: str) -> ContextManager[None]:
+            return trace.stage(name) if trace is not None else nullcontext()
+
+        with ExitStack() as scope:
+            if trace is not None and not trace.has_source("stats"):
+                scope.enter_context(trace.source("stats", stats.as_dict))
+            t0 = time.process_time()
+            with stage("degrade"):
+                for request in late:
+                    answers[request.request_id] = self._budgeted_browse(request, stats)
+            mode = "degraded"
+            if len(live) == 1:
+                mode = "singleton"
+                with stage("traverse"):
+                    answers[live[0].request_id] = self._exact_single(live[0], stats)
+            elif live:
+                kmax = max(r.k for r in live)
+                use_shards = (
+                    self.config.workers > 1
+                    and len(live) >= self.config.parallel_threshold
+                )
+                mode = "sharded" if use_shards else "batched"
+                with stage("traverse"):
+                    if use_shards:
+                        result = self._sharded_join(live, kmax, stats, trace)
+                    else:
+                        result = self._batched_join(live, kmax, stats, trace)
+                for i, request in enumerate(live):
+                    bucket = result.neighbors_of(i)[: request.k]
+                    answers[request.request_id] = (
+                        tuple(s_id for __, s_id in bucket),
+                        tuple(dist for dist, __ in bucket),
+                        False,
+                    )
+            stats.cpu_time_s += time.process_time() - t0
+        self._fold_io(self.manager, stats)
+        return FlushOutcome(
+            answers=answers,
+            stats=stats,
+            mode=mode,
+            n_exact=len(live),
+            n_degraded=len(late),
+        )
+
+    # -- execution modes -----------------------------------------------------
+
+    def _exact_single(self, request: Request, stats: QueryStats) -> RawAnswer:
+        """Singleton fallback: incremental browsing, first k results.
+
+        Bit-identical to a standalone ``nearest_iter`` over the same
+        store — the golden test's baseline and the B=1 service mode.
+        """
+        ids: list[int] = []
+        dists: list[float] = []
+        for dist, point_id, __ in nearest_iter(self.index, request.point, stats):
+            ids.append(point_id)
+            dists.append(dist)
+            if len(ids) >= request.k:
+                break
+        return tuple(ids), tuple(dists), False
+
+    def _budgeted_browse(self, request: Request, stats: QueryStats) -> RawAnswer:
+        """Graceful degradation: browse under a node-expansion budget.
+
+        The generator's frontier is exact at every step, so whatever it
+        has yielded when the budget runs out is the true ordered prefix
+        of the k-NN — possibly short, never wrong — flagged approximate
+        because completeness was sacrificed.
+        """
+        budget = self.config.degrade_budget
+        ids: list[int] = []
+        dists: list[float] = []
+        if budget > 0:
+            start = stats.node_expansions
+            for dist, point_id, __ in nearest_iter(self.index, request.point, stats):
+                ids.append(point_id)
+                dists.append(dist)
+                if len(ids) >= request.k or stats.node_expansions - start >= budget:
+                    break
+        return tuple(ids), tuple(dists), True
+
+    def _scratch_index(
+        self, live: Sequence[Request], storage: StorageManager
+    ) -> PagedIndex:
+        """Pack the batch's query points into a tiny query-side index.
+
+        Query ids are batch positions (0..n-1), so the join result maps
+        straight back to requests.  The MBRQT universe is widened to
+        cover the target's root cell: queries may fall outside the
+        target's bounding box, and a shared universe keeps the partition
+        boundaries aligned where the two trees overlap (Section 3.2).
+        """
+        q_points = np.stack([r.point for r in live])
+        universe = None
+        if self.config.kind == "mbrqt":
+            root = self.index.root_rect
+            universe = Rect(
+                np.minimum(q_points.min(axis=0), root.lo),
+                np.maximum(q_points.max(axis=0), root.hi),
+            )
+        return self._build(
+            q_points,
+            storage,
+            np.arange(len(live), dtype=np.int64),
+            universe=universe,
+        )
+
+    def _batched_join(
+        self,
+        live: Sequence[Request],
+        kmax: int,
+        stats: QueryStats,
+        trace: Tracer | None,
+    ) -> NeighborResult:
+        scratch = StorageManager(
+            page_size=self.config.page_size, pool_pages=SCRATCH_POOL_PAGES
+        )
+        q_index = self._scratch_index(live, scratch)
+        result, __ = mba_join(
+            q_index,
+            self.index,
+            metric=self.config.metric,
+            k=kmax,
+            exclude_self=False,
+            stats=stats,
+            trace=trace,
+        )
+        self._fold_io(scratch, stats)
+        return result
+
+    def _sharded_join(
+        self,
+        live: Sequence[Request],
+        kmax: int,
+        stats: QueryStats,
+        trace: Tracer | None,
+    ) -> NeighborResult:
+        """Large flush: shard the scratch index across worker threads.
+
+        Reuses the :mod:`repro.parallel` planning machinery (subtree
+        roots, LPT bin-packing, Lemma 3.2 seed bounds); each thread
+        reopens *both* snapshots read-only with a fair slice of the pool
+        budget, so threads share no mutable storage state and the
+        aggregate pool memory matches the serial flush's.
+        """
+        n_workers = self.config.workers
+        scratch = StorageManager(
+            page_size=self.config.page_size, pool_pages=SCRATCH_POOL_PAGES
+        )
+        q_index = self._scratch_index(live, scratch)
+        roots = q_index.shard_roots(min_roots=n_workers)
+        shards = pack_shards(roots, n_workers)
+        q_spec = q_index.detach()
+        q_snapshot = scratch.snapshot()
+        self._fold_io(scratch, stats)
+        target_pool = worker_pool_pages(self.config.pool_pages, len(shards))
+        target_cache = worker_node_cache_entries(
+            self.config.node_cache_entries, len(shards)
+        )
+        scratch_pool = worker_pool_pages(SCRATCH_POOL_PAGES, len(shards))
+        seeds = [
+            tuple(
+                shard_seed_bound(
+                    root.rect, self.index.root_rect, self.size, self.config.metric, kmax
+                )
+                for root in shard
+            )
+            for shard in shards
+        ]
+        stats.record_distances(sum(len(s) for s in seeds))
+
+        def run_shard(
+            shard: list[ShardRoot], shard_seeds: tuple[float, ...]
+        ) -> tuple[NeighborResult, QueryStats]:
+            target = StorageManager.reopen(
+                self.snapshot, pool_pages=target_pool, node_cache_entries=target_cache
+            )
+            s_index = PagedIndex.attach(self._spec, target)
+            q_manager = StorageManager.reopen(q_snapshot, pool_pages=scratch_pool)
+            q_shard = PagedIndex.attach(q_spec, q_manager)
+            # No per-thread CPU timing: ``process_time`` already sums the
+            # CPU of every thread in the process, so the flush-level delta
+            # in :meth:`execute` covers shard work without double counting.
+            local = QueryStats()
+            merged = NeighborResult(kmax)
+            for root, seed in zip(shard, shard_seeds):
+                part, __ = mba_join(
+                    q_shard,
+                    s_index,
+                    metric=self.config.metric,
+                    k=kmax,
+                    exclude_self=False,
+                    stats=local,
+                    root_entry=root,
+                    seed_bound=seed,
+                )
+                merged.merge(part)
+            self._fold_io(target, local)
+            self._fold_io(q_manager, local)
+            return merged, local
+
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            outcomes = list(pool.map(run_shard, shards, seeds))
+        result = NeighborResult(kmax)
+        for merged, local in outcomes:
+            result.merge(merged)
+            stats.merge(local)
+        if trace is not None:
+            trace.counter("service.shard_flush_threads", len(shards))
+        return result
+
+    @staticmethod
+    def _fold_io(manager: StorageManager, stats: QueryStats) -> None:
+        """Absorb a manager's I/O counters into the batch's stats."""
+        io = manager.io_snapshot()
+        stats.logical_reads += io["logical_reads"]
+        stats.page_misses += io["page_misses"]
+        stats.io_time_s += io["io_time_s"]
+        stats.node_cache_hits += io["node_cache_hits"]
+        stats.node_cache_misses += io["node_cache_misses"]

@@ -1,0 +1,109 @@
+"""Bounded admission queue and the micro-batch coalescing policy.
+
+Two service-design decisions live here, both deliberately boring and
+explicit:
+
+* **Admission control** — the queue has a hard capacity.  A submission
+  that would exceed it raises :class:`Overloaded` *immediately* instead
+  of growing the queue: under sustained overload an online service must
+  shed load at the door, not accumulate unbounded latency.  The queue
+  can therefore never exceed its bound (tests assert this).
+* **Coalescing policy** — a batch is released when it is *full*
+  (``max_batch`` requests) or *ripe* (the oldest queued request has
+  waited ``max_delay_s``).  Small ``max_delay_s`` trades a little
+  latency for the amortisation the batched MBA traversal buys; the
+  sweep in ``BENCH_service.json`` quantifies that trade.
+
+The queue itself is not locked — the owning :class:`~repro.service.
+service.AnnService` serialises access under its own condition variable,
+which also carries the worker-thread wakeups.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from .request import PendingRequest
+
+__all__ = ["Overloaded", "MicroBatchQueue"]
+
+
+class Overloaded(RuntimeError):
+    """Admission rejected: the service queue is at capacity.
+
+    Carries ``capacity`` so callers (and load generators) can report the
+    bound that was hit.  Backpressure is explicit — the caller decides
+    whether to retry, shed, or block.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        super().__init__(
+            f"service queue is at capacity ({capacity}); request rejected"
+        )
+
+
+class MicroBatchQueue:
+    """FIFO of pending requests with a bound and a release policy."""
+
+    __slots__ = ("capacity", "max_batch", "max_delay_s", "_pending")
+
+    def __init__(self, capacity: int, max_batch: int, max_delay_s: float) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_s < 0:
+            raise ValueError(f"max_delay_s must be >= 0, got {max_delay_s}")
+        self.capacity = capacity
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self._pending: deque[PendingRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def offer(self, pending: PendingRequest) -> None:
+        """Admit one request or raise :class:`Overloaded` (never grows past
+        ``capacity``)."""
+        if len(self._pending) >= self.capacity:
+            raise Overloaded(self.capacity)
+        self._pending.append(pending)
+
+    def oldest_wait_s(self, now_s: float) -> float:
+        """How long the head of the queue has been waiting (0 if empty)."""
+        if not self._pending:
+            return 0.0
+        return max(0.0, now_s - self._pending[0].request.submitted_s)
+
+    def ready(self, now_s: float) -> bool:
+        """Whether the release policy would flush a batch right now."""
+        if not self._pending:
+            return False
+        if len(self._pending) >= self.max_batch:
+            return True
+        return self.oldest_wait_s(now_s) >= self.max_delay_s
+
+    def ripe_in_s(self, now_s: float) -> float | None:
+        """Seconds until the window policy ripens (None if empty).
+
+        The worker thread uses this as its condition-wait timeout, so it
+        sleeps exactly until the oldest request's window expires instead
+        of polling.
+        """
+        if not self._pending:
+            return None
+        return max(0.0, self.max_delay_s - self.oldest_wait_s(now_s))
+
+    def take(self, now_s: float, force: bool = False) -> list[PendingRequest]:
+        """Pop the next batch (up to ``max_batch``), or ``[]``.
+
+        ``force=True`` bypasses the window policy — used by explicit
+        flushes and shutdown draining; the batch size bound still holds.
+        """
+        if not force and not self.ready(now_s):
+            return []
+        batch: list[PendingRequest] = []
+        while self._pending and len(batch) < self.max_batch:
+            batch.append(self._pending.popleft())
+        return batch

@@ -1,0 +1,97 @@
+"""Request/answer types and the ticket a caller waits on.
+
+A submitted query becomes an immutable :class:`Request` (what the
+engine executes) wrapped in a :class:`PendingRequest` (what the caller
+holds).  Answers are immutable too and carry their own cost attribution
+— queue wait, end-to-end latency, the batch they rode in — so a client
+can see exactly what micro-batching did to its request.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Request", "Answer", "PendingRequest"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One admitted nearest-neighbour query, on the service clock.
+
+    ``deadline_s`` is *absolute* (same clock as ``submitted_s``);
+    ``None`` means the request never degrades.
+    """
+
+    request_id: int
+    point: np.ndarray
+    k: int
+    submitted_s: float
+    deadline_s: float | None
+
+    def past_deadline(self, now_s: float) -> bool:
+        """Whether the request's deadline has expired at ``now_s``."""
+        return self.deadline_s is not None and now_s > self.deadline_s
+
+
+@dataclass(frozen=True)
+class Answer:
+    """The service's reply to one request.
+
+    ``approximate`` marks a gracefully degraded answer: the request was
+    past its deadline when its batch flushed, so it received the best
+    candidates a budgeted browse could find instead of blocking the
+    batch on an exact search.  Non-degraded answers are exact and
+    bit-identical to a standalone
+    :func:`~repro.index.queries.nearest_iter` lookup.
+    """
+
+    request_id: int
+    neighbor_ids: tuple[int, ...]
+    distances: tuple[float, ...]
+    approximate: bool
+    queue_wait_s: float
+    latency_s: float
+    batch_size: int
+
+    @property
+    def found(self) -> int:
+        """How many neighbours were returned (may be < k when degraded)."""
+        return len(self.neighbor_ids)
+
+
+class PendingRequest:
+    """The caller-side ticket: blocks until the service answers.
+
+    Thread-safe: the service fulfils it from its worker thread (or from
+    an in-line flush) and every waiter wakes.  ``result`` raises
+    ``TimeoutError`` rather than returning ``None`` so a caller can
+    never mistake "not answered yet" for an empty answer.
+    """
+
+    __slots__ = ("request", "_event", "_answer")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._answer: Answer | None = None
+
+    def fulfil(self, answer: Answer) -> None:
+        """Deliver the answer and wake every waiter (service-side)."""
+        self._answer = answer
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout_s: float | None = None) -> Answer:
+        """Block until answered; raise ``TimeoutError`` after ``timeout_s``."""
+        if not self._event.wait(timeout_s):
+            raise TimeoutError(
+                f"request {self.request.request_id} not answered within {timeout_s}s"
+            )
+        answer = self._answer
+        assert answer is not None
+        return answer

@@ -394,3 +394,94 @@ class TestScalarMetricInLoop:
         """
         assert _rules(code, path="tests/join/test_reference.py") == []
         assert _rules(code, path="src/repro/join/brute.py") == []
+
+
+class TestBlockingCall:
+    SERVICE = "src/repro/service/engine.py"
+    CORE = "src/repro/core/mba.py"
+
+    def test_time_sleep_fires_in_service(self):
+        code = """
+            import time
+
+            def flush_loop():
+                time.sleep(0.01)
+        """
+        assert _rules(code, path=self.SERVICE) == ["blocking-call"]
+
+    def test_time_sleep_fires_through_alias(self):
+        code = """
+            from time import sleep as nap
+
+            def flush_loop():
+                nap(0.01)
+        """
+        assert _rules(code, path=self.CORE) == ["blocking-call"]
+
+    def test_unbounded_queue_get_fires(self):
+        code = """
+            def worker(work_queue):
+                item = work_queue.get()
+        """
+        assert _rules(code, path=self.SERVICE) == ["blocking-call"]
+
+    def test_queue_get_with_timeout_is_fine(self):
+        code = """
+            def worker(work_queue):
+                a = work_queue.get(timeout=0.5)
+                b = work_queue.get(True, 0.5)
+                c = work_queue.get_nowait()
+        """
+        assert _rules(code, path=self.SERVICE) == []
+
+    def test_non_queue_get_is_fine(self):
+        code = """
+            def lookup(mapping, key):
+                return mapping.get(key)
+        """
+        assert _rules(code, path=self.SERVICE) == []
+
+    def test_subprocess_fires(self):
+        code = """
+            import subprocess
+
+            def rebuild():
+                subprocess.run(["make"])
+        """
+        assert _rules(code, path=self.SERVICE) == ["blocking-call"]
+
+    def test_subprocess_fires_through_from_import(self):
+        code = """
+            from subprocess import Popen
+
+            def rebuild():
+                Popen(["make"])
+        """
+        assert _rules(code, path=self.CORE) == ["blocking-call"]
+
+    def test_condition_wait_is_the_sanctioned_idiom(self):
+        code = """
+            def worker(cond, batch_queue, clock):
+                with cond:
+                    cond.wait(0.5)
+        """
+        assert _rules(code, path=self.SERVICE) == []
+
+    def test_other_layers_may_sleep(self):
+        code = """
+            import time
+
+            def backoff():
+                time.sleep(1.0)
+        """
+        assert _rules(code, path="src/repro/bench/service.py") == []
+        assert _rules(code, path="tests/service/test_service.py") == []
+
+    def test_suppression_comment_respected(self):
+        code = """
+            import time
+
+            def calibrate():
+                time.sleep(0.5)  # repro-lint: ignore[blocking-call]
+        """
+        assert _rules(code, path=self.SERVICE) == []

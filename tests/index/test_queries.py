@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.api import build_index
 from repro.core.geometry import Rect
@@ -110,3 +112,67 @@ class TestNearestIter:
         gen = nearest_iter(index, np.array([0.5, 0.5]), stats=stats)
         next(gen)
         assert stats.node_expansions < index.node_count()
+
+
+class TestNearestIterUnderPoolPressure:
+    """Resumption under buffer-pool pressure (the serving layer's bet).
+
+    ``nearest_iter`` is a generator holding live node references across
+    yields; the online service resumes it between node expansions while
+    other work churns the pool.  The invariant: the ordered prefix it
+    yields is the same with a 1-page buffer pool (every resume is a
+    miss) as with a pool big enough to never evict.
+    """
+
+    @staticmethod
+    def _browse(points, kind, pool_pages, query, prefix):
+        storage = StorageManager(page_size=512, pool_pages=pool_pages)
+        index = build_index(points, storage, kind=kind)
+        out = []
+        for dist, pid, __ in nearest_iter(index, query):
+            out.append((dist, pid))
+            if len(out) >= prefix:
+                break
+        return out
+
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    @given(
+        qx=st.floats(-0.5, 1.5, allow_nan=False),
+        qy=st.floats(-0.5, 1.5, allow_nan=False),
+        prefix=st.integers(1, 120),
+        seed=st.integers(0, 7),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prefix_identical_with_capacity_one_pool(self, kind, qx, qy, prefix, seed):
+        points = gstd.generate(300, 2, "uniform", seed=seed)
+        query = np.array([qx, qy])
+        starved = self._browse(points, kind, 1, query, prefix)
+        unbounded = self._browse(points, kind, 4096, query, prefix)
+        assert starved == unbounded  # bitwise: same ids, same distances
+
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_full_exhaustion_identical_with_capacity_one_pool(self, kind):
+        points = gstd.generate(250, 2, "gaussian", seed=3)
+        query = np.array([0.4, 0.6])
+        n = len(points)
+        assert self._browse(points, kind, 1, query, n) == self._browse(
+            points, kind, 4096, query, n
+        )
+
+    def test_interleaved_browsers_share_a_starved_pool(self):
+        # Two concurrently resumed generators over one 1-page pool must
+        # not corrupt each other's frontier.
+        points = gstd.generate(300, 2, "uniform", seed=5)
+        storage = StorageManager(page_size=512, pool_pages=1)
+        index = build_index(points, storage, kind="mbrqt")
+        qa, qb = np.array([0.2, 0.2]), np.array([0.8, 0.7])
+        gen_a, gen_b = nearest_iter(index, qa), nearest_iter(index, qb)
+        got_a = [next(gen_a) for __ in range(40)]
+        got_b = [next(gen_b) for __ in range(40)]
+        interleaved_a, interleaved_b = [], []
+        gen_a, gen_b = nearest_iter(index, qa), nearest_iter(index, qb)
+        for __ in range(40):
+            interleaved_a.append(next(gen_a))
+            interleaved_b.append(next(gen_b))
+        assert [(d, i) for d, i, __ in interleaved_a] == [(d, i) for d, i, __ in got_a]
+        assert [(d, i) for d, i, __ in interleaved_b] == [(d, i) for d, i, __ in got_b]

@@ -113,3 +113,29 @@ class TestFormatTraceReport:
         text = format_trace_report(load_trace(path))
         expand = next(line for line in text.splitlines() if line.startswith("expand"))
         assert expand.split()[1] != "0"
+
+
+class TestServiceSection:
+    def make_service_doc(self):
+        doc = make_traced_doc()
+        doc["service"] = {
+            "submitted": 90.0,
+            "rejected": 10.0,
+            "answered": 90.0,
+            "degraded": 9.0,
+            "batches": 12.0,
+        }
+        return doc
+
+    def test_service_counters_rendered(self):
+        text = format_trace_report(self.make_service_doc())
+        assert "Service counters (online run):" in text
+        assert "submitted" in text and "batches" in text
+
+    def test_admission_and_degrade_rates(self):
+        text = format_trace_report(self.make_service_doc())
+        assert "rejected 10.0% at admission" in text
+        assert "degraded 10.0% of admitted" in text
+
+    def test_offline_docs_have_no_service_section(self):
+        assert "Service counters" not in format_trace_report(make_traced_doc())

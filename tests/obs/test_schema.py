@@ -177,3 +177,53 @@ class TestSchemaDocument:
         snapshot = copy.deepcopy(doc)
         validate_trace(doc)
         assert doc == snapshot
+
+
+class TestServiceSection:
+    """The optional ``service`` counter section of online-service traces."""
+
+    def test_service_section_accepted(self):
+        doc = Tracer().finish(service={"submitted": 10, "rejected": 1.0})
+        validated = validate_trace(doc)
+        assert validated["service"] == {"submitted": 10.0, "rejected": 1.0}
+
+    def test_omitted_when_not_given(self):
+        assert "service" not in Tracer().finish()
+
+    def test_non_numeric_service_counter_rejected(self):
+        doc = Tracer().finish(service={"submitted": 1.0})
+        doc["service"]["submitted"] = "many"
+        with pytest.raises(TraceValidationError, match=r"\$\.service\.submitted"):
+            validate_trace(doc)
+
+    def test_service_must_be_mapping(self):
+        doc = Tracer().finish(service={})
+        doc["service"] = [1, 2]
+        with pytest.raises(TraceValidationError, match=r"\$\.service"):
+            validate_trace(doc)
+
+    def test_round_trips_through_json(self):
+        import json
+
+        doc = Tracer().finish(service={"batches": 3.0})
+        assert validate_trace(json.loads(json.dumps(doc)))["service"] == {"batches": 3.0}
+
+
+class TestOptionalKeyLockstep:
+    """TRACE_SCHEMA and the validator must agree on the optional keys.
+
+    The schema document declares optionality structurally (a property
+    not listed in ``required``); the validator declares it in
+    ``_OPTIONAL_KEYS``.  Deriving one set from each side and comparing
+    fails this test the moment either drifts.
+    """
+
+    def test_schema_optional_properties_match_validator(self):
+        from repro.obs import schema as schema_mod
+
+        declared = set(TRACE_SCHEMA["properties"]) - set(TRACE_SCHEMA["required"])
+        assert declared == schema_mod._OPTIONAL_KEYS == {"service"}
+
+    def test_service_schema_entry_is_a_counter_map(self):
+        entry = TRACE_SCHEMA["properties"]["service"]
+        assert entry == {"type": "object", "additionalProperties": {"type": "number"}}

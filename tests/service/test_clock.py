@@ -1,0 +1,34 @@
+"""Tests for the injected service clocks."""
+
+import pytest
+
+from repro.service import FakeClock, SystemClock
+
+
+class TestFakeClock:
+    def test_starts_where_told(self):
+        assert FakeClock().now() == 0.0
+        assert FakeClock(5.5).now() == 5.5
+
+    def test_advance_moves_time(self):
+        clock = FakeClock()
+        assert clock.advance(1.25) == 1.25
+        assert clock.advance(0.75) == 2.0
+        assert clock.now() == 2.0
+
+    def test_zero_advance_is_allowed(self):
+        clock = FakeClock(3.0)
+        clock.advance(0.0)
+        assert clock.now() == 3.0
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(ValueError, match="backwards"):
+            FakeClock().advance(-0.1)
+
+
+class TestSystemClock:
+    def test_monotone(self):
+        clock = SystemClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a

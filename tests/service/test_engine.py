@@ -1,0 +1,77 @@
+"""Engine-level tests: scratch-index packing and flush execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.stats import QueryStats
+from repro.service import BatchEngine, ServiceConfig
+from repro.service.request import Request
+from tests.service.test_service import reference_answers
+
+
+def make_requests(queries, k=1, deadline_s=None):
+    return [
+        Request(request_id=i, point=np.asarray(q, dtype=np.float64), k=k,
+                submitted_s=0.0, deadline_s=deadline_s)
+        for i, q in enumerate(queries)
+    ]
+
+
+class TestExecute:
+    def test_empty_batch_rejected(self, rng):
+        engine = BatchEngine(rng.random((50, 2)), ServiceConfig(page_size=512))
+        with pytest.raises(ValueError, match="empty batch"):
+            engine.execute([], now_s=0.0)
+
+    def test_queries_outside_target_universe(self, rng):
+        # The scratch MBRQT widens its universe to cover both the batch
+        # and the target root cell, so a query far outside the target's
+        # bounding box still gets its true nearest neighbour.
+        points = rng.random((200, 2))  # inside the unit square
+        outside = np.array([[5.0, 5.0], [-3.0, 0.5], [0.5, 9.0], [7.0, -2.0]])
+        engine = BatchEngine(points, ServiceConfig(page_size=512))
+        outcome = engine.execute(make_requests(outside), now_s=0.0)
+        expected = reference_answers(points, outside)
+        assert outcome.mode == "batched"
+        for i, (ids, dists) in enumerate(expected):
+            got_ids, got_dists, approximate = outcome.answers[i]
+            assert not approximate
+            assert (got_ids, got_dists) == (ids, dists)
+
+    def test_every_request_gets_an_answer(self, rng):
+        points = rng.random((100, 2))
+        engine = BatchEngine(points, ServiceConfig(page_size=512))
+        requests = make_requests(rng.random((7, 2)), k=2)
+        outcome = engine.execute(requests, now_s=0.0)
+        assert set(outcome.answers) == {r.request_id for r in requests}
+        assert outcome.n_exact == 7 and outcome.n_degraded == 0
+
+    def test_stats_account_io_and_cpu(self, rng):
+        points = rng.random((300, 2))
+        engine = BatchEngine(points, ServiceConfig(page_size=512))
+        outcome = engine.execute(make_requests(rng.random((8, 2))), now_s=0.0)
+        assert isinstance(outcome.stats, QueryStats)
+        assert outcome.stats.logical_reads > 0
+        assert outcome.stats.node_expansions > 0
+
+    def test_cold_flush_repays_io_every_time(self, rng):
+        points = rng.random((300, 2))
+        engine = BatchEngine(points, ServiceConfig(page_size=512, cold_flush=True))
+        requests = make_requests(rng.random((4, 2)))
+        first = engine.execute(requests, now_s=0.0)
+        second = engine.execute(requests, now_s=0.0)
+        assert second.stats.page_misses == first.stats.page_misses
+
+    def test_warm_flush_hits_the_pool(self, rng):
+        points = rng.random((300, 2))
+        engine = BatchEngine(points, ServiceConfig(page_size=512, cold_flush=False))
+        requests = make_requests(rng.random((4, 2)))
+        first = engine.execute(requests, now_s=0.0)
+        second = engine.execute(requests, now_s=0.0)
+        assert second.stats.page_misses < first.stats.page_misses
+
+
+class TestReadOnlyDiscipline:
+    def test_target_manager_is_a_readonly_reopen(self, rng):
+        engine = BatchEngine(rng.random((50, 2)), ServiceConfig(page_size=512))
+        assert engine.manager.readonly

@@ -181,3 +181,62 @@ class TestTracing:
         assert doc["meta"]["command"] == "experiment"
         # Each measured method run became a span via the ambient tracer.
         assert any(c["name"] == "method" for c in doc["root"]["children"])
+
+
+class TestServe:
+    def test_once_round_trip(self, capsys):
+        assert main(["serve", "--once", "-n", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "round-trip       : OK" in out
+        assert "1 exact, 0 degraded" in out
+
+    def test_batched_self_queries(self, capsys):
+        args = ["serve", "-n", "300", "--requests", "24", "--max-batch", "8",
+                "--max-delay-ms", "1"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "answered         : 24 (24 exact, 0 degraded)" in out
+
+    def test_serve_writes_trace(self, tmp_path, capsys):
+        from repro import load_trace
+
+        path = tmp_path / "service.json"
+        args = ["serve", "--once", "-n", "300", "--trace", str(path)]
+        assert main(args) == 0
+        doc = load_trace(path)
+        assert doc["meta"]["api"] == "AnnService"
+        assert doc["service"]["answered"] == 1.0
+
+    def test_invalid_service_config_exits(self):
+        with pytest.raises(SystemExit, match="max_batch"):
+            main(["serve", "--once", "-n", "100", "--max-batch", "0"])
+
+    def test_invalid_request_count_exits(self):
+        with pytest.raises(SystemExit, match="--requests"):
+            main(["serve", "-n", "100", "--requests", "0"])
+
+
+class TestServiceBench:
+    def test_sweep_prints_report(self, capsys):
+        args = ["service-bench", "--windows", "1", "4", "--clients", "4",
+                "-n", "200", "--requests", "12", "--out", "-"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Service micro-batching" in out
+        assert "tput_x" in out
+
+    def test_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_service.json"
+        args = ["service-bench", "--windows", "1", "4", "--clients", "4",
+                "-n", "200", "--requests", "12", "--out", str(out_path)]
+        assert main(args) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.bench.service/v1"
+        assert f"wrote {out_path}" in capsys.readouterr().out
+
+    def test_bad_windows_exit(self):
+        with pytest.raises(SystemExit, match="baseline"):
+            main(["service-bench", "--windows", "4", "8", "--clients", "8",
+                  "-n", "100", "--requests", "8", "--out", "-"])

@@ -112,6 +112,34 @@ class TestLegacyKwargShim:
         with pytest.raises(TypeError, match="unexpected keyword"):
             all_nearest_neighbors(rng.random((30, 2)), neighbours=3)
 
+    def test_warning_points_at_the_callers_line(self, rng):
+        # The shim's stacklevel must blame the deprecated call site —
+        # this file — not repro.api or repro.config internals.
+        pts = rng.random((40, 2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            all_nearest_neighbors(pts, k=2)  # the line the warning must name
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
+
+    def test_aknn_warning_points_at_the_callers_line(self, rng):
+        pts = rng.random((40, 2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            aknn_join(pts, k=2)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert deprecations[0].filename == __file__
+
+    def test_direct_shim_call_blames_its_caller(self):
+        # External users of config_from_legacy_kwargs get the default
+        # stacklevel=2: the warning names whoever called the shim.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always", DeprecationWarning)
+            config_from_legacy_kwargs({"k": 2})
+        assert caught[0].filename == __file__
+
     def test_aknn_default_k_does_not_warn(self, rng):
         pts = rng.random((60, 2))
         with warnings.catch_warnings():
