@@ -1,0 +1,63 @@
+"""Cross-module analyzer driver: model + passes + suppressions + baseline.
+
+``analyze_project`` is the library entry point (the CLI's ``python -m
+repro analyze`` and the repo-clean test both call it): build the
+:class:`~repro.analysis.model.ProjectModel`, run the three passes
+(race, purity, contract drift), drop findings suppressed inline with
+``# repro-lint: disable=RULE-ID``, and append an ``unused-suppression``
+diagnostic for every analyzer-owned suppression that matched nothing.
+
+The analyzer owns the ``PREFIX-NNN`` rule namespace; kebab-case rules
+(and bare ``# repro-lint: ignore`` comments) belong to the per-file lint
+and are ignored here, so the two tools can run over the same tree
+without flagging each other's suppressions.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .engine import Diagnostic, unused_suppressions
+from .model import ProjectModel
+from .passes import contracts, purity, race
+
+__all__ = ["ANALYZER_RULES", "analyze_project", "analyze_model"]
+
+ANALYZER_RULES: dict[str, str] = {
+    **race.RULES,
+    **purity.RULES,
+    **contracts.RULES,
+}
+"""Rule id -> one-line summary, the analyzer's catalogue (stable ids)."""
+
+
+def analyze_model(model: ProjectModel) -> list[Diagnostic]:
+    """Run every pass over an already-built model; suppression-filtered."""
+    raw = race.run(model) + purity.run(model) + contracts.run(model)
+    ctx_by_path = {mod.display_path: mod.ctx for mod in model.modules.values()}
+    found: list[Diagnostic] = []
+    for diag in raw:
+        ctx = ctx_by_path.get(diag.path)
+        if ctx is not None and ctx.is_suppressed(diag.line, diag.rule):
+            continue
+        found.append(diag)
+    for mod in model.modules.values():
+        found.extend(
+            unused_suppressions(
+                mod.ctx,
+                is_known=lambda r: r in ANALYZER_RULES,
+                include_bare=False,
+            )
+        )
+    found.sort(key=lambda d: d.sort_key)
+    return found
+
+
+def analyze_project(
+    package_dir: str | Path,
+    package: str | None = None,
+    display_base: str | Path | None = None,
+) -> list[Diagnostic]:
+    """Model ``package_dir`` and run the full analyzer over it."""
+    model = ProjectModel.load(package_dir, package=package, display_base=display_base)
+    return analyze_model(model)

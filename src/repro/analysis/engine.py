@@ -8,12 +8,20 @@ register themselves in a :class:`RuleRegistry`, and yield
 
 Suppressions
 ------------
-A finding is suppressed by a ``# repro-lint: ignore[rule-name]`` comment
-either on the flagged line or on a standalone comment line directly
-above it.  ``# repro-lint: ignore`` (no bracket) suppresses every rule
-on that line.  Several rules may be listed: ``ignore[bare-except,
-sqrt-discipline]``.  Suppressions are intentionally loud in the source —
-they are the reviewed, documented exceptions to the paper's invariants.
+A finding is suppressed by a ``# repro-lint: ignore[rule-name]`` or
+``# repro-lint: disable=rule-name`` comment either on the flagged line
+or on a standalone comment line directly above it.  ``# repro-lint:
+ignore`` / ``disable`` (no rule list) suppresses every rule on that
+line.  Several rules may be listed: ``ignore[bare-except,
+sqrt-discipline]`` or ``disable=RACE-001,PURE-003``.  Suppressions are
+intentionally loud in the source — they are the reviewed, documented
+exceptions to the paper's invariants.
+
+Both the per-file lint rules and the cross-module analyzer
+(:mod:`repro.analysis.analyzer`) honour the same comments; the two rule
+namespaces do not overlap (lint rules are kebab-case, analyzer rules are
+``PREFIX-NNN``), so each tool reports *unused* suppressions only for the
+rules it owns (see :func:`unused_suppressions`).
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import enum
 import io
 import re
 import tokenize
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -36,9 +44,17 @@ __all__ = [
     "default_registry",
     "lint_source",
     "lint_paths",
+    "unused_suppressions",
+    "UNUSED_SUPPRESSION_RULE",
 ]
 
-_SUPPRESS_RE = re.compile(r"repro-lint:\s*ignore(?:\[([A-Za-z0-9_,\s-]+)\])?")
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*(?:ignore(?:\[([A-Za-z0-9_,\s-]+)\])?|disable(?:=([A-Za-z0-9_,\s-]+))?)"
+)
+
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
+"""Rule id of the diagnostic flagging suppression comments that matched
+no finding — stale exceptions must not outlive the code they excused."""
 
 _SUPPRESS_ALL = frozenset({"*"})
 """Sentinel rule-name set meaning "every rule" for a bare ``ignore``."""
@@ -92,7 +108,7 @@ def _scan_suppressions(source: str) -> dict[int, frozenset[str]]:
         match = _SUPPRESS_RE.search(tok.string)
         if match is None:
             continue
-        names = match.group(1)
+        names = match.group(1) if match.group(1) is not None else match.group(2)
         if names is None:
             rules = _SUPPRESS_ALL
         else:
@@ -114,6 +130,9 @@ class FileContext:
         self.source = source
         self.tree = tree
         self.suppressions = _scan_suppressions(source)
+        #: Lines whose suppression comment matched at least one finding —
+        #: fed to :func:`unused_suppressions` after all rules have run.
+        self.used_suppression_lines: set[int] = set()
         self._parents: dict[ast.AST, ast.AST] | None = None
         self._aliases: dict[str, str] | None = None
 
@@ -178,10 +197,16 @@ class FileContext:
     # -- suppression --------------------------------------------------------
 
     def is_suppressed(self, line: int, rule: str) -> bool:
-        """True if ``rule`` is suppressed on ``line`` or the line above."""
+        """True if ``rule`` is suppressed on ``line`` or the line above.
+
+        A successful match records the comment's line in
+        :attr:`used_suppression_lines` so stale suppressions can be
+        reported afterwards by :func:`unused_suppressions`.
+        """
         for candidate in (line, line - 1):
             rules = self.suppressions.get(candidate)
             if rules is not None and (rules & _SUPPRESS_ALL or rule in rules):
+                self.used_suppression_lines.add(candidate)
                 return True
         return False
 
@@ -198,6 +223,52 @@ class FileContext:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
         return Diagnostic(self.path, line, col, rule.name, message, severity)
+
+
+def unused_suppressions(
+    ctx: FileContext,
+    is_known: Callable[[str], bool] | None = None,
+    include_bare: bool = True,
+) -> list[Diagnostic]:
+    """Flag suppression comments in ``ctx`` that matched no finding.
+
+    Run this *after* every rule has been checked against ``ctx``, so the
+    :attr:`FileContext.used_suppression_lines` bookkeeping is complete.
+    ``is_known`` restricts reporting to the rule names a given tool owns:
+    the lint engine passes its registry, the cross-module analyzer its
+    ``PREFIX-NNN`` catalogue, so neither flags the other's suppressions.
+    A comment naming rules from *both* namespaces is skipped by both —
+    split it into two comments instead.  Bare suppressions (no rule
+    list) are owned by the lint engine (``include_bare=True``); the
+    analyzer passes ``include_bare=False``.  Listing
+    ``unused-suppression`` itself in the comment silences this check
+    for that comment.
+    """
+    out: list[Diagnostic] = []
+    for line, rules in sorted(ctx.suppressions.items()):
+        if line in ctx.used_suppression_lines:
+            continue
+        if UNUSED_SUPPRESSION_RULE in rules:
+            continue
+        if rules & _SUPPRESS_ALL:
+            if not include_bare:
+                continue
+            label = "bare suppression"
+        else:
+            named = rules - _SUPPRESS_ALL
+            if is_known is not None and not all(is_known(r) for r in named):
+                continue
+            label = ", ".join(sorted(named))
+        out.append(
+            Diagnostic(
+                ctx.path,
+                line,
+                0,
+                UNUSED_SUPPRESSION_RULE,
+                f"suppression matched no finding ({label}) — remove it",
+            )
+        )
+    return out
 
 
 class Rule:
@@ -285,6 +356,10 @@ def lint_source(
         for diag in rule.check(ctx):
             if not ctx.is_suppressed(diag.line, diag.rule):
                 found.append(diag)
+    if select is None:
+        # Only with the full catalogue can "matched no finding" mean
+        # "stale" rather than "its rule was deselected this run".
+        found.extend(unused_suppressions(ctx, is_known=lambda r: r in registry.rules))
     found.sort(key=lambda d: d.sort_key)
     return found
 

@@ -1,0 +1,540 @@
+"""Whole-program model: symbol table + call graph over one package.
+
+The per-file rules in :mod:`repro.analysis.rules` see one AST at a
+time; the analyzer passes (:mod:`repro.analysis.passes`) need to reason
+*across* modules — "is this attribute ever mutated outside its lock,
+along any call path?".  This module parses every ``.py`` file of a
+package into a :class:`ProjectModel`:
+
+* a **symbol table** of modules, classes, and functions keyed by dotted
+  qualname (``repro.service.service.AnnService.close``);
+* an **import resolver** that handles both absolute and relative
+  imports, so names used in one module resolve to definitions in
+  another;
+* light **type inference** for attributes, parameters, and locals —
+  enough to resolve method calls through ``self.pool.get(...)`` when
+  ``self.pool`` was assigned a project class in ``__init__``, or when a
+  parameter carries a (possibly string) annotation naming one;
+* a **call graph** (and its reverse) with :meth:`ProjectModel.reachable`
+  for closure queries.
+
+The model is deliberately unsound in the usual cheap-static-analysis
+ways (no flow sensitivity, single type per name) but it is *precise on
+this codebase's idiom*: constructor-assigned attributes, dataclasses,
+and annotated parameters cover every cross-module call the passes care
+about.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .engine import FileContext
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectModel",
+]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body.
+
+    ``target`` is the fully resolved project qualname when resolution
+    succeeded, else ``None``; ``dotted`` is the best-effort dotted
+    spelling (``numpy.empty``, ``self.pool.get``) for external-call
+    classification by the purity pass.
+    """
+
+    dotted: str
+    node: ast.Call
+    target: str | None
+
+
+@dataclass
+class FunctionInfo:
+    """A function or method, with its resolved outgoing calls."""
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: ClassInfo | None = None
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def project_calls(self) -> set[str]:
+        return {c.target for c in self.calls if c.target is not None}
+
+
+@dataclass
+class ClassInfo:
+    """A class: its methods, inferred attribute types, and annotations.
+
+    ``guarded_attrs`` maps attribute name -> lock attribute name (or the
+    literal ``"owner"`` for owner-confined attributes), scraped from
+    ``# guarded-by: <lock>`` comments on the ``self.attr = ...`` line in
+    the class body (conventionally ``__init__``).
+    """
+
+    qualname: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    attr_names: set[str] = field(default_factory=set)
+    guarded_attrs: dict[str, str] = field(default_factory=dict)
+    guard_lines: dict[str, int] = field(default_factory=dict)
+    bases: list[str] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: AST, suppression context, local symbols."""
+
+    name: str
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    ctx: FileContext
+    imports: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+def _guarded_by_comments(source: str) -> dict[int, str]:
+    """Line number -> lock name from ``# guarded-by: <name>`` comments."""
+    out: dict[int, str] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        _, hash_, comment = line.partition("#")
+        if not hash_:
+            continue
+        text = comment.strip()
+        if text.startswith("guarded-by:"):
+            name = text[len("guarded-by:") :].strip()
+            if name:
+                out[lineno] = name
+    return out
+
+
+def _annotation_name(node: ast.expr | None) -> str | None:
+    """The (possibly dotted) name an annotation spells, or ``None``.
+
+    Handles plain names, attributes, string annotations (forward
+    references like ``"_Engine"``), and peels ``Optional[X]`` /
+    ``X | None`` down to ``X``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        parts: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+            return ".".join(reversed(parts))
+        return None
+    if isinstance(node, ast.Subscript):
+        head = _annotation_name(node.value)
+        if head in {"Optional", "typing.Optional"}:
+            return _annotation_name(node.slice)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        left = _annotation_name(node.left)
+        if left is not None and left != "None":
+            return left
+        return _annotation_name(node.right)
+    return None
+
+
+def _call_dotted(node: ast.expr) -> str | None:
+    """Spell a call target as a dotted string (``self.pool.get``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _call_dotted(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+class ProjectModel:
+    """Symbol table and call graph for one package tree."""
+
+    def __init__(self, package: str) -> None:
+        self.package = package
+        self.modules: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.callers: dict[str, set[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def load(
+        cls,
+        package_dir: str | Path,
+        package: str | None = None,
+        display_base: str | Path | None = None,
+    ) -> ProjectModel:
+        """Parse every ``.py`` under ``package_dir`` into a model.
+
+        ``package`` defaults to the directory name; ``display_base`` is
+        the directory diagnostics paths are made relative to (default:
+        the package directory's parent, so paths read ``repro/...``).
+        """
+        root = Path(package_dir)
+        pkg = package if package is not None else root.name
+        base = Path(display_base) if display_base is not None else root.parent
+        model = cls(pkg)
+        for path in sorted(root.rglob("*.py")):
+            if any(part.startswith(".") for part in path.parts):
+                continue
+            rel = path.relative_to(root)
+            parts = [pkg, *rel.with_suffix("").parts]
+            if parts[-1] == "__init__":
+                parts = parts[:-1]
+            model._add_module(".".join(parts), path, base)
+        model._resolve_calls()
+        return model
+
+    def _add_module(self, name: str, path: Path, base: Path) -> None:
+        source = path.read_text(encoding="utf-8")
+        try:
+            display = path.relative_to(base).as_posix()
+        except ValueError:
+            display = path.as_posix()
+        tree = ast.parse(source, filename=str(path))
+        ctx = FileContext(display, source, tree)
+        mod = ModuleInfo(name, path, display, source, tree, ctx)
+        mod.imports = self._scan_imports(mod)
+        guards = _guarded_by_comments(source)
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                self._add_class(mod, stmt, guards)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(f"{name}.{stmt.name}", mod, stmt)
+                mod.functions[stmt.name] = fn
+                self.functions[fn.qualname] = fn
+        self.modules[name] = mod
+
+    def _scan_imports(self, mod: ModuleInfo) -> dict[str, str]:
+        """Local name -> dotted target, resolving relative imports."""
+        out: dict[str, str] = {}
+        pkg_parts = mod.name.split(".")
+        if mod.path.name != "__init__.py":
+            pkg_parts = pkg_parts[:-1]
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for a in node.names:
+                    out[a.asname or a.name.split(".")[0]] = (
+                        a.name if a.asname else a.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0:
+                    base = node.module or ""
+                else:
+                    anchor = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                for a in node.names:
+                    if a.name == "*":
+                        continue
+                    out[a.asname or a.name] = f"{base}.{a.name}" if base else a.name
+        return out
+
+    def _add_class(self, mod: ModuleInfo, node: ast.ClassDef, guards: dict[int, str]) -> None:
+        info = ClassInfo(f"{mod.name}.{node.name}", mod, node)
+        info.bases = [b for b in (_call_dotted(base) for base in node.bases) if b is not None]
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FunctionInfo(f"{info.qualname}.{stmt.name}", mod, stmt, cls=info)
+                info.methods[stmt.name] = fn
+                self.functions[fn.qualname] = fn
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                # Dataclass-style field: `pool: BufferPool` at class level.
+                typ = _annotation_name(stmt.annotation)
+                if typ is not None:
+                    info.attr_types.setdefault(stmt.target.id, typ)
+                info.attr_names.add(stmt.target.id)
+                if stmt.lineno in guards:
+                    info.guarded_attrs[stmt.target.id] = guards[stmt.lineno]
+                    info.guard_lines[stmt.target.id] = stmt.lineno
+        # Scan method bodies for `self.x = ...` assignments: attribute
+        # types (from constructor calls / annotations) and guarded-by
+        # annotations anchored on the assignment line.
+        for fn in info.methods.values():
+            for sub in ast.walk(fn.node):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(sub, ast.Assign):
+                    targets, value = sub.targets, sub.value
+                elif isinstance(sub, ast.AnnAssign):
+                    targets, value = [sub.target], sub.value
+                for tgt in targets:
+                    if not (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        continue
+                    info.attr_names.add(tgt.attr)
+                    if sub.lineno in guards:
+                        info.guarded_attrs[tgt.attr] = guards[sub.lineno]
+                        info.guard_lines[tgt.attr] = sub.lineno
+                    if isinstance(sub, ast.AnnAssign):
+                        typ = _annotation_name(sub.annotation)
+                        if typ is not None:
+                            info.attr_types.setdefault(tgt.attr, typ)
+                    if isinstance(value, ast.Call):
+                        ctor = _call_dotted(value.func)
+                        if ctor is not None:
+                            info.attr_types.setdefault(tgt.attr, ctor)
+        self.classes[info.qualname] = info
+        mod.classes[node.name] = info
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_name(self, mod: ModuleInfo, dotted: str) -> str | None:
+        """Resolve a dotted name in ``mod``'s scope to a project qualname.
+
+        Returns the qualname of a known module, class, or function, or
+        ``None`` for anything external or unknown.
+        """
+        head, _, rest = dotted.partition(".")
+        target = mod.imports.get(head)
+        if target is None:
+            # A module-level symbol of this module itself?
+            if head in mod.classes or head in mod.functions:
+                target = f"{mod.name}.{head}"
+            else:
+                return None
+        full = f"{target}.{rest}" if rest else target
+        return self._lookup(full)
+
+    def _lookup(self, qualname: str) -> str | None:
+        """Canonicalise ``qualname`` against the symbol table.
+
+        Follows one level of re-export indirection: ``pkg.a.Cls`` where
+        ``pkg/a.py`` does ``from .b import Cls`` resolves to
+        ``pkg.b.Cls``.
+        """
+        if qualname in self.functions or qualname in self.classes or qualname in self.modules:
+            return qualname
+        # Attribute of a known module (possibly re-exported there).
+        head, _, tail = qualname.rpartition(".")
+        if head in self.modules and tail:
+            mod = self.modules[head]
+            via = mod.imports.get(tail)
+            if via is not None and via != qualname:
+                return self._lookup(via)
+        # Method of a known class: Cls.method.
+        if head in self.classes:
+            cls = self.classes[head]
+            if tail in cls.methods:
+                return f"{head}.{tail}"
+        # Re-export two levels down: pkg.mod.Cls.method where pkg.mod.Cls
+        # is itself an alias.
+        if head:
+            canon_head = self._lookup(head)
+            if canon_head is not None and canon_head != head:
+                return self._lookup(f"{canon_head}.{tail}")
+        return None
+
+    def class_of(self, type_name: str, mod: ModuleInfo) -> ClassInfo | None:
+        """The :class:`ClassInfo` a type annotation/constructor names."""
+        resolved = self.resolve_name(mod, type_name)
+        if resolved is not None and resolved in self.classes:
+            return self.classes[resolved]
+        return None
+
+    def method_on(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """Look up ``name`` on ``cls`` or its project base classes."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            cur = queue.pop(0)
+            if cur.qualname in seen:
+                continue
+            seen.add(cur.qualname)
+            if name in cur.methods:
+                return cur.methods[name]
+            for base in cur.bases:
+                base_cls = self.class_of(base, cur.module)
+                if base_cls is not None:
+                    queue.append(base_cls)
+        return None
+
+    # -- call graph ---------------------------------------------------------
+
+    def _local_types(self, fn: FunctionInfo) -> dict[str, ClassInfo]:
+        """Variable name -> project class, from annotations and ctors."""
+        out: dict[str, ClassInfo] = {}
+        mod = fn.module
+        args = fn.node.args
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            typ = _annotation_name(a.annotation)
+            if typ is not None:
+                cls = self.class_of(typ, mod)
+                if cls is not None:
+                    out[a.arg] = cls
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                tgt = sub.targets[0]
+                if isinstance(tgt, ast.Name) and isinstance(sub.value, ast.Call):
+                    ctor = _call_dotted(sub.value.func)
+                    if ctor is None:
+                        continue
+                    cls = self.class_of(ctor, mod)
+                    if cls is not None:
+                        out[tgt.id] = cls
+                        continue
+                    # Call of a project function with an annotated return.
+                    target = self.resolve_name(mod, ctor)
+                    if target is not None and target in self.functions:
+                        ret = _annotation_name(self.functions[target].node.returns)
+                        if ret is not None:
+                            ret_cls = self.class_of(ret, self.functions[target].module)
+                            if ret_cls is not None:
+                                out[tgt.id] = ret_cls
+            elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                typ = _annotation_name(sub.annotation)
+                if typ is not None:
+                    cls = self.class_of(typ, mod)
+                    if cls is not None:
+                        out[sub.target.id] = cls
+        return out
+
+    def _resolve_call(
+        self, fn: FunctionInfo, dotted: str, local_types: dict[str, ClassInfo]
+    ) -> str | None:
+        head, _, rest = dotted.partition(".")
+        # self.method() / self.attr.method() through the attribute types.
+        if head == "self" and fn.cls is not None:
+            if not rest:
+                return None
+            attr, _, method = rest.partition(".")
+            if not method:
+                target = self.method_on(fn.cls, attr)
+                if target is not None:
+                    return target.qualname
+                # Calling a callable attribute typed as a project class
+                # (rare); treat as that class's __call__ — skip.
+                return None
+            typ = fn.cls.attr_types.get(attr)
+            if typ is None:
+                return None
+            cls = self.class_of(typ, fn.cls.module)
+            if cls is None:
+                return None
+            if "." in method:
+                return None
+            m = self.method_on(cls, method)
+            return m.qualname if m is not None else None
+        # Local variable with an inferred project type: var.method().
+        if head in local_types and rest and "." not in rest:
+            m = self.method_on(local_types[head], rest)
+            if m is not None:
+                return m.qualname
+        # cls.method() inside classmethods resolves like self.
+        if head == "cls" and fn.cls is not None and rest and "." not in rest:
+            m = self.method_on(fn.cls, rest)
+            if m is not None:
+                return m.qualname
+        # ClassName(...) constructor -> __init__ when defined.
+        resolved = self.resolve_name(fn.module, dotted)
+        if resolved is None:
+            return None
+        if resolved in self.classes:
+            init = self.method_on(self.classes[resolved], "__init__")
+            return init.qualname if init is not None else resolved
+        if resolved in self.functions:
+            return resolved
+        return None
+
+    def _resolve_calls(self) -> None:
+        for fn in list(self.functions.values()):
+            # Nested defs/lambdas belong to the enclosing function: walk
+            # everything except the bodies of *methods of nested classes*
+            # (none in this codebase) — plain ast.walk is fine because
+            # nested FunctionDefs are not separate FunctionInfo entries.
+            local_types = self._local_types(fn)
+            for sub in ast.walk(fn.node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                dotted = _call_dotted(sub.func)
+                if dotted is None:
+                    continue
+                target = self._resolve_call(fn, dotted, local_types)
+                fn.calls.append(CallSite(dotted, sub, target))
+        self.callers = {}
+        for fn in self.functions.values():
+            for target in fn.project_calls:
+                self.callers.setdefault(target, set()).add(fn.qualname)
+
+    # -- queries ------------------------------------------------------------
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        return self.functions.get(qualname)
+
+    def find_function(self, suffix: str) -> FunctionInfo | None:
+        """The unique function whose qualname ends with ``suffix``."""
+        matches = [f for q, f in self.functions.items() if q == suffix or q.endswith("." + suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def find_module(self, suffix: str) -> ModuleInfo | None:
+        """The unique module whose dotted name ends with ``suffix``."""
+        matches = [m for q, m in self.modules.items() if q == suffix or q.endswith("." + suffix)]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def reachable(
+        self,
+        roots: Iterable[str],
+        exclude_prefixes: tuple[str, ...] = (),
+    ) -> set[str]:
+        """Qualnames of all functions reachable from ``roots`` through
+        the project call graph, skipping edges into ``exclude_prefixes``
+        (dotted-prefix match)."""
+        seen: set[str] = set()
+        queue: deque[str] = deque(roots)
+        while queue:
+            cur = queue.popleft()
+            if cur in seen:
+                continue
+            if any(cur == p or cur.startswith(p) for p in exclude_prefixes):
+                continue
+            seen.add(cur)
+            fn = self.functions.get(cur)
+            if fn is None:
+                continue
+            queue.extend(fn.project_calls - seen)
+        return seen

@@ -1,0 +1,196 @@
+"""Effect/purity analysis of the hot join kernels (rule ids ``PURE-NNN``).
+
+The bit-identical-replay guarantee rests on the inner join loop being a
+pure function of its inputs: same tree, same batch, same answer, same
+counters.  The golden fixtures spot-check that; this pass enforces its
+preconditions statically over the *whole closure* of functions reachable
+from the two hot entry points:
+
+* ``core.mba.mba_join`` — the batched traversal inner loop, and
+* ``core.lpq.LPQ.pop`` — the columnar priority-queue pop path.
+
+Tracing (``{pkg}.obs``) is the one sanctioned effect boundary — spans
+read the wall clock by design — so call-graph edges into it are not
+followed.
+
+Rules
+-----
+* ``PURE-001`` — I/O (file, console, process, network) inside the
+  kernel closure.
+* ``PURE-002`` — mutation of a module-level global inside the closure.
+* ``PURE-003`` — nondeterministic API (clocks, RNGs, ids) inside the
+  closure.
+* ``PURE-004`` — numpy array constructor inside a ``for``/``while``
+  loop in the closure (per-element allocation; hoist it out).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic
+from ..model import FunctionInfo, ProjectModel
+
+__all__ = ["RULES", "ROOT_SUFFIXES", "run"]
+
+RULES = {
+    "PURE-001": "I/O call inside the pure join-kernel closure",
+    "PURE-002": "module-global mutation inside the pure join-kernel closure",
+    "PURE-003": "nondeterministic API call inside the pure join-kernel closure",
+    "PURE-004": "numpy allocation inside a loop in the join-kernel closure",
+}
+
+ROOT_SUFFIXES = ("core.mba.mba_join", "core.lpq.LPQ.pop")
+"""Hot-path entry points, matched by qualname suffix so fixture
+mini-packages that mirror the layout resolve the same roots."""
+
+_IO_CALLS = frozenset({"open", "print", "input", "breakpoint"})
+_IO_PREFIXES = (
+    "os.",
+    "sys.stdout",
+    "sys.stderr",
+    "sys.stdin",
+    "subprocess.",
+    "shutil.",
+    "socket.",
+    "logging.",
+    "pathlib.",
+)
+
+_NONDET_CALLS = frozenset({"os.urandom", "id"})
+_NONDET_PREFIXES = (
+    "time.",
+    "random.",
+    "numpy.random.",
+    "uuid.",
+    "secrets.",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+)
+
+_NP_ALLOCATORS = frozenset(
+    {"empty", "zeros", "ones", "full", "array", "arange", "eye", "tile", "repeat"}
+)
+"""Numpy constructors that allocate a fresh array.  ``asarray`` is
+deliberately absent: on an existing ndarray it is a no-copy view."""
+
+_CONTAINER_MUTATORS = frozenset(
+    {"append", "extend", "insert", "add", "update", "pop", "remove", "discard", "clear",
+     "setdefault", "sort", "reverse", "appendleft", "popleft", "popitem", "move_to_end"}
+)
+
+
+def _module_globals(fn: FunctionInfo) -> set[str]:
+    """Names bound at module level in ``fn``'s module (mutation targets)."""
+    out: set[str] = set()
+    for stmt in fn.module.tree.body:
+        if isinstance(stmt, ast.Assign):
+            for tgt in stmt.targets:
+                if isinstance(tgt, ast.Name):
+                    out.add(tgt.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            out.add(stmt.target.id)
+    return out
+
+
+def _in_loop(fn: FunctionInfo, node: ast.AST) -> bool:
+    """Whether ``node`` sits inside a ``for``/``while`` body of ``fn``.
+
+    Comprehensions do not count — they are the sanctioned bulk idiom.
+    """
+    ctx = fn.module.ctx
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, (ast.For, ast.While, ast.AsyncFor)):
+            return True
+        if anc is fn.node:
+            break
+    return False
+
+
+def _numpy_prefixes(fn: FunctionInfo) -> set[str]:
+    """Local spellings of the numpy module in ``fn``'s module (np, numpy)."""
+    return {
+        local
+        for local, target in fn.module.imports.items()
+        if target == "numpy"
+    } | {"numpy"}
+
+
+def _check_function(fn: FunctionInfo, short: str) -> Iterator[Diagnostic]:
+    path = fn.module.display_path
+    module_globals = _module_globals(fn)
+    np_names = _numpy_prefixes(fn)
+    has_global_stmt = {
+        name
+        for sub in ast.walk(fn.node)
+        if isinstance(sub, ast.Global)
+        for name in sub.names
+    }
+    for sub in ast.walk(fn.node):
+        # -- global rebinding through a `global` declaration
+        if isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            for tgt in targets:
+                if isinstance(tgt, ast.Name) and tgt.id in has_global_stmt:
+                    yield Diagnostic(
+                        path, sub.lineno, sub.col_offset, "PURE-002",
+                        f"{short} rebinds module global {tgt.id!r}",
+                    )
+                elif isinstance(tgt, ast.Subscript) and isinstance(tgt.value, ast.Name):
+                    if tgt.value.id in module_globals:
+                        yield Diagnostic(
+                            path, sub.lineno, sub.col_offset, "PURE-002",
+                            f"{short} writes into module global {tgt.value.id!r}",
+                        )
+        if not isinstance(sub, ast.Call):
+            continue
+        dotted = fn.module.ctx.dotted_name(sub.func) or ""
+        line, col = sub.lineno, sub.col_offset
+        # -- container mutation of a module global
+        if isinstance(sub.func, ast.Attribute) and isinstance(sub.func.value, ast.Name):
+            recv = sub.func.value.id
+            if recv in module_globals and sub.func.attr in _CONTAINER_MUTATORS:
+                yield Diagnostic(
+                    path, line, col, "PURE-002",
+                    f"{short} mutates module global {recv!r} via .{sub.func.attr}()",
+                )
+        # -- I/O
+        if dotted in _IO_CALLS or dotted.startswith(_IO_PREFIXES):
+            yield Diagnostic(
+                path, line, col, "PURE-001",
+                f"{short} performs I/O via {dotted}()",
+            )
+        # -- nondeterminism
+        if dotted in _NONDET_CALLS or dotted.startswith(_NONDET_PREFIXES):
+            yield Diagnostic(
+                path, line, col, "PURE-003",
+                f"{short} calls nondeterministic API {dotted}()",
+            )
+        # -- allocation in loop
+        head, _, tail = dotted.rpartition(".")
+        if head in np_names and tail in _NP_ALLOCATORS and _in_loop(fn, sub):
+            yield Diagnostic(
+                path, line, col, "PURE-004",
+                f"{short} allocates with {dotted}() inside a loop — hoist it out",
+            )
+
+
+def run(model: ProjectModel) -> list[Diagnostic]:
+    """Run the purity pass over the hot-path closure of ``model``."""
+    roots = []
+    for suffix in ROOT_SUFFIXES:
+        fn = model.find_function(suffix)
+        if fn is not None:
+            roots.append(fn.qualname)
+    if not roots:
+        return []
+    closure = model.reachable(roots, exclude_prefixes=(f"{model.package}.obs.",))
+    out: list[Diagnostic] = []
+    for qualname in sorted(closure):
+        fn = model.functions.get(qualname)
+        if fn is None:
+            continue
+        short = qualname.removeprefix(model.package + ".")
+        out.extend(_check_function(fn, short))
+    return out

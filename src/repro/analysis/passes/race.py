@@ -1,0 +1,515 @@
+"""Lock-discipline / race analysis (rule ids ``RACE-NNN``).
+
+Shared attributes are declared with a ``# guarded-by: <lock>`` comment
+on the ``self.attr = ...`` line (conventionally in ``__init__``):
+
+* ``# guarded-by: _cond`` — every mutation of the attribute must happen
+  while ``self._cond`` is held, either lexically (inside a ``with
+  self._cond:`` block) or because *every* intra-project call path into
+  the mutating method runs under that lock (proved over the call graph).
+* ``# guarded-by: owner`` — the attribute is confined to its owning
+  class: only methods of that class may write it (or call container
+  mutators on it).  This is the discipline for the lock-free layers —
+  the micro-batch queue (serialised by ``AnnService._cond``) and the
+  storage caches (owner-serialised by construction).
+
+The pass is intentionally conservative in what it *accepts*: a mutation
+it cannot prove guarded is a finding, and the escape hatch is an inline
+``# repro-lint: disable=RACE-001`` with a justification — visible at the
+mutation site, reviewed like code.
+
+Rules
+-----
+* ``RACE-001`` — mutation of a lock-guarded attribute on a call path
+  that does not hold the declared lock.
+* ``RACE-002`` — lock-acquisition-order inversion: two locks acquired
+  in opposite nesting orders on different code paths (deadlock shape).
+* ``RACE-003`` — owner-confined attribute mutated outside its owning
+  class.
+* ``RACE-004`` — ``guarded-by`` names a lock attribute the class never
+  defines.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic
+from ..model import ClassInfo, FunctionInfo, ProjectModel
+
+__all__ = ["RULES", "run"]
+
+RULES = {
+    "RACE-001": "mutation of a lock-guarded attribute without holding the declared lock",
+    "RACE-002": "lock-acquisition-order inversion between two declared locks",
+    "RACE-003": "owner-confined attribute mutated outside its owning class",
+    "RACE-004": "guarded-by annotation names a lock the class does not define",
+}
+
+OWNER = "owner"
+"""The ``guarded-by`` value declaring owner-confinement instead of a lock."""
+
+_CONTAINER_MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "setdefault",
+        "sort",
+        "reverse",
+        "move_to_end",
+    }
+)
+
+_LOCK_TYPES = frozenset(
+    {
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+    }
+)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` -> ``"X"``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _direct_mutations(fn: FunctionInfo) -> Iterator[tuple[str, ast.AST]]:
+    """Yield ``(attr, node)`` for each direct mutation of ``self.attr``.
+
+    Covers rebinding (``self.x = ...``), augmented assignment, deletion,
+    item assignment (``self.x[k] = ...``), and container-mutator method
+    calls (``self.x.append(...)``).
+    """
+    for sub in ast.walk(fn.node):
+        if isinstance(sub, ast.Assign):
+            for tgt in sub.targets:
+                yield from _mutation_target(tgt)
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            if isinstance(sub, ast.AnnAssign) and sub.value is None:
+                continue
+            yield from _mutation_target(sub.target)
+        elif isinstance(sub, ast.Delete):
+            for tgt in sub.targets:
+                attr = _self_attr(tgt)
+                if attr is not None:
+                    yield attr, tgt
+        elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            if sub.func.attr in _CONTAINER_MUTATORS:
+                attr = _self_attr(sub.func.value)
+                if attr is not None:
+                    yield attr, sub
+
+
+def _mutation_target(tgt: ast.expr) -> Iterator[tuple[str, ast.AST]]:
+    attr = _self_attr(tgt)
+    if attr is not None:
+        yield attr, tgt
+        return
+    if isinstance(tgt, ast.Subscript):
+        attr = _self_attr(tgt.value)
+        if attr is not None:
+            yield attr, tgt
+    elif isinstance(tgt, (ast.Tuple, ast.List)):
+        for elt in tgt.elts:
+            yield from _mutation_target(elt)
+
+
+def _mutating_methods(cls: ClassInfo) -> set[str]:
+    """Method names of ``cls`` that mutate instance state, to a fixpoint.
+
+    A method mutates if it contains a direct mutation of any ``self``
+    attribute, or calls another (mutating) method of the same class.
+    """
+    mutating = {
+        name
+        for name, fn in cls.methods.items()
+        if any(True for _ in _direct_mutations(fn))
+    }
+    changed = True
+    while changed:
+        changed = False
+        for name, fn in cls.methods.items():
+            if name in mutating:
+                continue
+            for call in fn.calls:
+                head, _, rest = call.dotted.partition(".")
+                if head == "self" and "." not in rest and rest in mutating:
+                    mutating.add(name)
+                    changed = True
+                    break
+    return mutating
+
+
+def _method_mutations(
+    fn: FunctionInfo, cls: ClassInfo, mutating: set[str]
+) -> Iterator[tuple[str, ast.AST]]:
+    """All mutations of ``self.attr`` in ``fn``: direct, plus calls of a
+    mutating method *on* the attribute (``self._queue.offer(...)`` when
+    ``offer`` mutates the queue's own state)."""
+    yield from _direct_mutations(fn)
+    model = _MODEL.get()
+    for call in fn.calls:
+        node = call.node
+        if not isinstance(node.func, ast.Attribute):
+            continue
+        attr = _self_attr(node.func.value)
+        if attr is None:
+            continue
+        method = node.func.attr
+        if method in _CONTAINER_MUTATORS:
+            continue  # already covered by _direct_mutations
+        typ = cls.attr_types.get(attr)
+        if typ is None:
+            continue
+        attr_cls = model.class_of(typ, cls.module)
+        if attr_cls is None:
+            continue
+        if method in _class_mutating(attr_cls):
+            yield attr, node
+
+
+# The pass is single-threaded; a tiny module-level slot avoids threading
+# the model through every helper signature.
+class _Slot:
+    value: ProjectModel | None = None
+
+    def get(self) -> ProjectModel:
+        assert self.value is not None
+        return self.value
+
+
+_MODEL = _Slot()
+_MUTATING_CACHE: dict[str, set[str]] = {}
+
+
+def _class_mutating(cls: ClassInfo) -> set[str]:
+    cached = _MUTATING_CACHE.get(cls.qualname)
+    if cached is None:
+        cached = _mutating_methods(cls)
+        _MUTATING_CACHE[cls.qualname] = cached
+    return cached
+
+
+# -- lock-held reasoning -----------------------------------------------------
+
+
+def _lexically_under(fn: FunctionInfo, node: ast.AST, lock: str) -> bool:
+    """Whether ``node`` sits inside a ``with self.<lock>:`` block of ``fn``."""
+    ctx = fn.module.ctx
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, ast.With):
+            for item in anc.items:
+                if _self_attr(item.context_expr) == lock:
+                    return True
+        if anc is fn.node:
+            break
+    return False
+
+
+def _always_called_under(
+    model: ProjectModel, fnq: str, lock: str, visiting: set[str]
+) -> bool:
+    """Prove every intra-project call path into ``fnq`` holds ``lock``.
+
+    Optimistic on cycles (a recursion entered only from guarded sites is
+    guarded); a function with no known callers is an entry point and
+    counts as unguarded.
+    """
+    if fnq in visiting:
+        return True
+    visiting.add(fnq)
+    try:
+        callers = model.callers.get(fnq, set())
+        if not callers:
+            return False
+        for caller_q in callers:
+            caller = model.functions[caller_q]
+            for call in caller.calls:
+                if call.target != fnq:
+                    continue
+                if _lexically_under(caller, call.node, lock):
+                    continue
+                if not _always_called_under(model, caller_q, lock, visiting):
+                    return False
+        return True
+    finally:
+        visiting.discard(fnq)
+
+
+# -- the checks --------------------------------------------------------------
+
+
+def _check_guarded(model: ProjectModel, cls: ClassInfo) -> Iterator[Diagnostic]:
+    locked = {a: g for a, g in cls.guarded_attrs.items() if g != OWNER}
+    if not locked:
+        return
+    for attr, lock in locked.items():
+        if lock not in cls.attr_names:
+            yield Diagnostic(
+                cls.module.display_path,
+                cls.guard_lines.get(attr, cls.node.lineno),
+                0,
+                "RACE-004",
+                f"{cls.name}.{attr} is guarded-by {lock!r}, "
+                f"but {cls.name} defines no attribute {lock!r}",
+            )
+    mutating = _class_mutating(cls)
+    for name, fn in cls.methods.items():
+        if name == "__init__":
+            continue  # pre-publication: the object is not shared yet
+        for attr, node in _method_mutations(fn, cls, mutating):
+            lock = locked.get(attr)
+            if lock is None or lock not in cls.attr_names:
+                continue
+            if attr == lock:
+                continue
+            if _lexically_under(fn, node, lock):
+                continue
+            if _always_called_under(model, fn.qualname, lock, set()):
+                continue
+            line = getattr(node, "lineno", fn.node.lineno)
+            col = getattr(node, "col_offset", 0)
+            yield Diagnostic(
+                cls.module.display_path,
+                line,
+                col,
+                "RACE-001",
+                f"{cls.name}.{attr} is guarded by self.{lock}, but "
+                f"{cls.name}.{name} mutates it on a path that does not hold the lock",
+            )
+
+
+def _receiver_class(
+    model: ProjectModel, fn: FunctionInfo, expr: ast.expr
+) -> ClassInfo | None:
+    """Best-effort type of a one-hop receiver: local var or ``self.attr``."""
+    if isinstance(expr, ast.Name):
+        return model._local_types(fn).get(expr.id)
+    attr = _self_attr(expr)
+    if attr is not None and fn.cls is not None:
+        typ = fn.cls.attr_types.get(attr)
+        if typ is not None:
+            return model.class_of(typ, fn.cls.module)
+    return None
+
+
+def _check_confined(model: ProjectModel) -> Iterator[Diagnostic]:
+    """External-mutation discipline for every annotated attribute.
+
+    Owner-confined attributes must never be written from outside the
+    class (``RACE-003``); lock-guarded attributes written from outside
+    the class cannot be holding ``self.<lock>`` of the owner, so they
+    are unguarded mutations (``RACE-001``).
+    """
+    guarded: dict[str, dict[str, str]] = {
+        cls.qualname: dict(cls.guarded_attrs)
+        for cls in model.classes.values()
+        if cls.guarded_attrs
+    }
+    if not guarded:
+        return
+    for fn in model.functions.values():
+        for sub in ast.walk(fn.node):
+            if isinstance(sub, ast.Assign):
+                for tgt in sub.targets:
+                    yield from _confined_write(model, fn, tgt, guarded)
+            elif isinstance(sub, ast.AugAssign):
+                yield from _confined_write(model, fn, sub.target, guarded)
+            elif isinstance(sub, ast.Delete):
+                for tgt in sub.targets:
+                    yield from _confined_write(model, fn, tgt, guarded)
+            elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                if sub.func.attr in _CONTAINER_MUTATORS:
+                    yield from _confined_attr_access(model, fn, sub.func.value, sub, guarded)
+
+
+def _confined_write(
+    model: ProjectModel,
+    fn: FunctionInfo,
+    tgt: ast.expr,
+    guarded: dict[str, dict[str, str]],
+) -> Iterator[Diagnostic]:
+    if isinstance(tgt, ast.Subscript):
+        if isinstance(tgt.value, ast.Attribute):
+            yield from _confined_attr_access(model, fn, tgt.value, tgt, guarded)
+        return
+    if isinstance(tgt, ast.Attribute):
+        yield from _confined_attr_access(model, fn, tgt, tgt, guarded)
+    elif isinstance(tgt, (ast.Tuple, ast.List)):
+        for elt in tgt.elts:
+            yield from _confined_write(model, fn, elt, guarded)
+
+
+def _confined_attr_access(
+    model: ProjectModel,
+    fn: FunctionInfo,
+    attr_expr: ast.expr,
+    anchor: ast.AST,
+    guarded: dict[str, dict[str, str]],
+) -> Iterator[Diagnostic]:
+    if not isinstance(attr_expr, ast.Attribute):
+        return
+    recv_cls = _receiver_class(model, fn, attr_expr.value)
+    if recv_cls is None:
+        return
+    attrs = guarded.get(recv_cls.qualname)
+    if attrs is None or attr_expr.attr not in attrs:
+        return
+    if fn.cls is not None and fn.cls.qualname == recv_cls.qualname:
+        return  # the owner itself; _check_guarded covers its discipline
+    line = getattr(anchor, "lineno", fn.node.lineno)
+    col = getattr(anchor, "col_offset", 0)
+    where = fn.qualname.removeprefix(model.package + ".")
+    guard = attrs[attr_expr.attr]
+    if guard == OWNER:
+        rule, why = "RACE-003", "owner-confined"
+        detail = f"{where} mutates it from outside the class"
+    else:
+        rule, why = "RACE-001", f"guarded by self.{guard}"
+        detail = f"{where} mutates it from outside the class (cannot hold the owner's lock)"
+    yield Diagnostic(
+        fn.module.display_path,
+        line,
+        col,
+        rule,
+        f"{recv_cls.name}.{attr_expr.attr} is {why}, but {detail}",
+    )
+
+
+# -- lock ordering -----------------------------------------------------------
+
+
+def _lock_id(
+    model: ProjectModel, fn: FunctionInfo, expr: ast.expr
+) -> str | None:
+    """Identify a lock acquisition target as ``ClassQualname.attr``."""
+    attr = _self_attr(expr)
+    cls: ClassInfo | None
+    if attr is not None:
+        cls = fn.cls
+    elif isinstance(expr, ast.Attribute):
+        cls = _receiver_class(model, fn, expr.value)
+        attr = expr.attr
+    else:
+        return None
+    if cls is None or attr is None:
+        return None
+    if cls.attr_types.get(attr) in _LOCK_TYPES:
+        return f"{cls.qualname}.{attr}"
+    return None
+
+
+def _acquired_locks(
+    model: ProjectModel, fnq: str, memo: dict[str, set[str]], visiting: set[str]
+) -> set[str]:
+    """Locks ``fnq`` may acquire, directly or via project calls."""
+    if fnq in memo:
+        return memo[fnq]
+    if fnq in visiting:
+        return set()
+    fn = model.functions.get(fnq)
+    if fn is None:
+        # A call target can be a bare class qualname (dataclass with a
+        # generated __init__) — nothing user-written to acquire a lock in.
+        memo[fnq] = set()
+        return set()
+    visiting.add(fnq)
+    out: set[str] = set()
+    for sub in ast.walk(fn.node):
+        if isinstance(sub, ast.With):
+            for item in sub.items:
+                lid = _lock_id(model, fn, item.context_expr)
+                if lid is not None:
+                    out.add(lid)
+    for target in fn.project_calls:
+        out |= _acquired_locks(model, target, memo, visiting)
+    visiting.discard(fnq)
+    memo[fnq] = out
+    return out
+
+
+def _check_lock_order(model: ProjectModel) -> Iterator[Diagnostic]:
+    memo: dict[str, set[str]] = {}
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    for fn in model.functions.values():
+        for sub in ast.walk(fn.node):
+            if not isinstance(sub, ast.With):
+                continue
+            held = [
+                lid
+                for item in sub.items
+                if (lid := _lock_id(model, fn, item.context_expr)) is not None
+            ]
+            if not held:
+                continue
+            inner: set[str] = set()
+            for desc in ast.walk(sub):
+                if desc is sub:
+                    continue
+                if isinstance(desc, ast.With):
+                    for item in desc.items:
+                        lid = _lock_id(model, fn, item.context_expr)
+                        if lid is not None:
+                            inner.add(lid)
+                elif isinstance(desc, ast.Call):
+                    for call in fn.calls:
+                        if call.node is desc and call.target is not None:
+                            inner |= _acquired_locks(model, call.target, memo, set())
+            for outer in held:
+                for acquired in inner:
+                    if acquired != outer:
+                        edges.setdefault(
+                            (outer, acquired),
+                            (fn.module.display_path, sub.lineno),
+                        )
+    # Any 2-cycle (or longer) in the acquisition-order graph is an
+    # inversion; report each unordered pair once, at the first edge seen.
+    reported: set[frozenset[str]] = set()
+    for (a, b), (path, line) in sorted(edges.items()):
+        if (b, a) in edges and frozenset((a, b)) not in reported:
+            reported.add(frozenset((a, b)))
+            short_a = a.removeprefix(model.package + ".")
+            short_b = b.removeprefix(model.package + ".")
+            yield Diagnostic(
+                path,
+                line,
+                0,
+                "RACE-002",
+                f"lock-order inversion: {short_a} and {short_b} are acquired "
+                f"in both nesting orders (deadlock risk)",
+            )
+
+
+def run(model: ProjectModel) -> list[Diagnostic]:
+    """Run the race pass over ``model``."""
+    _MODEL.value = model
+    _MUTATING_CACHE.clear()
+    out: list[Diagnostic] = []
+    try:
+        for cls in model.classes.values():
+            out.extend(_check_guarded(model, cls))
+        out.extend(_check_confined(model))
+        out.extend(_check_lock_order(model))
+    finally:
+        _MODEL.value = None
+    return out

@@ -15,8 +15,12 @@ call into the ``subprocess`` module (``subprocess.run``, a bare
 ``Popen`` imported from it, …), or a ``.get(...)`` on a queue-ish
 receiver (name contains ``queue``/``fifo``) with no ``timeout=``
 keyword and no positional timeout — ``get_nowait`` and
-``get(timeout=...)`` are fine.  Only ``repro/service`` and
-``repro/core`` sources are checked; tests and bench harnesses may sleep.
+``get(timeout=...)`` are fine.  Within ``repro/service`` a ``.wait()``
+on a condition-variable-ish or event-ish receiver (name contains
+``cond``/``event``) must likewise carry a timeout — positional or
+keyword — because an untimed wait never rechecks the ripen deadline.
+Only ``repro/service`` and ``repro/core`` sources are checked; tests
+and bench harnesses may sleep.
 """
 
 from __future__ import annotations
@@ -53,6 +57,25 @@ def _has_timeout(call: ast.Call) -> bool:
     return len(call.args) >= 2
 
 
+def _is_waitable_receiver(node: ast.expr) -> bool:
+    """Whether a ``.wait`` receiver looks like a Condition or Event."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    lowered = name.lower()
+    return "cond" in lowered or "event" in lowered
+
+
+def _has_wait_timeout(call: ast.Call) -> bool:
+    """``Condition.wait(timeout)``: the first argument is the timeout."""
+    if any(kw.arg == "timeout" for kw in call.keywords):
+        return True
+    return len(call.args) >= 1
+
+
 class BlockingCall(Rule):
     """Flag blocking primitives inside ``repro/service`` and ``repro/core``."""
 
@@ -65,6 +88,7 @@ class BlockingCall(Rule):
         return "repro" in parts and any(pkg in parts for pkg in _HOT_PACKAGES)
 
     def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        in_service = "service" in PurePosixPath(ctx.path).parts
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -97,4 +121,19 @@ class BlockingCall(Rule):
                     "unbounded Queue.get() can park a worker forever; pass "
                     "timeout= (or use get_nowait) so the flush loop stays "
                     "responsive to shutdown and ripen deadlines",
+                )
+                continue
+            if (
+                in_service
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "wait"
+                and _is_waitable_receiver(node.func.value)
+                and not _has_wait_timeout(node)
+            ):
+                yield ctx.flag(
+                    node,
+                    self,
+                    "untimed Condition/Event wait() never rechecks the ripen "
+                    "deadline; pass a timeout (the window's ripen time) so a "
+                    "missed notify cannot park the worker forever",
                 )

@@ -204,6 +204,46 @@ def _cmd_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.analyzer import ANALYZER_RULES, analyze_project
+    from .analysis.baseline import diff_against_baseline, load_baseline, save_baseline
+    from .analysis.output import render
+
+    if args.list_rules:
+        width = max(len(rule_id) for rule_id in ANALYZER_RULES)
+        for rule_id in sorted(ANALYZER_RULES):
+            print(f"{rule_id:<{width}}  {ANALYZER_RULES[rule_id]}")
+        return 0
+
+    root = Path(args.root) if args.root is not None else Path(__file__).resolve().parent
+    diagnostics = analyze_project(root, display_base=root.parent)
+    if args.write_baseline:
+        save_baseline(args.baseline, diagnostics)
+        n = len(diagnostics)
+        print(f"wrote baseline {args.baseline} ({n} entr{'y' if n == 1 else 'ies'})")
+        return 0
+
+    report = render(args.fmt, diagnostics, tool="repro.analyze", rule_summaries=ANALYZER_RULES)
+    if args.out:
+        Path(args.out).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    new, stale = diff_against_baseline(diagnostics, baseline)
+    if new:
+        n = len(new)
+        print(f"analyze: {n} new finding{'s' if n != 1 else ''}", file=sys.stderr)
+    for fp in sorted(stale):
+        print(f"analyze: stale baseline entry (fixed? remove it): {fp}", file=sys.stderr)
+    return 1 if new or stale else 0
+
+
 def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     if args.dataset not in gstd.DISTRIBUTIONS:
         raise SystemExit(
@@ -369,6 +409,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("trace-report", help="summarize a repro.trace JSON artifact")
     p.add_argument("path", help="trace file written by --trace or the trace= API")
     p.set_defaults(fn=_cmd_trace_report)
+
+    p = sub.add_parser(
+        "analyze",
+        help="cross-module concurrency/purity/contract analysis of the package",
+    )
+    p.add_argument("--root", default=None, metavar="DIR",
+                   help="package directory to analyze (default: the installed repro package)")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                   dest="fmt", help="report format (default: text)")
+    p.add_argument("--out", default=None, metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--baseline", default=".repro-analysis-baseline.json", metavar="FILE",
+                   help="grandfathered-findings file gating the exit status")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="write the current findings to --baseline and exit 0")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the analyzer rule catalogue and exit")
+    p.set_defaults(fn=_cmd_analyze)
 
     p = sub.add_parser(
         "parallel-bench",

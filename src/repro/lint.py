@@ -15,8 +15,10 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .analysis.engine import default_registry, lint_paths
+from .analysis.output import FORMATS, render
 
 __all__ = ["main"]
 
@@ -32,6 +34,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="append",
         metavar="RULE",
         help="run only this rule (repeatable); default is every registered rule",
+    )
+    parser.add_argument(
+        "--format",
+        choices=FORMATS,
+        default="text",
+        dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue and exit"
@@ -55,8 +69,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
 
-    for diag in diagnostics:
-        print(diag.format())
+    summaries = {name: rule.summary for name, rule in registry.rules.items()}
+    report = render(args.fmt, diagnostics, tool="repro.lint", rule_summaries=summaries)
+    if args.out:
+        Path(args.out).write_text(report, encoding="utf-8")
+    else:
+        sys.stdout.write(report)
     if diagnostics:
         n = len(diagnostics)
         print(f"found {n} finding{'s' if n != 1 else ''}", file=sys.stderr)

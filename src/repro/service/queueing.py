@@ -58,7 +58,8 @@ class MicroBatchQueue:
         self.capacity = capacity
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
-        self._pending: deque[PendingRequest] = deque()
+        # Owner-confined: AnnService serialises access under its _cond.
+        self._pending: deque[PendingRequest] = deque()  # guarded-by: owner
 
     def __len__(self) -> int:
         return len(self._pending)

@@ -105,13 +105,13 @@ class AnnService:
         self.engine = BatchEngine(points, self.config, point_ids=point_ids)
         self.counters = ServiceCounters()
         self.total_stats = QueryStats()
-        self._queue = MicroBatchQueue(
+        self._queue = MicroBatchQueue(  # guarded-by: _cond
             self.config.queue_capacity, self.config.max_batch, self.config.max_delay_s
         )
         self._cond = threading.Condition()
-        self._next_id = 0
-        self._closed = False
-        self._worker: threading.Thread | None = None
+        self._next_id = 0  # guarded-by: _cond
+        self._closed = False  # guarded-by: _cond
+        self._worker: threading.Thread | None = None  # guarded-by: _cond
         # Tracing is wired for the whole service lifetime: the storage
         # source stays bound so every batch span carries pool/disk deltas.
         from ..obs.tracer import TraceSession
@@ -342,7 +342,8 @@ class AnnService:
             self._cond.notify_all()
         if worker is not None:
             worker.join()
-            self._worker = None
+            with self._cond:
+                self._worker = None
         else:
             while self.pump(force=True) is not None:
                 pass

@@ -55,10 +55,12 @@ class BufferPool:
             raise ValueError(f"capacity_pages must be positive, got {capacity_pages}")
         self.store = store
         self.capacity_pages = capacity_pages
-        self._frames: OrderedDict[FrameKey, tuple[object, int]] = OrderedDict()
-        self._used_pages = 0
-        self.logical_reads = 0
-        self.misses = 0
+        self._frames: OrderedDict[FrameKey, tuple[object, int]] = (  # guarded-by: owner
+            OrderedDict()
+        )
+        self._used_pages = 0  # guarded-by: owner
+        self.logical_reads = 0  # guarded-by: owner
+        self.misses = 0  # guarded-by: owner
 
     def __contains__(self, key: FrameKey) -> bool:
         return key in self._frames

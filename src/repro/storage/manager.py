@@ -98,11 +98,11 @@ class StorageManager:
         node_cache_entries: int = 0,
     ) -> None:
         self.page_size = page_size
-        self.store = PageStore(page_size=page_size, disk=disk)
-        self.pool = BufferPool(self.store, capacity_pages=pool_pages)
+        self.store = PageStore(page_size=page_size, disk=disk)  # guarded-by: owner
+        self.pool = BufferPool(self.store, capacity_pages=pool_pages)  # guarded-by: owner
         # Decoded-node LRU above the pool; 0 entries disables the layer
         # and reproduces the pre-cache I/O counters exactly.
-        self.node_cache = (
+        self.node_cache = (  # guarded-by: owner
             DecodedNodeCache(node_cache_entries) if node_cache_entries > 0 else None
         )
         self.readonly = False

@@ -52,9 +52,9 @@ class DecodedNodeCache:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
-        self._entries: OrderedDict[NodeKey, Any] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
+        self._entries: OrderedDict[NodeKey, Any] = OrderedDict()  # guarded-by: owner
+        self.hits = 0  # guarded-by: owner
+        self.misses = 0  # guarded-by: owner
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,5 +1,9 @@
-"""Tests for the ``python -m repro.lint`` command-line entry point."""
+"""Tests for the ``python -m repro.lint`` and ``python -m repro
+analyze`` command-line entry points."""
 
+import textwrap
+
+from repro.cli import main as repro_main
 from repro.lint import main
 
 CLEAN = "x = 1\n"
@@ -39,6 +43,47 @@ def test_select_limits_rules(tmp_path):
     assert main(["--select", "nondeterminism", str(tmp_path)]) == 1
 
 
+def test_format_json(tmp_path, capsys):
+    import json
+
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main(["--format", "json", str(tmp_path)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["tool"] == "repro.lint"
+    (finding,) = doc["findings"]
+    assert finding["rule"] == "nondeterminism"
+    assert finding["line"] == 2
+    assert finding["path"].endswith("bad.py")
+    assert "nondeterminism" in doc["rules"]
+
+
+def test_format_sarif(tmp_path, capsys):
+    import json
+
+    (tmp_path / "bad.py").write_text(DIRTY)
+    assert main(["--format", "sarif", str(tmp_path)]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == "2.1.0"
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "repro.lint"
+    (result,) = run["results"]
+    assert result["ruleId"] == "nondeterminism"
+    assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 2
+    declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "nondeterminism" in declared
+
+
+def test_out_file(tmp_path, capsys):
+    import json
+
+    (tmp_path / "bad.py").write_text(DIRTY)
+    report = tmp_path / "report.json"
+    assert main(["--format", "json", "--out", str(report), str(tmp_path)]) == 1
+    assert capsys.readouterr().out == ""
+    doc = json.loads(report.read_text())
+    assert doc["findings"][0]["rule"] == "nondeterminism"
+
+
 def test_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
@@ -52,3 +97,73 @@ def test_list_rules(capsys):
         "nxndist-arg-order",
     ):
         assert name in out
+
+
+RACY = """
+    import threading
+
+    class Service:
+        def __init__(self) -> None:
+            self._lock = threading.Lock()
+            self._count = 0  # guarded-by: _lock
+
+        def bad(self) -> None:
+            self._count = 0
+"""
+
+
+def _racy_pkg(tmp_path):
+    root = tmp_path / "pkg"
+    root.mkdir()
+    (root / "__init__.py").write_text("")
+    (root / "service.py").write_text(textwrap.dedent(RACY))
+    return root
+
+
+class TestAnalyzeCommand:
+    def test_list_rules(self, capsys):
+        assert repro_main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RACE-001", "PURE-001", "DRIFT-001"):
+            assert rule_id in out
+
+    def test_new_finding_fails_the_gate(self, tmp_path, capsys):
+        root = _racy_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        code = repro_main(
+            ["analyze", "--root", str(root), "--baseline", str(baseline)]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "[RACE-001]" in captured.out
+        assert "1 new finding" in captured.err
+
+    def test_write_baseline_then_clean_then_stale(self, tmp_path, capsys):
+        root = _racy_pkg(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        args = ["analyze", "--root", str(root), "--baseline", str(baseline)]
+        assert repro_main(args + ["--write-baseline"]) == 0
+        # The grandfathered finding no longer fails the gate...
+        assert repro_main(args) == 0
+        # ...until it is fixed, at which point the entry is stale.
+        (root / "service.py").write_text(textwrap.dedent(RACY).replace(
+            "self._count = 0\n", "with self._lock:\n            self._count = 0\n"
+        ))
+        capsys.readouterr()
+        assert repro_main(args) == 1
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_sarif_output_to_file(self, tmp_path, capsys):
+        import json
+
+        root = _racy_pkg(tmp_path)
+        out_file = tmp_path / "analyze.sarif"
+        code = repro_main([
+            "analyze", "--root", str(root),
+            "--baseline", str(tmp_path / "baseline.json"),
+            "--format", "sarif", "--out", str(out_file),
+        ])
+        assert code == 1
+        assert capsys.readouterr().out == ""
+        doc = json.loads(out_file.read_text())
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["RACE-001"]

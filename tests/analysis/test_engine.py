@@ -68,7 +68,9 @@ class TestSuppressions:
             import numpy as np
             x = np.random.random(10)  # repro-lint: ignore[bare-except]
         """
-        assert [d.rule for d in _lint(code)] == ["nondeterminism"]
+        # The finding survives, and the pointless suppression is itself
+        # flagged as stale.
+        assert [d.rule for d in _lint(code)] == ["unused-suppression", "nondeterminism"]
 
     def test_suppression_inside_string_is_inert(self):
         code = '''
@@ -80,6 +82,74 @@ class TestSuppressions:
 
     def test_unsuppressed_fixture_fires(self):
         assert [d.rule for d in _lint(UNSEEDED)] == ["nondeterminism"]
+
+    def test_disable_form_suppresses(self):
+        code = """
+            import numpy as np
+            x = np.random.random(10)  # repro-lint: disable=nondeterminism
+        """
+        assert _lint(code) == []
+
+    def test_disable_form_multi_rule(self):
+        code = """
+            import numpy as np
+
+            def f(xs=[]):  # repro-lint: disable=mutable-default-arg,nondeterminism
+                return xs + [np.random.random(10)]
+        """
+        assert _lint(code) == []
+
+    def test_bare_disable_suppresses_every_rule(self):
+        code = """
+            import numpy as np
+            x = np.random.random(10)  # repro-lint: disable
+        """
+        assert _lint(code) == []
+
+
+class TestUnusedSuppressions:
+    def test_stale_suppression_is_flagged(self):
+        code = """
+            x = 1  # repro-lint: ignore[nondeterminism]
+        """
+        findings = _lint(code)
+        assert [d.rule for d in findings] == ["unused-suppression"]
+        assert "nondeterminism" in findings[0].message
+
+    def test_stale_bare_suppression_is_flagged(self):
+        code = """
+            x = 1  # repro-lint: ignore
+        """
+        findings = _lint(code)
+        assert [d.rule for d in findings] == ["unused-suppression"]
+        assert "bare" in findings[0].message
+
+    def test_used_suppression_is_not_flagged(self):
+        code = """
+            import numpy as np
+            x = np.random.random(10)  # repro-lint: ignore[nondeterminism]
+        """
+        assert _lint(code) == []
+
+    def test_unknown_rule_name_left_for_other_tool(self):
+        # PREFIX-NNN ids belong to the cross-module analyzer; the lint
+        # engine neither honours nor polices them.
+        code = """
+            x = 1  # repro-lint: disable=RACE-001
+        """
+        assert _lint(code) == []
+
+    def test_self_silencing(self):
+        code = """
+            x = 1  # repro-lint: ignore[nondeterminism, unused-suppression]
+        """
+        assert _lint(code) == []
+
+    def test_not_reported_under_select(self):
+        code = """
+            x = 1  # repro-lint: ignore[nondeterminism]
+        """
+        assert _lint(code, select=["bare-except"]) == []
 
 
 class TestRegistry:

@@ -1,0 +1,143 @@
+"""Unit tests for the cross-module project model.
+
+The model is what the analyzer passes stand on: module naming, relative
+import resolution, receiver typing, call-graph edges, and the reachable
+closure all get direct coverage here on a small fixture package, plus a
+handful of structural assertions against the real ``src/repro`` tree.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.model import ProjectModel
+
+FIXTURE = {
+    "__init__.py": "",
+    "core/__init__.py": "",
+    "core/mba.py": """
+        from .lpq import LPQ
+        from ..obs.tracer import stamp
+
+        def mba_join(a, b):
+            q = LPQ()
+            q.push(a)
+            stamp()
+            return q.pop()
+    """,
+    "core/lpq.py": """
+        class LPQ:
+            def __init__(self) -> None:
+                self._heap: list = []
+
+            def push(self, item) -> None:
+                self._heap.append(item)
+
+            def pop(self):
+                return self._heap.pop()
+    """,
+    "obs/__init__.py": "",
+    "obs/tracer.py": """
+        import time
+
+        def stamp():
+            return time.time()
+    """,
+}
+
+
+def _load(tmp_path: Path) -> ProjectModel:
+    root = tmp_path / "pkg"
+    for rel, source in FIXTURE.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return ProjectModel.load(root, display_base=tmp_path)
+
+
+class TestFixtureModel:
+    def test_module_naming_and_display_paths(self, tmp_path):
+        model = _load(tmp_path)
+        assert model.package == "pkg"
+        assert set(model.modules) == {
+            "pkg", "pkg.core", "pkg.core.mba", "pkg.core.lpq",
+            "pkg.obs", "pkg.obs.tracer",
+        }
+        assert model.modules["pkg.core.mba"].display_path == "pkg/core/mba.py"
+
+    def test_classes_and_functions_indexed(self, tmp_path):
+        model = _load(tmp_path)
+        assert "pkg.core.lpq.LPQ" in model.classes
+        assert "pkg.core.lpq.LPQ.pop" in model.functions
+        assert "pkg.core.mba.mba_join" in model.functions
+
+    def test_relative_import_and_receiver_typing(self, tmp_path):
+        # q = LPQ() types the local, so q.push/q.pop resolve through the
+        # relative import to the class in the sibling module.
+        model = _load(tmp_path)
+        join = model.functions["pkg.core.mba.mba_join"]
+        targets = join.project_calls
+        assert "pkg.core.lpq.LPQ.push" in targets
+        assert "pkg.core.lpq.LPQ.pop" in targets
+        assert "pkg.obs.tracer.stamp" in targets
+
+    def test_callers_reverse_graph(self, tmp_path):
+        model = _load(tmp_path)
+        assert model.callers["pkg.core.lpq.LPQ.push"] == {"pkg.core.mba.mba_join"}
+
+    def test_reachable_closure_and_exclusion(self, tmp_path):
+        model = _load(tmp_path)
+        full = model.reachable(["pkg.core.mba.mba_join"])
+        assert "pkg.obs.tracer.stamp" in full
+        trimmed = model.reachable(
+            ["pkg.core.mba.mba_join"], exclude_prefixes=("pkg.obs.",)
+        )
+        assert "pkg.obs.tracer.stamp" not in trimmed
+        assert "pkg.core.lpq.LPQ.pop" in trimmed
+
+    def test_find_function_by_unique_suffix(self, tmp_path):
+        model = _load(tmp_path)
+        fn = model.find_function("core.mba.mba_join")
+        assert fn is not None and fn.qualname == "pkg.core.mba.mba_join"
+        assert model.find_function("no.such.function") is None
+
+    def test_guarded_attr_comment_registered(self, tmp_path):
+        root = tmp_path / "pkg"
+        (root / "__init__.py").parent.mkdir(parents=True, exist_ok=True)
+        (root / "__init__.py").write_text("")
+        (root / "svc.py").write_text(textwrap.dedent("""
+            import threading
+
+            class S:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._n = 0  # guarded-by: _lock
+        """), encoding="utf-8")
+        model = ProjectModel.load(root, display_base=tmp_path)
+        cls = model.classes["pkg.svc.S"]
+        assert cls.guarded_attrs == {"_n": "_lock"}
+        assert cls.attr_types["_lock"] == "threading.Lock"
+
+
+class TestRealTree:
+    def test_loads_the_whole_package(self):
+        src = Path(__file__).resolve().parents[2] / "src"
+        model = ProjectModel.load(src / "repro", display_base=src)
+        assert model.package == "repro"
+        # Spot-check the anchors every pass depends on.
+        assert model.find_function("core.mba.mba_join") is not None
+        assert model.find_function("core.lpq.LPQ.pop") is not None
+        assert f"{model.package}.obs.schema" in model.modules
+        assert f"{model.package}.cli" in model.modules
+
+    def test_hot_closure_stays_inside_core(self):
+        # The purity contract: nothing reachable from the join kernels
+        # leaves {pkg}.core once the tracing boundary is cut.
+        src = Path(__file__).resolve().parents[2] / "src"
+        model = ProjectModel.load(src / "repro", display_base=src)
+        roots = [
+            model.find_function("core.mba.mba_join").qualname,
+            model.find_function("core.lpq.LPQ.pop").qualname,
+        ]
+        closure = model.reachable(roots, exclude_prefixes=("repro.obs.",))
+        outside = {q for q in closure if not q.startswith("repro.core.")}
+        assert outside == set(), outside

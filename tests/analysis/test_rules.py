@@ -467,6 +467,46 @@ class TestBlockingCall:
         """
         assert _rules(code, path=self.SERVICE) == []
 
+    def test_untimed_condition_wait_fires_in_service(self):
+        code = """
+            def worker(cond):
+                with cond:
+                    cond.wait()
+        """
+        assert _rules(code, path=self.SERVICE) == ["blocking-call"]
+
+    def test_untimed_event_wait_fires_in_service(self):
+        code = """
+            def worker(self):
+                self.stop_event.wait()
+        """
+        assert _rules(code, path=self.SERVICE) == ["blocking-call"]
+
+    def test_wait_with_timeout_kwarg_is_fine(self):
+        code = """
+            def worker(self):
+                self.stop_event.wait(timeout=0.5)
+        """
+        assert _rules(code, path=self.SERVICE) == []
+
+    def test_untimed_wait_allowed_outside_service(self):
+        # The serving-loop wait discipline is a repro/service contract;
+        # core has no conditions and other layers may block on purpose.
+        code = """
+            def worker(cond):
+                with cond:
+                    cond.wait()
+        """
+        assert _rules(code, path=self.CORE) == []
+        assert _rules(code, path="tests/service/test_service.py") == []
+
+    def test_non_waitable_receiver_wait_is_fine(self):
+        code = """
+            def worker(proc):
+                proc.wait()
+        """
+        assert _rules(code, path=self.SERVICE) == []
+
     def test_other_layers_may_sleep(self):
         code = """
             import time
