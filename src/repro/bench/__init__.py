@@ -15,6 +15,7 @@ from .harness import MethodRun, format_series, format_table, run_method, run_reg
 from .kernels import format_kernel_report, kernel_bench
 from .parallel import format_parallel_report, parallel_scaling
 from .service import format_service_report, run_service_bench
+from .updates import format_update_report, run_update_bench
 
 __all__ = [
     "BenchConfig",
@@ -29,6 +30,8 @@ __all__ = [
     "format_parallel_report",
     "run_service_bench",
     "format_service_report",
+    "run_update_bench",
+    "format_update_report",
     "fig3a_tac_methods",
     "fig3b_bufferpool",
     "fig4_dimensionality",

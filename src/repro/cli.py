@@ -21,6 +21,9 @@ These commands cover the common workflows without writing any code:
   single self-query round trip (the CI smoke).
 * ``service-bench`` — closed-loop micro-batching sweep (throughput and
   latency quantiles vs. coalescing window) writing ``BENCH_service.json``.
+* ``update-bench`` — query latency under a sustained insert/delete
+  stream with epoch compactions, every hot swap verified against a
+  scratch-rebuilt index; writes ``BENCH_updates.json``.
 * ``trace-report`` — summarize a trace artifact as stage/layer
   attribution tables (service traces add a service-counter section).
 
@@ -354,6 +357,30 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_update_bench(args: argparse.Namespace) -> int:
+    out = None if args.out == "-" else args.out
+    try:
+        doc = bench.run_update_bench(
+            kinds=tuple(args.kinds),
+            n_target=args.n,
+            rounds=args.rounds,
+            updates_per_round=args.updates,
+            queries_per_round=args.queries,
+            compact_threshold=args.compact_threshold,
+            dims=args.dims,
+            k=args.k,
+            seed=args.seed,
+            smoke=args.smoke,
+            out_path=out,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    print(bench.format_update_report(doc))
+    if out is not None:
+        print(f"\nwrote {out}")
+    return 0
+
+
 def _cmd_kernel_bench(args: argparse.Namespace) -> int:
     out = None if args.out == "-" else args.out
     session = TraceSession(args.trace)
@@ -498,6 +525,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="BENCH_service.json",
                    help="artifact path ('-' to skip writing)")
     p.set_defaults(fn=_cmd_service_bench)
+
+    p = sub.add_parser(
+        "update-bench",
+        help="query latency + epoch-boundary verification under a sustained "
+             "insert/delete stream; writes BENCH_updates.json",
+    )
+    p.add_argument("--kinds", nargs="+", default=["mbrqt", "rstar"],
+                   choices=["mbrqt", "rstar"],
+                   help="index kinds to stream updates against")
+    p.add_argument("-n", type=int, default=1_000, help="initial dataset size")
+    p.add_argument("--rounds", type=int, default=10,
+                   help="update/query rounds to run")
+    p.add_argument("--updates", type=int, default=24,
+                   help="interleaved inserts/deletes per round")
+    p.add_argument("--queries", type=int, default=16,
+                   help="coalesced queries measured per round")
+    p.add_argument("--compact-threshold", type=int, default=32,
+                   help="pending delta ops that trigger an epoch compaction")
+    p.add_argument("--dims", type=int, default=2)
+    p.add_argument("-k", type=int, default=3)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--smoke", action="store_true",
+                   help="seconds-long CI configuration (same code paths)")
+    p.add_argument("--out", default="BENCH_updates.json",
+                   help="artifact path ('-' to skip writing)")
+    p.set_defaults(fn=_cmd_update_bench)
 
     p = sub.add_parser(
         "kernel-bench",

@@ -40,6 +40,7 @@ __all__ = [
     "PagedIndex",
     "PagedIndexSpec",
     "ShardRoot",
+    "empty_build_leaf",
 ]
 
 
@@ -172,6 +173,28 @@ class BuildInternal:
     def recompute_rect(self) -> None:
         """Refresh this node's MBR from its children's rects."""
         self.rect = Rect.from_rects([c.rect for c in self.children])
+
+
+def empty_build_leaf(dims: int, rect: Rect | None = None) -> BuildLeaf:
+    """A zero-point leaf: the persisted form of a well-defined empty index.
+
+    An empty dataset (or a fully-tombstoned delta compaction) still needs
+    an index object the query layer can traverse: ``nearest_iter`` pops
+    the root, finds no entries, and terminates; ``range_query`` and
+    ``mba_join`` likewise answer with empty results.  The root MBR is a
+    placeholder (``rect`` when the caller has a universe, else the origin
+    point) — with zero stored points no distance computed against it can
+    ever reach a result.
+    """
+    if dims < 1:
+        raise ValueError(f"dims must be >= 1, got {dims}")
+    if rect is None:
+        rect = Rect(np.zeros(dims), np.zeros(dims))
+    elif rect.dims != dims:
+        raise ValueError(f"rect dimensionality {rect.dims} != dims {dims}")
+    return BuildLeaf(
+        np.empty(0, dtype=np.int64), np.empty((0, dims), dtype=np.float64), rect
+    )
 
 
 @dataclass(frozen=True)

@@ -41,7 +41,7 @@ import numpy as np
 from ..core.geometry import Rect
 from ..storage.manager import StorageManager
 from ..storage.serialization import internal_capacity, leaf_capacity
-from .base import BuildInternal, BuildLeaf, PagedIndex
+from .base import BuildInternal, BuildLeaf, PagedIndex, empty_build_leaf
 
 __all__ = ["build_mbrqt", "MAX_DEPTH"]
 
@@ -85,8 +85,8 @@ def build_mbrqt(
         occupancy at the storage layer without widening bucket MBRs.
     """
     points = np.asarray(points, dtype=np.float64)
-    if points.ndim != 2 or points.shape[0] == 0:
-        raise ValueError(f"points must be a non-empty (n, D) array, got {points.shape}")
+    if points.ndim != 2:
+        raise ValueError(f"points must be an (n, D) array, got {points.shape}")
     n, dims = points.shape
     if point_ids is None:
         point_ids = np.arange(n, dtype=np.int64)
@@ -94,6 +94,13 @@ def build_mbrqt(
         point_ids = np.asarray(point_ids, dtype=np.int64)
         if point_ids.shape != (n,):
             raise ValueError("point_ids must match points in cardinality")
+    if n == 0:
+        # Empty dataset (or a fully-tombstoned delta compaction): persist
+        # a single empty leaf so every query answers with empty results
+        # instead of crashing on ``Rect.from_points`` of zero points.
+        return PagedIndex.persist(
+            empty_build_leaf(dims, universe), storage.create_file(pack_pages=True), kind="MBRQT"
+        )
     if universe is None:
         universe = Rect.from_points(points)
     elif not all(universe.contains_point(p) for p in (points.min(axis=0), points.max(axis=0))):

@@ -1,0 +1,425 @@
+"""The write path: mutable MBRQT and R*-tree front-ends.
+
+The paper builds its indexes up front (Section 4.1) and every persisted
+:class:`~repro.index.base.PagedIndex` in this library is immutable — the
+right shape for analytical joins, and what makes snapshot sharding safe.
+A production ANN service, though, re-indexes continuously, so this
+module grows both index structures into *updatable* in-memory builders
+that persist per epoch (see :mod:`repro.storage.versioning`):
+
+* :class:`MutableMBRQT` — a regular-decomposition bucket PR quadtree
+  with exact-MBR maintenance.  Its structure is **canonical**: a cell is
+  split exactly when its point count exceeds the bucket capacity (under
+  :data:`~repro.index.mbrqt.MAX_DEPTH`) and merged back the moment it
+  fits again, so any interleaving of inserts and deletes leaves the same
+  tree a bulk :func:`~repro.index.mbrqt.build_mbrqt` over the surviving
+  points (in surviving insertion order, same universe) would build —
+  the property the golden-replay test asserts bit-for-bit.
+* :class:`MutableRStar` — a thin ownership wrapper over
+  :class:`~repro.index.rstar.RStarTreeBuilder`, whose ``insert`` *and*
+  ``delete`` (CondenseTree + orphan reinsertion) both run through the
+  R* forced-reinsert machinery.  R*-trees are insertion-order dependent,
+  so equivalence with a scratch rebuild holds for the *answers* (same
+  neighbour multisets and distances), not the tree shape.
+
+Both expose the same small surface — ``insert`` / ``delete`` /
+``persist`` / ``points`` — which is what the service's compaction job
+(:meth:`repro.service.engine.BatchEngine.compact`) drives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import Rect
+from ..storage.disk import DEFAULT_PAGE_SIZE
+from ..storage.manager import StorageManager
+from ..storage.serialization import internal_capacity, leaf_capacity
+from .base import BuildInternal, BuildLeaf, PagedIndex, empty_build_leaf
+from .mbrqt import MAX_DEPTH, _pack
+from .rstar import RStarTreeBuilder
+
+__all__ = ["MutableMBRQT", "MutableRStar", "mutable_index"]
+
+
+class _QLeaf:
+    """A mutable leaf bucket: parallel id/point/seq lists plus exact MBR."""
+
+    __slots__ = ("cell", "ids", "pts", "seqs", "lo", "hi")
+
+    def __init__(self, cell: Rect) -> None:
+        self.cell = cell
+        self.ids: list[int] = []
+        self.pts: list[np.ndarray] = []
+        self.seqs: list[int] = []
+        self.lo: np.ndarray | None = None
+        self.hi: np.ndarray | None = None
+
+    @property
+    def count(self) -> int:
+        return len(self.ids)
+
+    def add(self, point_id: int, point: np.ndarray, seq: int) -> None:
+        self.ids.append(point_id)
+        self.pts.append(point)
+        self.seqs.append(seq)
+        if self.lo is None or self.hi is None:
+            self.lo = point.copy()
+            self.hi = point.copy()
+        else:
+            np.minimum(self.lo, point, out=self.lo)
+            np.maximum(self.hi, point, out=self.hi)
+
+    def remove(self, point_id: int) -> None:
+        at = self.ids.index(point_id)
+        del self.ids[at]
+        del self.pts[at]
+        del self.seqs[at]
+        if self.ids:
+            stacked = np.stack(self.pts)
+            self.lo = stacked.min(axis=0)
+            self.hi = stacked.max(axis=0)
+        else:
+            self.lo = None
+            self.hi = None
+
+
+class _QInternal:
+    """A mutable internal cell: occupied quadrants keyed by binary code."""
+
+    __slots__ = ("cell", "children", "count", "lo", "hi")
+
+    def __init__(self, cell: Rect) -> None:
+        self.cell = cell
+        self.children: dict[int, _QLeaf | _QInternal] = {}
+        self.count = 0
+        self.lo: np.ndarray | None = None
+        self.hi: np.ndarray | None = None
+
+    def recompute_mbr(self) -> None:
+        los = [c.lo for c in self.children.values() if c.lo is not None]
+        his = [c.hi for c in self.children.values() if c.hi is not None]
+        if los:
+            self.lo = np.minimum.reduce(los).copy()
+            self.hi = np.maximum.reduce(his).copy()
+        else:
+            self.lo = None
+            self.hi = None
+
+
+def _sub_cell(cell: Rect, code: int) -> Rect:
+    """Quadrant ``code`` of ``cell`` (bit ``d`` set = upper half in ``d``)."""
+    mid = cell.center
+    bits = (code >> np.arange(cell.dims)) & 1
+    return Rect(np.where(bits == 1, mid, cell.lo), np.where(bits == 1, cell.hi, mid))
+
+
+class MutableMBRQT:
+    """An updatable MBR-enhanced bucket PR quadtree.
+
+    Invariants after every operation (the canonical-shape guarantee):
+
+    * a leaf at depth < :data:`MAX_DEPTH` holds at most
+      ``bucket_capacity`` points (overflow splits it by regular midpoint
+      decomposition, recursively, exactly like the bulk build);
+    * every internal node's subtree holds *more* than ``bucket_capacity``
+      points (a subtree that fits a bucket again after a delete is
+      collapsed back into one leaf, points in insertion-sequence order);
+    * every node's MBR is the exact bounding box of the points below it
+      (inserts extend it, deletes recompute it bottom-up along the
+      descent path).
+
+    ``universe`` is fixed at construction — the regular decomposition's
+    root cell cannot depend on the (changing) data, and two MBRQTs meant
+    to be joined must share it (Section 3.2).  Inserting a point outside
+    the universe raises.
+    """
+
+    def __init__(
+        self,
+        universe: Rect,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        bucket_capacity: int | None = None,
+        node_capacity: int | None = None,
+        merge_buckets: bool = False,
+    ) -> None:
+        self.universe = universe
+        self.dims = universe.dims
+        if bucket_capacity is None:
+            bucket_capacity = leaf_capacity(page_size, self.dims)
+        if bucket_capacity < 1:
+            raise ValueError(f"bucket_capacity must be >= 1, got {bucket_capacity}")
+        if node_capacity is None:
+            node_capacity = internal_capacity(page_size, self.dims)
+        if node_capacity < 2:
+            raise ValueError(f"node_capacity must be >= 2, got {node_capacity}")
+        self.bucket_capacity = bucket_capacity
+        self.node_capacity = node_capacity
+        self.merge_buckets = merge_buckets
+        self._root: _QLeaf | _QInternal = _QLeaf(universe)
+        self._entries: dict[int, tuple[int, np.ndarray]] = {}
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._entries
+
+    @property
+    def mbr(self) -> Rect | None:
+        """Exact bounding box of the stored points (``None`` when empty)."""
+        if self._root.lo is None or self._root.hi is None:
+            return None
+        return Rect(self._root.lo.copy(), self._root.hi.copy())
+
+    def insert(self, point: np.ndarray, point_id: int) -> None:
+        """Insert one point (splits overflowing buckets on the way)."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dims,):
+            raise ValueError(f"point must have shape ({self.dims},), got {point.shape}")
+        if point_id in self._entries:
+            raise ValueError(f"point_id {point_id} already present")
+        if not self.universe.contains_point(point):
+            raise ValueError(f"point {point} lies outside the universe {self.universe}")
+        seq = self._next_seq
+        self._next_seq += 1
+        self._entries[point_id] = (seq, point)
+
+        parent: _QInternal | None = None
+        parent_code = -1
+        node = self._root
+        depth = 0
+        while isinstance(node, _QInternal):
+            node.count += 1
+            if node.lo is None or node.hi is None:
+                node.lo = point.copy()
+                node.hi = point.copy()
+            else:
+                np.minimum(node.lo, point, out=node.lo)
+                np.maximum(node.hi, point, out=node.hi)
+            code = node.cell.quadrant_of_point(point)
+            child = node.children.get(code)
+            if child is None:
+                child = _QLeaf(_sub_cell(node.cell, code))
+                node.children[code] = child
+            parent, parent_code = node, code
+            node = child
+            depth += 1
+        node.add(point_id, point, seq)
+        if node.count > self.bucket_capacity and depth < MAX_DEPTH:
+            split = self._split(node, depth)
+            if parent is None:
+                self._root = split
+            else:
+                parent.children[parent_code] = split
+
+    def _split(self, leaf: _QLeaf, depth: int) -> _QInternal:
+        """Regular-decomposition split of an overflowing leaf, recursively."""
+        internal = _QInternal(leaf.cell)
+        internal.count = leaf.count
+        internal.lo = leaf.lo
+        internal.hi = leaf.hi
+        for point_id, point, seq in zip(leaf.ids, leaf.pts, leaf.seqs):
+            code = internal.cell.quadrant_of_point(point)
+            child = internal.children.get(code)
+            if child is None:
+                child = _QLeaf(_sub_cell(internal.cell, code))
+                internal.children[code] = child
+            assert isinstance(child, _QLeaf)
+            child.add(point_id, point, seq)
+        if depth + 1 < MAX_DEPTH:
+            for code, child in internal.children.items():
+                if isinstance(child, _QLeaf) and child.count > self.bucket_capacity:
+                    internal.children[code] = self._split(child, depth + 1)
+        return internal
+
+    def delete(self, point_id: int) -> bool:
+        """Delete by id; collapses subtrees that fit a bucket again."""
+        entry = self._entries.pop(point_id, None)
+        if entry is None:
+            return False
+        __, point = entry
+        path: list[_QInternal] = []
+        node = self._root
+        while isinstance(node, _QInternal):
+            path.append(node)
+            node.count -= 1
+            node = node.children[node.cell.quadrant_of_point(point)]
+        node.remove(point_id)
+        if node.count == 0 and path:
+            # Only occupied quadrants are materialised, like the bulk build.
+            parent = path[-1]
+            parent.children = {
+                c: ch for c, ch in parent.children.items() if ch is not node
+            }
+        for ancestor in reversed(path):
+            ancestor.recompute_mbr()
+        # Collapse the shallowest internal whose subtree fits one bucket
+        # again — the canonical-shape merge (its descendants fit too).
+        for i, ancestor in enumerate(path):
+            if ancestor.count <= self.bucket_capacity:
+                merged = self._collapse(ancestor)
+                if i == 0:
+                    self._root = merged
+                else:
+                    parent = path[i - 1]
+                    for code, child in parent.children.items():
+                        if child is ancestor:
+                            parent.children[code] = merged
+                            break
+                break
+        if isinstance(self._root, _QInternal) and self._root.count == 0:
+            self._root = _QLeaf(self.universe)
+        return True
+
+    def _collapse(self, node: _QInternal) -> _QLeaf:
+        """Fuse a subtree back into one leaf, insertion-sequence order."""
+        gathered: list[tuple[int, int, np.ndarray]] = []
+        stack: list[_QLeaf | _QInternal] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, _QLeaf):
+                gathered.extend(zip(current.seqs, current.ids, current.pts))
+            else:
+                stack.extend(current.children.values())
+        gathered.sort(key=lambda e: e[0])
+        leaf = _QLeaf(node.cell)
+        for seq, point_id, point in gathered:
+            leaf.add(point_id, point, seq)
+        return leaf
+
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stored ``(ids, points)`` in insertion-sequence order."""
+        ordered = sorted(self._entries.items(), key=lambda kv: kv[1][0])
+        if not ordered:
+            return np.empty(0, dtype=np.int64), np.empty((0, self.dims))
+        ids = np.asarray([point_id for point_id, __ in ordered], dtype=np.int64)
+        pts = np.stack([entry[1] for __, entry in ordered])
+        return ids, pts
+
+    def to_build_tree(self) -> BuildLeaf | BuildInternal:
+        """Convert to the persistence representation (chains spliced)."""
+        if not self._entries:
+            return empty_build_leaf(self.dims, self.universe)
+        return _to_build(self._root)
+
+    def persist(self, storage: StorageManager) -> PagedIndex:
+        """Pack and persist the current tree as an immutable epoch image."""
+        tree = self.to_build_tree()
+        if not tree.is_leaf:
+            tree = _pack(
+                tree,
+                self.node_capacity,
+                self.bucket_capacity if self.merge_buckets else None,
+            )
+        return PagedIndex.persist(tree, storage.create_file(pack_pages=True), kind="MBRQT")
+
+
+def _to_build(node: _QLeaf | _QInternal) -> BuildLeaf | BuildInternal:
+    if isinstance(node, _QLeaf):
+        pts = np.stack(node.pts)
+        return BuildLeaf(
+            np.asarray(node.ids, dtype=np.int64), pts, Rect.from_points(pts)
+        )
+    children = [_to_build(node.children[code]) for code in sorted(node.children)]
+    if len(children) == 1:
+        # Splice single-child chains exactly like the bulk build.
+        return children[0]
+    build = BuildInternal(children=children)
+    build.recompute_rect()
+    return build
+
+
+class MutableRStar:
+    """An updatable R*-tree: ownership tracking over the R* builder.
+
+    ``insert`` and ``delete`` run the full R* machinery (ChooseSubtree,
+    forced reinsert, topological split; CondenseTree with orphan
+    reinsertion on delete).  The wrapper owns the ``point_id → point``
+    map so deletion needs only the id — the same surface as
+    :class:`MutableMBRQT`.
+    """
+
+    def __init__(
+        self,
+        dims: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        leaf_cap: int | None = None,
+        internal_cap: int | None = None,
+    ) -> None:
+        if dims < 1:
+            raise ValueError(f"dims must be >= 1, got {dims}")
+        self.dims = dims
+        if leaf_cap is None:
+            leaf_cap = leaf_capacity(page_size, dims)
+        if internal_cap is None:
+            internal_cap = internal_capacity(page_size, dims)
+        self._builder = RStarTreeBuilder(dims, leaf_cap, internal_cap)
+        self._entries: dict[int, tuple[int, np.ndarray]] = {}
+        self._next_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self._entries
+
+    def insert(self, point: np.ndarray, point_id: int) -> None:
+        """Insert one point through the full R* insertion machinery."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dims,):
+            raise ValueError(f"point must have shape ({self.dims},), got {point.shape}")
+        if point_id in self._entries:
+            raise ValueError(f"point_id {point_id} already present")
+        self._entries[point_id] = (self._next_seq, point)
+        self._next_seq += 1
+        self._builder.insert(point, point_id)
+
+    def delete(self, point_id: int) -> bool:
+        """Delete by id (CondenseTree + forced-reinsert of orphans)."""
+        entry = self._entries.pop(point_id, None)
+        if entry is None:
+            return False
+        __, point = entry
+        found = self._builder.delete(point, point_id)
+        assert found, "ownership map and tree disagree"
+        return True
+
+    def points(self) -> tuple[np.ndarray, np.ndarray]:
+        """Stored ``(ids, points)`` in insertion-sequence order."""
+        ordered = sorted(self._entries.items(), key=lambda kv: kv[1][0])
+        if not ordered:
+            return np.empty(0, dtype=np.int64), np.empty((0, self.dims))
+        ids = np.asarray([point_id for point_id, __ in ordered], dtype=np.int64)
+        pts = np.stack([entry[1] for __, entry in ordered])
+        return ids, pts
+
+    def to_build_tree(self) -> BuildLeaf | BuildInternal:
+        return self._builder.to_build_tree()
+
+    def persist(self, storage: StorageManager) -> PagedIndex:
+        """Persist the current tree as an immutable epoch image."""
+        return PagedIndex.persist(
+            self.to_build_tree(), storage.create_file(), kind="R*-tree"
+        )
+
+
+def mutable_index(
+    kind: str,
+    dims: int,
+    universe: Rect | None = None,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> MutableMBRQT | MutableRStar:
+    """Factory over the two mutable structures (``kind`` as in the API).
+
+    The MBRQT needs a ``universe`` (the fixed root cell of its regular
+    decomposition); the R*-tree ignores it.
+    """
+    if kind == "mbrqt":
+        if universe is None:
+            raise ValueError("a MutableMBRQT requires an explicit universe")
+        return MutableMBRQT(universe, page_size=page_size)
+    if kind == "rstar":
+        return MutableRStar(dims, page_size=page_size)
+    raise ValueError(f"unknown index kind {kind!r} (expected 'mbrqt' or 'rstar')")

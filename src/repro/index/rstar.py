@@ -26,7 +26,7 @@ import numpy as np
 from ..core.geometry import Rect
 from ..storage.manager import StorageManager
 from ..storage.serialization import internal_capacity, leaf_capacity
-from .base import BuildInternal, BuildLeaf, PagedIndex
+from .base import BuildInternal, BuildLeaf, PagedIndex, empty_build_leaf
 
 __all__ = ["build_rstar", "RStarTreeBuilder"]
 
@@ -120,10 +120,43 @@ class RStarTreeBuilder:
         self._insert_entry(point, point, ("point", point_id, point), level=0, reinserted=set())
         self.size += 1
 
+    def delete(self, point: np.ndarray, point_id: int) -> bool:
+        """Delete one ``(point, point_id)`` entry; returns whether found.
+
+        Classic R-tree ``CondenseTree``, wired into the existing R*
+        insertion machinery: the entry's leaf is located by descending
+        only into children whose MBR contains ``point``, the entry is
+        removed, underfull ancestors are dissolved bottom-up, and every
+        orphaned entry (points from leaves, whole subtrees from internal
+        nodes) re-enters through :meth:`_insert_entry` — so deletions
+        exercise the same forced-reinsert/split code as insertions and
+        the tree keeps its minimum-fill invariants.
+        """
+        point = np.asarray(point, dtype=np.float64)
+        path = self._find_leaf(self.root, [], point, point_id)
+        if path is None:
+            return False
+        leaf = path[-1]
+        at = next(
+            i
+            for i, (pid, pt) in enumerate(zip(leaf.point_ids, leaf.points))
+            if pid == point_id and bool(np.all(pt == point))
+        )
+        del leaf.point_ids[at]
+        del leaf.points[at]
+        self.size -= 1
+        self._condense(path)
+        return True
+
     def to_build_tree(self) -> BuildInternal | BuildLeaf:
-        """Convert to the persistence representation."""
+        """Convert to the persistence representation.
+
+        An empty tree (never inserted into, or drained by deletions)
+        converts to the canonical zero-point leaf, so persisting it
+        yields a well-defined empty index.
+        """
         if self.size == 0:
-            raise ValueError("cannot persist an empty R*-tree")
+            return empty_build_leaf(self.dims)
         return _convert(self.root)
 
     # -- insertion machinery -------------------------------------------------
@@ -313,6 +346,89 @@ class RStarTreeBuilder:
         return best_parts
 
 
+    # -- deletion machinery --------------------------------------------------
+
+    def _find_leaf(
+        self, node: _RNode, prefix: list[_RNode], point: np.ndarray, point_id: int
+    ) -> list[_RNode] | None:
+        """Root-to-leaf path of the leaf holding ``(point, point_id)``.
+
+        Descends only into children whose MBR contains ``point`` —
+        sibling MBRs may overlap, so several branches can qualify and the
+        first (in child order, deterministic) that leads to the entry
+        wins.
+        """
+        path = prefix + [node]
+        if node.is_leaf:
+            for pid, pt in zip(node.point_ids, node.points):
+                if pid == point_id and bool(np.all(pt == point)):
+                    return path
+            return None
+        for child in node.children:
+            if bool(np.all((child.lo <= point) & (point <= child.hi))):
+                found = self._find_leaf(child, path, point, point_id)
+                if found is not None:
+                    return found
+        return None
+
+    def _condense(self, path: list[_RNode]) -> None:
+        """CondenseTree: dissolve underfull path nodes, reinsert orphans."""
+        orphan_points: list[tuple[int, np.ndarray]] = []
+        orphan_subtrees: list[_RNode] = []
+        for depth in range(len(path) - 1, 0, -1):
+            node = path[depth]
+            parent = path[depth - 1]
+            if node.n_entries() < self._min_fill(node):
+                parent.children.remove(node)
+                if node.is_leaf:
+                    orphan_points.extend(zip(node.point_ids, node.points))
+                else:
+                    orphan_subtrees.extend(node.children)
+            else:
+                node.recompute_bounds()
+        root = path[0]
+        if not root.is_leaf:
+            if not root.children:
+                self.root = _RNode(0, self.dims)
+            elif len(root.children) == 1:
+                # A one-child root is a degenerate chain: promote the child.
+                self.root = root.children[0]
+            else:
+                root.recompute_bounds()
+        elif root.n_entries() == 0:
+            # Drained to nothing: restore the pristine builder state so
+            # future inserts extend from +/-inf exactly like a fresh tree.
+            root.lo = np.full(self.dims, np.inf)
+            root.hi = np.full(self.dims, -np.inf)
+        else:
+            root.recompute_bounds()
+        # Subtrees first (they restore structure at their own level), then
+        # loose points — both through the normal R* insertion machinery.
+        for subtree in orphan_subtrees:
+            self._reinsert_orphan(subtree)
+        for pid, pt in orphan_points:
+            self._insert_entry(pt, pt, ("point", pid, pt), level=0, reinserted=set())
+
+    def _reinsert_orphan(self, node: _RNode) -> None:
+        """Reinsert an orphaned subtree at its own level.
+
+        A subtree at or above the (possibly collapsed) root's level cannot
+        hang below it, so it is decomposed and its entries reinserted
+        instead.
+        """
+        if node.level >= self.root.level:
+            if node.is_leaf:
+                for pid, pt in zip(node.point_ids, node.points):
+                    self._insert_entry(pt, pt, ("point", pid, pt), level=0, reinserted=set())
+            else:
+                for child in node.children:
+                    self._reinsert_orphan(child)
+            return
+        self._insert_entry(
+            node.lo, node.hi, ("node", node), level=node.level, reinserted=set()
+        )
+
+
 def _convert(node: _RNode) -> BuildInternal | BuildLeaf:
     if node.is_leaf:
         pts = np.asarray(node.points, dtype=np.float64)
@@ -390,8 +506,8 @@ def build_rstar(
     the insertion order (pass ``None`` to keep the input order).
     """
     points = np.asarray(points, dtype=np.float64)
-    if points.ndim != 2 or points.shape[0] == 0:
-        raise ValueError(f"points must be a non-empty (n, D) array, got {points.shape}")
+    if points.ndim != 2:
+        raise ValueError(f"points must be an (n, D) array, got {points.shape}")
     n, dims = points.shape
     if point_ids is None:
         point_ids = np.arange(n, dtype=np.int64)
@@ -399,6 +515,12 @@ def build_rstar(
         point_ids = np.asarray(point_ids, dtype=np.int64)
         if point_ids.shape != (n,):
             raise ValueError("point_ids must match points in cardinality")
+    if n == 0:
+        # Empty dataset: persist the canonical zero-point leaf (all
+        # queries answer with empty results).
+        return PagedIndex.persist(
+            empty_build_leaf(dims), storage.create_file(), kind="R*-tree"
+        )
     if leaf_cap is None:
         leaf_cap = leaf_capacity(storage.page_size, dims)
     if internal_cap is None:

@@ -14,7 +14,7 @@ guarantees.
 Cost accounting stays honest:
 
 * Each worker reopens the storage snapshot **read-only** with its own
-  cold buffer pool sized ``pool_pages / n_workers``
+  cold buffer pool holding an exact-partition share of ``pool_pages``
   (:func:`~repro.storage.manager.worker_pool_pages`), so the aggregate
   pool memory of a sharded run never exceeds the serial run's — the
   Figure 3(b) regime is preserved, and parallel speedup cannot come from
@@ -210,13 +210,7 @@ def parallel_mba_join(
     coord_stats = QueryStats()
     roots = index_r.shard_roots(min_roots=n_workers)
     shards = pack_shards(roots, n_workers)
-    pool_slice = worker_pool_pages(storage.pool.capacity_pages, n_workers)
-    # Slice the decoded-node cache budget like the buffer pool: the
-    # aggregate cache memory of a sharded run must not exceed serial's.
-    cache_slice = worker_node_cache_entries(
-        storage.node_cache.max_entries if storage.node_cache is not None else 0,
-        n_workers,
-    )
+    cache_budget = storage.node_cache.max_entries if storage.node_cache is not None else 0
     need_count = k + 1 if exclude_self else k
     snapshot = storage.snapshot()
     r_spec = index_r.detach()
@@ -231,6 +225,9 @@ def parallel_mba_join(
             for root in shard_roots
         )
         coord_stats.record_distances(len(seeds))
+        # Per-worker budget slices partition the serial budgets exactly
+        # (the aggregate cache memory of a sharded run must not exceed
+        # serial's), so each task carries its own share.
         tasks.append(
             ShardTask(
                 shard_id=shard_id,
@@ -239,8 +236,12 @@ def parallel_mba_join(
                 snapshot=snapshot,
                 r_spec=r_spec,
                 s_spec=s_spec,
-                pool_pages=pool_slice,
-                node_cache_entries=cache_slice,
+                pool_pages=worker_pool_pages(
+                    storage.pool.capacity_pages, len(shards), shard_id
+                ),
+                node_cache_entries=worker_node_cache_entries(
+                    cache_budget, len(shards), shard_id
+                ),
                 metric=metric,
                 k=k,
                 exclude_self=exclude_self,

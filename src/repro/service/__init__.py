@@ -26,7 +26,7 @@ from __future__ import annotations
 from .clock import Clock, FakeClock, SystemClock
 from .config import ServiceConfig
 from .engine import BatchEngine, FlushOutcome
-from .queueing import MicroBatchQueue, Overloaded
+from .queueing import MicroBatchQueue, Overloaded, ServiceClosed
 from .request import Answer, PendingRequest, Request
 from .service import AnnService, BatchReport, ServiceCounters
 
@@ -42,6 +42,7 @@ __all__ = [
     "Overloaded",
     "PendingRequest",
     "Request",
+    "ServiceClosed",
     "ServiceConfig",
     "ServiceCounters",
     "SystemClock",

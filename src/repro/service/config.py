@@ -77,6 +77,14 @@ class ServiceConfig:
         (and of the per-flush query-side scratch index).
     cold_flush:
         Drop caches before each flush (measurement discipline).
+    compact_threshold:
+        Pending delta operations (inserts + tombstones) at which
+        :meth:`~repro.service.service.AnnService.insert` /
+        :meth:`~repro.service.service.AnnService.delete` trigger an
+        automatic compaction: the delta is folded into a freshly built
+        base index published as a new epoch (>= 1; raise it to batch
+        more updates per rebuild, lower it to keep query-time delta
+        merging cheap).
     """
 
     kind: str = "mbrqt"
@@ -92,6 +100,7 @@ class ServiceConfig:
     page_size: int = DEFAULT_PAGE_SIZE
     node_cache_entries: int = 0
     cold_flush: bool = True
+    compact_threshold: int = 64
     trace: TraceDestination = None
 
     #: The embedded join configuration (built in ``__post_init__``); the
@@ -131,6 +140,10 @@ class ServiceConfig:
             )
         if self.pool_pages < 1:
             raise ValueError(f"pool_pages must be >= 1, got {self.pool_pages}")
+        if self.compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {self.compact_threshold}"
+            )
 
     @property
     def max_delay_s(self) -> float:
@@ -152,6 +165,7 @@ class ServiceConfig:
             "page_size": self.page_size,
             "node_cache_entries": self.node_cache_entries,
             "cold_flush": self.cold_flush,
+            "compact_threshold": self.compact_threshold,
         }
 
     def replace(self, **changes: Any) -> "ServiceConfig":

@@ -1,10 +1,30 @@
 """Micro-batch execution core: one flush, one batched MBA traversal.
 
-:class:`BatchEngine` owns the *target* side of the service: the dataset
-is indexed once at startup, snapshotted, and reopened **read-only** —
-the same discipline :mod:`repro.parallel` uses for worker processes, so
-a long-lived service can never mutate the store it queries and every
-flush accounts exactly for its own I/O.
+:class:`BatchEngine` owns the *target* side of the service.  The dataset
+is indexed at startup and published as **epoch 0** of a refcounted
+version chain (:class:`~repro.storage.versioning.VersionManager`); every
+flush pins one epoch, runs start-to-finish against that epoch's
+read-only snapshot — the same discipline :mod:`repro.parallel` uses for
+worker processes — and releases it, so a long-lived service can never
+mutate the store it queries and every flush accounts exactly for its
+own I/O.
+
+The **write path** layers on top without touching any published page:
+
+* :meth:`insert` / :meth:`delete` update a mutable mirror of the full
+  dataset (:class:`~repro.index.mutable.MutableMBRQT` or
+  :class:`~repro.index.mutable.MutableRStar` — the canonical write-side
+  structure) *and* record the operation in an LSM-style
+  :class:`~repro.index.delta.DeltaIndex`;
+* queries over-fetch the pinned base epoch by the tombstone count and
+  merge the frozen delta view into every answer
+  (:func:`~repro.index.delta.merge_answer`) — updates are visible
+  immediately, exactly, without any base-index mutation;
+* :meth:`compact` persists the mutable mirror as a fresh epoch
+  (copy-on-write: its own builder manager, snapshot and read-only
+  reopen), publishes it, and prunes the folded delta operations.
+  In-flight flushes finish on their pinned epoch; the swap is a pointer
+  move with zero rejected or lost requests.
 
 Per flush, the engine packs the coalesced query points into a tiny
 query-side MBRQT (built in a scratch manager, so its build/read I/O is
@@ -21,7 +41,7 @@ thesis applied to an online arrival stream.  Three execution modes:
   with ``workers > 1`` split the scratch index into subtree shards
   (:func:`~repro.parallel.sharding.pack_shards`) and traverse them on
   worker threads, each against its own read-only reopen of both
-  snapshots with a fair slice of the pool budget.
+  snapshots with an exact-partition slice of the pool budget.
 
 Past-deadline requests never ride the exact traversal: they get a
 *budgeted browse* — ``nearest_iter`` abandoned after ``degrade_budget``
@@ -31,6 +51,7 @@ approximate, so one late request cannot stall the whole batch.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack, nullcontext
@@ -43,17 +64,21 @@ from ..core.geometry import Rect
 from ..core.mba import mba_join
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
-from ..index.base import PagedIndex, ShardRoot
+from ..index.base import PagedIndex, PagedIndexSpec, ShardRoot
+from ..index.delta import DeltaIndex, DeltaView, merge_answer
 from ..index.mbrqt import build_mbrqt
+from ..index.mutable import MutableMBRQT, MutableRStar
 from ..index.queries import nearest_iter
 from ..index.rstar import build_rstar
 from ..obs.tracer import Tracer
 from ..parallel.sharding import pack_shards, shard_seed_bound
 from ..storage.manager import (
     StorageManager,
+    StorageSnapshot,
     worker_node_cache_entries,
     worker_pool_pages,
 )
+from ..storage.versioning import IndexVersion, VersionManager
 from .config import ServiceConfig
 from .request import Request
 
@@ -79,10 +104,13 @@ class FlushOutcome:
     (every request in the flush was past deadline)."""
     n_exact: int
     n_degraded: int
+    epoch: int = 0
+    """The base-index epoch this flush was pinned to."""
 
 
 class BatchEngine:
-    """Answers flushed batches against a frozen, read-only target index."""
+    """Answers flushed batches against a pinned, read-only base epoch,
+    merging the in-memory delta into every answer."""
 
     def __init__(
         self,
@@ -96,35 +124,166 @@ class BatchEngine:
                 f"target dataset must be a non-empty (n, D) array, got shape {points.shape}"
             )
         self.config = config
-        # Build once in a private manager, then freeze: the serving path
-        # only ever sees the read-only reopen, so no request can write.
-        builder = StorageManager(
-            page_size=config.page_size,
-            pool_pages=config.pool_pages,
-            node_cache_entries=config.node_cache_entries,
-        )
-        index = self._build(points, builder, point_ids)
-        self._spec = index.detach()
-        self.snapshot = builder.snapshot()
-        self.manager = StorageManager.reopen(
-            self.snapshot,
-            pool_pages=config.pool_pages,
-            node_cache_entries=config.node_cache_entries,
-        )
-        self.index = PagedIndex.attach(self._spec, self.manager)
-        self.dims = int(self.index.dims)
-        self.size = int(self.index.size)
+        self.dims = int(points.shape[1])
+        if point_ids is None:
+            point_ids = np.arange(len(points), dtype=np.int64)
+        else:
+            point_ids = np.asarray(point_ids, dtype=np.int64)
+            if point_ids.shape != (len(points),):
+                raise ValueError("point_ids must match points in cardinality")
+        # The write path: a mutable mirror of the full current dataset
+        # (what compaction persists) plus the pending-operation delta
+        # (what queries merge).  Both live behind _lock.
+        self._lock = threading.Lock()  # guards _writer / delta / publishes
+        # guarded-by: _lock
+        self._writer: MutableMBRQT | MutableRStar = self._new_writer(points)
+        for pid, point in zip(point_ids, points):
+            self._writer.insert(point, int(pid))
+        self.delta = DeltaIndex(self.dims)
+        # Epoch 0: persist the initial dataset and publish it.  The
+        # serving path only ever sees read-only reopens, so no request
+        # can write a published page.
+        self.versions = VersionManager(self._build_version(0))
 
-    def _build(
-        self,
-        points: np.ndarray,
-        storage: StorageManager,
-        point_ids: np.ndarray | None,
-        universe: Rect | None = None,
-    ) -> PagedIndex:
+    def _new_writer(self, points: np.ndarray) -> MutableMBRQT | MutableRStar:
         if self.config.kind == "mbrqt":
-            return build_mbrqt(points, storage, point_ids=point_ids, universe=universe)
-        return build_rstar(points, storage, point_ids=point_ids)
+            return MutableMBRQT(
+                Rect.from_points(points), page_size=self.config.page_size
+            )
+        return MutableRStar(self.dims, page_size=self.config.page_size)
+
+    def _build_version(self, epoch: int) -> IndexVersion:
+        """Persist the mutable mirror as one immutable epoch (COW).
+
+        Each epoch gets a *fresh* builder manager — no page of a
+        published epoch is ever rewritten — then the snapshot is
+        reopened read-only with the serving budgets, exactly like the
+        startup build always did.
+        """
+        builder = StorageManager(
+            page_size=self.config.page_size,
+            pool_pages=self.config.pool_pages,
+            node_cache_entries=self.config.node_cache_entries,
+        )
+        index = self._writer.persist(builder)
+        spec = index.detach()
+        snapshot = builder.snapshot()
+        manager = StorageManager.reopen(
+            snapshot,
+            pool_pages=self.config.pool_pages,
+            node_cache_entries=self.config.node_cache_entries,
+        )
+        return IndexVersion(
+            epoch=epoch,
+            snapshot=snapshot,
+            spec=spec,
+            manager=manager,
+            index=PagedIndex.attach(spec, manager),
+            size=int(index.size),
+        )
+
+    # -- version-compatible views (current epoch) ----------------------------
+
+    @property
+    def manager(self) -> StorageManager:
+        """The current epoch's read-only manager (metadata/bench reads)."""
+        return self.versions.current.manager
+
+    @property
+    def index(self) -> PagedIndex:
+        return self.versions.current.index
+
+    @property
+    def snapshot(self) -> StorageSnapshot:
+        return self.versions.current.snapshot
+
+    @property
+    def size(self) -> int:
+        """Points in the current base epoch (excludes pending delta)."""
+        return self.versions.current.size
+
+    @property
+    def epoch(self) -> int:
+        return self.versions.epoch
+
+    def layer_counters(self) -> dict[str, float]:
+        """Storage counters of the *current* epoch's manager.
+
+        A delegating callable (not a bound method of one manager) so a
+        long-lived trace source keeps reading the live epoch across hot
+        swaps.
+        """
+        return self.versions.current.manager.layer_counters()
+
+    # -- the write path ------------------------------------------------------
+
+    @property
+    def pending_ops(self) -> int:
+        """Delta operations not yet folded into a published epoch."""
+        with self._lock:
+            return self.delta.n_ops
+
+    def insert(self, point: np.ndarray, point_id: int) -> None:
+        """Insert one point: mutable mirror + delta, visible immediately."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.dims,):
+            raise ValueError(
+                f"point must have shape ({self.dims},), got {point.shape}"
+            )
+        with self._lock:
+            if point_id in self._writer:
+                raise ValueError(f"point_id {point_id} already present")
+            self._widen_writer(point)
+            self._writer.insert(point, point_id)
+            self.delta.insert(point, point_id)
+
+    def delete(self, point_id: int) -> bool:
+        """Delete by id; ``False`` when the id is not present."""
+        with self._lock:
+            if not self._writer.delete(point_id):
+                return False
+            self.delta.delete(point_id)
+            return True
+
+    def _widen_writer(self, point: np.ndarray) -> None:
+        """Grow the MBRQT universe to admit an out-of-bounds insert.
+
+        The regular decomposition's root cell is fixed per tree, so a
+        point outside it forces a rebuild under the widened universe —
+        rare (the universe only ever grows) and linear in the mirror
+        size.  Insertion-sequence order is preserved, so the canonical
+        tree shape stays a pure function of the surviving points.
+        """
+        writer = self._writer
+        if not isinstance(writer, MutableMBRQT) or writer.universe.contains_point(point):
+            return
+        ids, pts = writer.points()
+        fresh = MutableMBRQT(
+            writer.universe.union_point(point),
+            bucket_capacity=writer.bucket_capacity,
+            node_capacity=writer.node_capacity,
+            merge_buckets=writer.merge_buckets,
+        )
+        for pid, pt in zip(ids, pts):
+            fresh.insert(pt, int(pid))
+        self._writer = fresh
+
+    def compact(self) -> int | None:
+        """Fold the pending delta into a freshly built, published epoch.
+
+        Returns the new epoch number, or ``None`` when the delta was
+        empty (no epoch published).  Runs under the update lock — writes
+        block for the rebuild, queries do not: in-flight flushes keep
+        their pinned epoch, later flushes pin the new one.
+        """
+        with self._lock:
+            if self.delta.n_ops == 0:
+                return None
+            view = self.delta.freeze()
+            version = self._build_version(self.versions.epoch + 1)
+            self.versions.publish(version)
+            self.delta.prune_through(view)
+            return version.epoch
 
     # -- flush execution -----------------------------------------------------
 
@@ -139,12 +298,32 @@ class BatchEngine:
         ``now_s`` is the flush instant on the service clock — the instant
         deadlines are judged against, so degradation is a property of the
         batch, deterministic under a fake clock.
+
+        The flush pins ``(epoch, delta view)`` atomically at entry and
+        runs to completion against that pair: a compaction publishing
+        mid-flush affects only later flushes.
         """
         if not requests:
             raise ValueError("cannot execute an empty batch")
+        with self._lock:
+            version = self.versions.pin()
+            delta = self.delta.freeze()
+        try:
+            return self._execute_pinned(requests, now_s, version, delta, trace)
+        finally:
+            self.versions.release(version)
+
+    def _execute_pinned(
+        self,
+        requests: Sequence[Request],
+        now_s: float,
+        version: IndexVersion,
+        delta: DeltaView,
+        trace: Tracer | None,
+    ) -> FlushOutcome:
         if self.config.cold_flush:
-            self.manager.drop_caches()
-        self.manager.reset_counters()
+            version.manager.drop_caches()
+        version.manager.reset_counters()
         stats = QueryStats()
         answers: dict[int, RawAnswer] = {}
         live = [r for r in requests if not r.past_deadline(now_s)]
@@ -159,14 +338,34 @@ class BatchEngine:
             t0 = time.process_time()
             with stage("degrade"):
                 for request in late:
-                    answers[request.request_id] = self._budgeted_browse(request, stats)
+                    answers[request.request_id] = self._budgeted_browse(
+                        request, stats, version, delta
+                    )
             mode = "degraded"
-            if len(live) == 1:
+            if live and version.size == 0:
+                # Fully-tombstoned base: every answer comes from the
+                # delta alone (a merge against zero base candidates).
+                mode = "singleton" if len(live) == 1 else "batched"
+                with stage("traverse"):
+                    for request in live:
+                        ids, dists = merge_answer(
+                            np.empty(0, dtype=np.int64),
+                            np.empty(0),
+                            request.point,
+                            request.k,
+                            delta,
+                        )
+                        answers[request.request_id] = (ids, dists, False)
+            elif len(live) == 1:
                 mode = "singleton"
                 with stage("traverse"):
-                    answers[live[0].request_id] = self._exact_single(live[0], stats)
+                    answers[live[0].request_id] = self._exact_single(
+                        live[0], stats, version, delta
+                    )
             elif live:
-                kmax = max(r.k for r in live)
+                # Over-fetch by the tombstone count: each tombstone can
+                # mask at most one base candidate, so k survivors remain.
+                kmax = max(r.k for r in live) + delta.n_tombstones
                 use_shards = (
                     self.config.workers > 1
                     and len(live) >= self.config.parallel_threshold
@@ -174,65 +373,105 @@ class BatchEngine:
                 mode = "sharded" if use_shards else "batched"
                 with stage("traverse"):
                     if use_shards:
-                        result = self._sharded_join(live, kmax, stats, trace)
+                        result = self._sharded_join(live, kmax, stats, trace, version)
                     else:
-                        result = self._batched_join(live, kmax, stats, trace)
+                        result = self._batched_join(live, kmax, stats, trace, version)
                 for i, request in enumerate(live):
-                    bucket = result.neighbors_of(i)[: request.k]
-                    answers[request.request_id] = (
-                        tuple(s_id for __, s_id in bucket),
-                        tuple(dist for dist, __ in bucket),
-                        False,
+                    bucket = result.neighbors_of(i)[: request.k + delta.n_tombstones]
+                    ids, dists = merge_answer(
+                        np.asarray([s_id for __, s_id in bucket], dtype=np.int64),
+                        np.asarray([dist for dist, __ in bucket]),
+                        request.point,
+                        request.k,
+                        delta,
                     )
+                    answers[request.request_id] = (ids, dists, False)
             stats.cpu_time_s += time.process_time() - t0
-        self._fold_io(self.manager, stats)
+        self._fold_io(version.manager, stats)
         return FlushOutcome(
             answers=answers,
             stats=stats,
             mode=mode,
             n_exact=len(live),
             n_degraded=len(late),
+            epoch=version.epoch,
         )
 
     # -- execution modes -----------------------------------------------------
 
-    def _exact_single(self, request: Request, stats: QueryStats) -> RawAnswer:
+    def _exact_single(
+        self,
+        request: Request,
+        stats: QueryStats,
+        version: IndexVersion,
+        delta: DeltaView,
+    ) -> RawAnswer:
         """Singleton fallback: incremental browsing, first k results.
 
-        Bit-identical to a standalone ``nearest_iter`` over the same
-        store — the golden test's baseline and the B=1 service mode.
+        With an empty delta, bit-identical to a standalone
+        ``nearest_iter`` over the same store — the golden test's baseline
+        and the B=1 service mode.  With a delta, over-fetched by the
+        tombstone count and merged.
         """
+        k_eff = request.k + delta.n_tombstones
         ids: list[int] = []
         dists: list[float] = []
-        for dist, point_id, __ in nearest_iter(self.index, request.point, stats):
+        for dist, point_id, __ in nearest_iter(version.index, request.point, stats):
             ids.append(point_id)
             dists.append(dist)
-            if len(ids) >= request.k:
+            if len(ids) >= k_eff:
                 break
-        return tuple(ids), tuple(dists), False
+        merged_ids, merged_dists = merge_answer(
+            np.asarray(ids, dtype=np.int64), np.asarray(dists),
+            request.point, request.k, delta,
+        )
+        return merged_ids, merged_dists, False
 
-    def _budgeted_browse(self, request: Request, stats: QueryStats) -> RawAnswer:
+    def _budgeted_browse(
+        self,
+        request: Request,
+        stats: QueryStats,
+        version: IndexVersion,
+        delta: DeltaView,
+    ) -> RawAnswer:
         """Graceful degradation: browse under a node-expansion budget.
 
         The generator's frontier is exact at every step, so whatever it
         has yielded when the budget runs out is the true ordered prefix
-        of the k-NN — possibly short, never wrong — flagged approximate
-        because completeness was sacrificed.
+        of the k-NN (over base ⊎ delta after the merge) — possibly
+        short, never wrong — flagged approximate because completeness
+        was sacrificed.
         """
         budget = self.config.degrade_budget
+        k_eff = request.k + delta.n_tombstones
         ids: list[int] = []
         dists: list[float] = []
         if budget > 0:
             start = stats.node_expansions
-            for dist, point_id, __ in nearest_iter(self.index, request.point, stats):
+            for dist, point_id, __ in nearest_iter(version.index, request.point, stats):
                 ids.append(point_id)
                 dists.append(dist)
-                if len(ids) >= request.k or stats.node_expansions - start >= budget:
+                if len(ids) >= k_eff or stats.node_expansions - start >= budget:
                     break
-        return tuple(ids), tuple(dists), True
+        merged_ids, merged_dists = merge_answer(
+            np.asarray(ids, dtype=np.int64), np.asarray(dists),
+            request.point, request.k, delta,
+        )
+        return merged_ids, merged_dists, True
+
+    def _build(
+        self,
+        points: np.ndarray,
+        storage: StorageManager,
+        point_ids: np.ndarray | None,
+        universe: Rect | None = None,
+    ) -> PagedIndex:
+        if self.config.kind == "mbrqt":
+            return build_mbrqt(points, storage, point_ids=point_ids, universe=universe)
+        return build_rstar(points, storage, point_ids=point_ids)
 
     def _scratch_index(
-        self, live: Sequence[Request], storage: StorageManager
+        self, live: Sequence[Request], storage: StorageManager, version: IndexVersion
     ) -> PagedIndex:
         """Pack the batch's query points into a tiny query-side index.
 
@@ -245,7 +484,7 @@ class BatchEngine:
         q_points = np.stack([r.point for r in live])
         universe = None
         if self.config.kind == "mbrqt":
-            root = self.index.root_rect
+            root = version.index.root_rect
             universe = Rect(
                 np.minimum(q_points.min(axis=0), root.lo),
                 np.maximum(q_points.max(axis=0), root.hi),
@@ -263,14 +502,15 @@ class BatchEngine:
         kmax: int,
         stats: QueryStats,
         trace: Tracer | None,
+        version: IndexVersion,
     ) -> NeighborResult:
         scratch = StorageManager(
             page_size=self.config.page_size, pool_pages=SCRATCH_POOL_PAGES
         )
-        q_index = self._scratch_index(live, scratch)
+        q_index = self._scratch_index(live, scratch, version)
         result, __ = mba_join(
             q_index,
-            self.index,
+            version.index,
             metric=self.config.metric,
             k=kmax,
             exclude_self=False,
@@ -286,34 +526,32 @@ class BatchEngine:
         kmax: int,
         stats: QueryStats,
         trace: Tracer | None,
+        version: IndexVersion,
     ) -> NeighborResult:
         """Large flush: shard the scratch index across worker threads.
 
         Reuses the :mod:`repro.parallel` planning machinery (subtree
         roots, LPT bin-packing, Lemma 3.2 seed bounds); each thread
-        reopens *both* snapshots read-only with a fair slice of the pool
-        budget, so threads share no mutable storage state and the
-        aggregate pool memory matches the serial flush's.
+        reopens *both* snapshots read-only with its own exact-partition
+        slice of the pool budget, so threads share no mutable storage
+        state and the aggregate pool memory of a sharded flush never
+        exceeds the serial flush's.
         """
         n_workers = self.config.workers
         scratch = StorageManager(
             page_size=self.config.page_size, pool_pages=SCRATCH_POOL_PAGES
         )
-        q_index = self._scratch_index(live, scratch)
+        q_index = self._scratch_index(live, scratch, version)
         roots = q_index.shard_roots(min_roots=n_workers)
         shards = pack_shards(roots, n_workers)
         q_spec = q_index.detach()
         q_snapshot = scratch.snapshot()
         self._fold_io(scratch, stats)
-        target_pool = worker_pool_pages(self.config.pool_pages, len(shards))
-        target_cache = worker_node_cache_entries(
-            self.config.node_cache_entries, len(shards)
-        )
-        scratch_pool = worker_pool_pages(SCRATCH_POOL_PAGES, len(shards))
         seeds = [
             tuple(
                 shard_seed_bound(
-                    root.rect, self.index.root_rect, self.size, self.config.metric, kmax
+                    root.rect, version.index.root_rect, version.size,
+                    self.config.metric, kmax,
                 )
                 for root in shard
             )
@@ -322,13 +560,25 @@ class BatchEngine:
         stats.record_distances(sum(len(s) for s in seeds))
 
         def run_shard(
-            shard: list[ShardRoot], shard_seeds: tuple[float, ...]
+            shard_id: int, shard: list[ShardRoot], shard_seeds: tuple[float, ...]
         ) -> tuple[NeighborResult, QueryStats]:
+            # Per-shard budget shares partition the serial budgets
+            # exactly (shard i of n gets share i, not every shard the
+            # same over-counted slice).
             target = StorageManager.reopen(
-                self.snapshot, pool_pages=target_pool, node_cache_entries=target_cache
+                version.snapshot,
+                pool_pages=worker_pool_pages(
+                    self.config.pool_pages, len(shards), shard_id
+                ),
+                node_cache_entries=worker_node_cache_entries(
+                    self.config.node_cache_entries, len(shards), shard_id
+                ),
             )
-            s_index = PagedIndex.attach(self._spec, target)
-            q_manager = StorageManager.reopen(q_snapshot, pool_pages=scratch_pool)
+            s_index = PagedIndex.attach(version.spec, target)
+            q_manager = StorageManager.reopen(
+                q_snapshot,
+                pool_pages=worker_pool_pages(SCRATCH_POOL_PAGES, len(shards), shard_id),
+            )
             q_shard = PagedIndex.attach(q_spec, q_manager)
             # No per-thread CPU timing: ``process_time`` already sums the
             # CPU of every thread in the process, so the flush-level delta
@@ -352,7 +602,7 @@ class BatchEngine:
             return merged, local
 
         with ThreadPoolExecutor(max_workers=len(shards)) as pool:
-            outcomes = list(pool.map(run_shard, shards, seeds))
+            outcomes = list(pool.map(run_shard, range(len(shards)), shards, seeds))
         result = NeighborResult(kmax)
         for merged, local in outcomes:
             result.merge(merged)

@@ -25,7 +25,25 @@ from collections import deque
 
 from .request import PendingRequest
 
-__all__ = ["Overloaded", "MicroBatchQueue"]
+__all__ = ["Overloaded", "ServiceClosed", "MicroBatchQueue"]
+
+
+class ServiceClosed(RuntimeError):
+    """The service shut down before this admitted request was flushed.
+
+    Raised from ``ticket.result()`` — never silently dropped: a caller
+    holding a ticket always learns its fate, either an answer or this.
+    Shutdown is *prompt* by design (``close`` stops flushing and fails
+    the remaining queue deterministically); callers who need their
+    answers drain with ``pump(force=True)`` or wait on tickets before
+    closing.
+    """
+
+    def __init__(self, request_id: int) -> None:
+        self.request_id = request_id
+        super().__init__(
+            f"service closed before request {request_id} was flushed"
+        )
 
 
 class Overloaded(RuntimeError):

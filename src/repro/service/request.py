@@ -65,33 +65,54 @@ class Answer:
 class PendingRequest:
     """The caller-side ticket: blocks until the service answers.
 
-    Thread-safe: the service fulfils it from its worker thread (or from
-    an in-line flush) and every waiter wakes.  ``result`` raises
-    ``TimeoutError`` rather than returning ``None`` so a caller can
-    never mistake "not answered yet" for an empty answer.
+    Thread-safe: the service fulfils (or fails) it from its worker
+    thread (or from an in-line flush) and every waiter wakes.
+    ``result`` raises ``TimeoutError`` rather than returning ``None`` so
+    a caller can never mistake "not answered yet" for an empty answer;
+    a ticket completed via :meth:`fail` re-raises the stored exception —
+    notably :class:`~repro.service.queueing.ServiceClosed` for requests
+    still queued at shutdown — so no admitted request is ever left
+    blocking forever.
     """
 
-    __slots__ = ("request", "_event", "_answer")
+    __slots__ = ("request", "_event", "_answer", "_error")
 
     def __init__(self, request: Request) -> None:
         self.request = request
         self._event = threading.Event()
         self._answer: Answer | None = None
+        self._error: BaseException | None = None
 
     def fulfil(self, answer: Answer) -> None:
         """Deliver the answer and wake every waiter (service-side)."""
         self._answer = answer
         self._event.set()
 
+    def fail(self, error: BaseException) -> None:
+        """Complete the ticket exceptionally and wake every waiter.
+
+        The stored exception is re-raised from every :meth:`result` call
+        — deterministic completion for requests the service can no
+        longer answer (shutdown, a flush that died mid-execution).
+        """
+        self._error = error
+        self._event.set()
+
     def done(self) -> bool:
+        """Whether the ticket has completed (answered *or* failed)."""
         return self._event.is_set()
 
     def result(self, timeout_s: float | None = None) -> Answer:
-        """Block until answered; raise ``TimeoutError`` after ``timeout_s``."""
+        """Block until completed; raise ``TimeoutError`` after ``timeout_s``.
+
+        Re-raises the stored exception when the ticket was failed.
+        """
         if not self._event.wait(timeout_s):
             raise TimeoutError(
                 f"request {self.request.request_id} not answered within {timeout_s}s"
             )
+        if self._error is not None:
+            raise self._error
         answer = self._answer
         assert answer is not None
         return answer

@@ -43,7 +43,7 @@ from ..core.stats import QueryStats
 from .clock import Clock, SystemClock
 from .config import ServiceConfig
 from .engine import BatchEngine
-from .queueing import MicroBatchQueue, Overloaded
+from .queueing import MicroBatchQueue, Overloaded, ServiceClosed
 from .request import Answer, PendingRequest, Request
 
 __all__ = ["AnnService", "ServiceCounters", "BatchReport"]
@@ -60,7 +60,13 @@ class ServiceCounters:
     submitted: int = 0
     answered: int = 0
     rejected: int = 0
+    cancelled: int = 0
+    """Requests admitted but still queued at close, failed with
+    :class:`~repro.service.queueing.ServiceClosed`."""
     degraded: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    compactions: int = 0
     batches: int = 0
     singleton_flushes: int = 0
     batched_flushes: int = 0
@@ -90,7 +96,13 @@ class BatchReport:
 
 
 class AnnService:
-    """Long-lived micro-batching ANN service over one frozen dataset."""
+    """Long-lived micro-batching ANN service over a *versioned* dataset.
+
+    Reads ride immutable per-epoch snapshots; :meth:`insert` /
+    :meth:`delete` land in the engine's delta index and are visible from
+    the next flush, with automatic compaction (a zero-downtime epoch
+    hot-swap) every ``compact_threshold`` pending operations.
+    """
 
     def __init__(
         self,
@@ -119,8 +131,11 @@ class AnnService:
         self._session = TraceSession(self.config.trace)
         self._scope = ExitStack()
         if self._session.tracer is not None:
+            # Bind the engine's delegating callable, not one manager's
+            # bound method: compaction hot-swaps the storage manager per
+            # epoch and the trace source must follow the live one.
             self._scope.enter_context(
-                self._session.tracer.source("storage", self.engine.manager.layer_counters)
+                self._session.tracer.source("storage", self.engine.layer_counters)
             )
 
     # -- submission ----------------------------------------------------------
@@ -241,18 +256,28 @@ class AnnService:
                 return nullcontext()
             return tracer.span("batch", size=len(batch))
 
-        with span():
-            if tracer is not None:
-                tracer.stage_add("queue_wait", sum(waits), calls=len(batch))
-                tracer.stage_add(
-                    "coalesce", max(waits) if waits else 0.0, calls=1
+        try:
+            with span():
+                if tracer is not None:
+                    tracer.stage_add("queue_wait", sum(waits), calls=len(batch))
+                    tracer.stage_add(
+                        "coalesce", max(waits) if waits else 0.0, calls=1
+                    )
+                outcome = self.engine.execute(
+                    [p.request for p in batch], now, trace=tracer
                 )
-            outcome = self.engine.execute(
-                [p.request for p in batch], now, trace=tracer
-            )
-            if tracer is not None:
-                tracer.counter("service.batches", 1)
-                tracer.counter("service.degraded", outcome.n_degraded)
+                if tracer is not None:
+                    tracer.counter("service.batches", 1)
+                    tracer.counter("service.degraded", outcome.n_degraded)
+        except BaseException as exc:
+            # A flush that dies must not leave its tickets blocking
+            # forever (the old hang: a worker killed by an engine error
+            # abandoned the whole batch).  Fail them deterministically,
+            # then let the error surface.
+            for pending in batch:
+                if not pending.done():
+                    pending.fail(exc)
+            raise
         after = self.clock.now()
         for pending, wait in zip(batch, waits):
             ids, dists, approximate = outcome.answers[pending.request.request_id]
@@ -286,6 +311,60 @@ class AnnService:
             stats=outcome.stats,
         )
 
+    # -- the write path ------------------------------------------------------
+
+    def insert(self, point: np.ndarray, point_id: int) -> None:
+        """Insert one point into the served dataset, visible immediately.
+
+        The point lands in the engine's delta index (and mutable mirror);
+        queries from the very next flush include it.  Once
+        ``compact_threshold`` operations are pending, the delta is folded
+        into a freshly built base index published as a new epoch — a
+        zero-downtime hot swap (in-flight flushes finish on their pinned
+        epoch).
+        """
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.engine.dims,):
+            raise ValueError(
+                f"point must have shape ({self.engine.dims},), got {point.shape}"
+            )
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+        self.engine.insert(point, point_id)
+        with self._cond:
+            self.counters.inserts += 1
+        self._maybe_compact()
+
+    def delete(self, point_id: int) -> bool:
+        """Delete one point by id; ``False`` when the id is not present.
+
+        Deletion is a tombstone in the delta index masking the base
+        point from the very next flush onward; compaction physically
+        removes it.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("service is closed")
+        if not self.engine.delete(point_id):
+            return False
+        with self._cond:
+            self.counters.deletes += 1
+        self._maybe_compact()
+        return True
+
+    def compact(self) -> int | None:
+        """Force a compaction now; returns the new epoch (or ``None``)."""
+        epoch = self.engine.compact()
+        if epoch is not None:
+            with self._cond:
+                self.counters.compactions += 1
+        return epoch
+
+    def _maybe_compact(self) -> None:
+        if self.engine.pending_ops >= self.config.compact_threshold:
+            self.compact()
+
     # -- worker thread -------------------------------------------------------
 
     def start(self) -> None:
@@ -305,10 +384,10 @@ class AnnService:
             with self._cond:
                 while True:
                     if self._closed:
-                        batch = self._queue.take(self.clock.now(), force=True)
-                        if not batch:
-                            return
-                        break
+                        # Prompt shutdown: stop flushing immediately.
+                        # close() fails whatever is still queued with
+                        # ServiceClosed — deterministic, never a hang.
+                        return
                     batch = self._queue.take(self.clock.now())
                     if batch:
                         break
@@ -329,10 +408,17 @@ class AnnService:
     # -- shutdown ------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain the queue, stop the worker, finalise the trace artifact.
+        """Stop the worker, fail the unflushed queue, finalise the trace.
 
-        Idempotent.  Every admitted request is answered before close
-        returns — shutdown forces out the remaining partial batches.
+        Idempotent, and every admitted request *completes* before close
+        returns — answered if its batch already flushed, otherwise
+        failed with :class:`~repro.service.queueing.ServiceClosed`
+        (counted as ``cancelled``).  Shutdown is deliberately prompt
+        rather than draining: a worker wedged or killed mid-flush used
+        to leave queued tickets blocking forever; now their fate is
+        deterministic regardless of how the worker died.  Callers who
+        want their answers drain with :meth:`pump` (``force=True``) or
+        wait on their tickets before closing.
         """
         with self._cond:
             if self._closed:
@@ -344,9 +430,15 @@ class AnnService:
             worker.join()
             with self._cond:
                 self._worker = None
-        else:
-            while self.pump(force=True) is not None:
-                pass
+        while True:
+            with self._cond:
+                batch = self._queue.take(self.clock.now(), force=True)
+            if not batch:
+                break
+            for pending in batch:
+                pending.fail(ServiceClosed(pending.request.request_id))
+                with self._cond:
+                    self.counters.cancelled += 1
         self._scope.close()
         self._session.finalize(
             meta={

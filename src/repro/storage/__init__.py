@@ -26,6 +26,7 @@ from .serialization import (
     leaf_capacity,
     page_kind,
 )
+from .versioning import IndexVersion, VersionManager
 
 __all__ = [
     "BufferPool",
@@ -48,4 +49,6 @@ __all__ = [
     "internal_capacity",
     "leaf_capacity",
     "page_kind",
+    "IndexVersion",
+    "VersionManager",
 ]

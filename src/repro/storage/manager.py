@@ -58,33 +58,59 @@ class StorageSnapshot:
     disk: DiskModel
 
 
-def worker_pool_pages(pool_pages: int, n_workers: int) -> int:
+def _worker_share(budget: int, n_workers: int, worker_index: int) -> int:
+    """Exact partition of ``budget`` units: worker ``i``'s share.
+
+    The first ``budget % n_workers`` workers receive one extra unit, so
+    the shares sum to exactly ``budget`` — never more.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if not 0 <= worker_index < n_workers:
+        raise ValueError(
+            f"worker_index must be in [0, {n_workers}), got {worker_index}"
+        )
+    base, remainder = divmod(budget, n_workers)
+    return base + (1 if worker_index < remainder else 0)
+
+
+def worker_pool_pages(pool_pages: int, n_workers: int, worker_index: int = 0) -> int:
     """Split one pool budget fairly across ``n_workers`` read-only reopens.
 
-    ``pool_pages // n_workers`` (floored, min 1) keeps the *aggregate* pool
-    memory of a sharded run no larger than the serial run's, so the Figure
-    3(b) I/O accounting stays honest: parallel speedup must not come from
-    quietly multiplying cache.
+    Worker ``worker_index`` gets its share of an exact partition of
+    ``pool_pages`` (the first ``pool_pages % n_workers`` workers get one
+    page more), so the *aggregate* pool memory of a sharded run equals
+    the serial run's and the Figure 3(b) I/O accounting stays honest:
+    parallel speedup must not come from quietly multiplying cache.
+
+    One irreducible exception: a :class:`BufferPool` cannot have zero
+    capacity, so every worker keeps a one-page floor.  Only when
+    ``pool_pages < n_workers`` — a degenerate configuration no benchmark
+    uses — can the aggregate exceed the serial budget, and then by the
+    minimum the pool implementation permits.
     """
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
-    return max(1, pool_pages // n_workers)
+    return max(1, _worker_share(pool_pages, n_workers, worker_index))
 
 
-def worker_node_cache_entries(entries: int, n_workers: int) -> int:
+def worker_node_cache_entries(entries: int, n_workers: int, worker_index: int = 0) -> int:
     """Split a decoded-node cache budget across ``n_workers`` reopens.
 
-    Mirrors :func:`worker_pool_pages`: ``entries // n_workers`` (floored,
-    min 1 when the parent has a cache at all), so a sharded run's
-    aggregate decoded-node memory never exceeds the serial run's.  A
-    parent with no cache (``entries == 0``) yields 0 — workers stay
-    cacheless too.
+    Worker ``worker_index`` gets its share of an exact partition of
+    ``entries``: when ``entries < n_workers`` the first ``entries``
+    workers get one entry and the rest get none (a cacheless reopen is
+    valid, unlike a zero-page pool), so a sharded run's aggregate
+    decoded-node memory **never** exceeds the serial run's.  A parent
+    with no cache (``entries <= 0``) yields 0 for every worker.
     """
-    if n_workers < 1:
-        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
     if entries <= 0:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if not 0 <= worker_index < n_workers:
+            raise ValueError(
+                f"worker_index must be in [0, {n_workers}), got {worker_index}"
+            )
         return 0
-    return max(1, entries // n_workers)
+    return _worker_share(entries, n_workers, worker_index)
 
 
 class StorageManager:

@@ -44,6 +44,14 @@ class TestBuild:
         assert index.height == 1
         assert index.root_rect.is_point
 
+    def test_empty_input_builds_empty_index(self, small_storage):
+        # An empty dataset (or a fully-tombstoned compaction) must yield
+        # a well-defined empty index, not a crash in Rect.from_points.
+        index = build_mbrqt(np.empty((0, 2)), small_storage)
+        assert index.size == 0
+        assert index.height == 1
+        assert index.dims == 2
+
     def test_coincident_points_terminate(self, small_storage):
         # A pile of identical points cannot be split; the depth cap must
         # produce one oversized bucket instead of infinite recursion.
@@ -52,8 +60,6 @@ class TestBuild:
         assert index.size == 300
 
     def test_invalid_inputs(self, small_storage, rng):
-        with pytest.raises(ValueError):
-            build_mbrqt(np.empty((0, 2)), small_storage)
         with pytest.raises(ValueError):
             build_mbrqt(rng.random((10, 2)), small_storage, point_ids=np.arange(5))
         with pytest.raises(ValueError):

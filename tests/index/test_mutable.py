@@ -1,0 +1,211 @@
+"""The write path's golden-replay guarantee.
+
+The canonical-shape property of :class:`~repro.index.mutable.MutableMBRQT`
+— any interleaving of inserts and deletes leaves the tree a bulk
+``build_mbrqt`` over the surviving points would build — is asserted at
+the strongest level available: the **persisted page images are
+bit-identical**.  R*-trees are insertion-order dependent by design, so
+:class:`~repro.index.mutable.MutableRStar` is held to answer
+equivalence (same neighbours, same distances) against a scratch
+rebuild instead, plus the classic structural invariants.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect
+from repro.index import (
+    MutableMBRQT,
+    MutableRStar,
+    build_mbrqt,
+    build_rstar,
+    mutable_index,
+    nearest_iter,
+    range_query,
+)
+from repro.storage.manager import StorageManager
+
+UNIT = Rect(np.zeros(2), np.ones(2))
+PAGE = 512
+
+_replay = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def op_sequences(draw, max_ops=70):
+    """Arbitrary interleavings of inserts (fresh ids) and deletes."""
+    n_ops = draw(st.integers(4, max_ops))
+    ops = []
+    live: list[int] = []
+    next_id = 0
+    for __ in range(n_ops):
+        delete = live and draw(st.integers(0, 3)) == 0
+        if delete:
+            at = draw(st.integers(0, len(live) - 1))
+            ops.append(("delete", live.pop(at), None))
+        else:
+            point = (
+                draw(st.floats(0, 1, allow_nan=False, width=32)),
+                draw(st.floats(0, 1, allow_nan=False, width=32)),
+            )
+            ops.append(("insert", next_id, np.asarray(point, dtype=np.float64)))
+            live.append(next_id)
+            next_id += 1
+    return ops
+
+
+def apply_ops(index, ops):
+    for op, point_id, point in ops:
+        if op == "insert":
+            index.insert(point, point_id)
+        else:
+            assert index.delete(point_id)
+
+
+def survivors(ops):
+    """(ids, points) surviving the op stream, in insertion-seq order."""
+    alive: dict[int, np.ndarray] = {}
+    for op, point_id, point in ops:
+        if op == "insert":
+            alive[point_id] = point
+        else:
+            del alive[point_id]
+    ids = np.asarray(list(alive), dtype=np.int64)
+    pts = (
+        np.stack(list(alive.values())) if alive else np.empty((0, 2))
+    )
+    return ids, pts
+
+
+class TestMBRQTGoldenReplay:
+    @given(op_sequences())
+    @_replay
+    def test_pages_bit_identical_to_scratch_rebuild(self, ops):
+        # The whole point of regular decomposition: tree shape is a
+        # function of the point set, so incremental maintenance and a
+        # bulk rebuild must persist the *same pages*.
+        mutable = MutableMBRQT(UNIT, bucket_capacity=3, node_capacity=4)
+        apply_ops(mutable, ops)
+        ids, pts = survivors(ops)
+        assert len(mutable) == len(ids)
+
+        inc_storage = StorageManager(page_size=PAGE)
+        incremental = mutable.persist(inc_storage)
+        ref_storage = StorageManager(page_size=PAGE)
+        reference = build_mbrqt(
+            pts,
+            ref_storage,
+            point_ids=ids,
+            universe=UNIT,
+            bucket_capacity=3,
+            node_capacity=4,
+        )
+        assert incremental.size == reference.size == len(ids)
+        assert inc_storage.snapshot().pages == ref_storage.snapshot().pages
+
+    @given(op_sequences())
+    @_replay
+    def test_mbr_is_exact_after_every_interleaving(self, ops):
+        mutable = MutableMBRQT(UNIT, bucket_capacity=3)
+        apply_ops(mutable, ops)
+        __, pts = survivors(ops)
+        if len(pts) == 0:
+            assert mutable.mbr is None
+        else:
+            assert mutable.mbr == Rect.from_points(pts)
+
+
+class TestRStarGoldenReplay:
+    @given(op_sequences())
+    @_replay
+    def test_answers_match_scratch_rebuild(self, ops):
+        mutable = MutableRStar(2, leaf_cap=4, internal_cap=4)
+        apply_ops(mutable, ops)
+        ids, pts = survivors(ops)
+        assert len(mutable) == len(ids)
+
+        incremental = mutable.persist(StorageManager(page_size=PAGE))
+        reference = build_rstar(
+            pts, StorageManager(page_size=PAGE), point_ids=ids
+        )
+        assert incremental.size == reference.size == len(ids)
+        # Same point multiset...
+        got_ids, got_pts = range_query(incremental, UNIT)
+        want_ids, want_pts = range_query(reference, UNIT)
+        assert sorted(got_ids.tolist()) == sorted(want_ids.tolist())
+        # ...and identical ordered browse streams (distances bitwise).
+        probe = np.array([0.5, 0.5])
+        got = sorted(
+            (d, i) for d, i, __ in itertools.islice(nearest_iter(incremental, probe), 10)
+        )
+        want = sorted(
+            (d, i) for d, i, __ in itertools.islice(nearest_iter(reference, probe), 10)
+        )
+        assert got == want
+
+
+class TestMutableSurface:
+    def test_duplicate_insert_raises(self):
+        m = MutableMBRQT(UNIT)
+        m.insert(np.array([0.5, 0.5]), 7)
+        with pytest.raises(ValueError, match="already present"):
+            m.insert(np.array([0.25, 0.25]), 7)
+        r = MutableRStar(2)
+        r.insert(np.array([0.5, 0.5]), 7)
+        with pytest.raises(ValueError, match="already present"):
+            r.insert(np.array([0.25, 0.25]), 7)
+
+    def test_delete_missing_returns_false(self):
+        m = MutableMBRQT(UNIT)
+        assert not m.delete(99)
+        r = MutableRStar(2)
+        assert not r.delete(99)
+
+    def test_out_of_universe_insert_raises(self):
+        m = MutableMBRQT(UNIT)
+        with pytest.raises(ValueError, match="universe"):
+            m.insert(np.array([2.0, 0.5]), 1)
+
+    def test_delete_then_reinsert_same_id(self):
+        m = MutableMBRQT(UNIT, bucket_capacity=2)
+        for i in range(6):
+            m.insert(np.array([0.1 * (i + 1), 0.5]), i)
+        assert m.delete(3)
+        m.insert(np.array([0.9, 0.9]), 3)
+        assert 3 in m and len(m) == 6
+
+    def test_empty_persist_supports_queries(self):
+        m = MutableMBRQT(UNIT)
+        m.insert(np.array([0.5, 0.5]), 0)
+        assert m.delete(0)
+        index = m.persist(StorageManager(page_size=PAGE))
+        assert index.size == 0
+        assert list(nearest_iter(index, np.array([0.5, 0.5]))) == []
+        ids, pts = range_query(index, UNIT)
+        assert len(ids) == 0 and pts.shape == (0, 2)
+
+    def test_factory(self):
+        assert isinstance(mutable_index("mbrqt", 2, universe=UNIT), MutableMBRQT)
+        assert isinstance(mutable_index("rstar", 3), MutableRStar)
+        with pytest.raises(ValueError, match="universe"):
+            mutable_index("mbrqt", 2)
+        with pytest.raises(ValueError, match="unknown index kind"):
+            mutable_index("kdtree", 2)
+
+    def test_points_in_insertion_seq_order(self):
+        m = MutableRStar(2)
+        m.insert(np.array([0.1, 0.1]), 5)
+        m.insert(np.array([0.2, 0.2]), 3)
+        m.insert(np.array([0.3, 0.3]), 9)
+        assert m.delete(3)
+        m.insert(np.array([0.4, 0.4]), 3)
+        ids, __ = m.points()
+        assert ids.tolist() == [5, 9, 3]

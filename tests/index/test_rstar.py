@@ -89,9 +89,12 @@ class TestDynamicBuild:
         index = build_rstar(pts, small_storage)
         check_invariants(index)
 
+    def test_empty_input_builds_empty_index(self, small_storage):
+        index = build_rstar(np.empty((0, 2)), small_storage)
+        assert index.size == 0
+        assert index.dims == 2
+
     def test_invalid_inputs(self, small_storage, rng):
-        with pytest.raises(ValueError):
-            build_rstar(np.empty((0, 2)), small_storage)
         with pytest.raises(ValueError):
             build_rstar(rng.random((10, 2)), small_storage, method="bogus")
         with pytest.raises(ValueError):

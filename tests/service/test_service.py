@@ -20,7 +20,7 @@ from repro.api import build_index
 from repro.data import gstd
 from repro.index.queries import nearest_iter
 from repro.obs import validate_trace
-from repro.service import AnnService, FakeClock, Overloaded, ServiceConfig
+from repro.service import AnnService, FakeClock, Overloaded, ServiceClosed, ServiceConfig
 from repro.storage.manager import StorageManager
 
 N_TARGET = 400
@@ -234,13 +234,54 @@ class TestLifecycle:
             assert (answer.neighbor_ids, answer.distances) == (ids, dists)
         assert service.counters.answered == 8
 
-    def test_close_drains_pending_requests(self, target_points, query_points):
+    def test_close_fails_pending_requests_with_service_closed(
+        self, target_points, query_points
+    ):
+        # The shutdown-hang regression: requests admitted but not yet
+        # flushed at close must complete *deterministically* — with
+        # ServiceClosed, counted as cancelled — never block forever.
         cfg = service_config(max_batch=4, max_delay_ms=1000.0)
         service = AnnService(target_points, cfg, clock=FakeClock())
         tickets = [service.submit(q) for q in query_points[:6]]
-        service.close()  # must answer everything before returning
+        service.close()
         assert all(t.done() for t in tickets)
         assert len(service) == 0
+        for ticket in tickets:
+            with pytest.raises(ServiceClosed) as exc:
+                ticket.result(timeout_s=0)
+            assert exc.value.request_id == ticket.request.request_id
+        assert service.counters.cancelled == 6
+        assert service.counters.answered == 0
+
+    def test_close_after_drain_cancels_nothing(self, target_points, query_points):
+        cfg = service_config(max_batch=4, max_delay_ms=1000.0)
+        service = AnnService(target_points, cfg, clock=FakeClock())
+        tickets = [service.submit(q) for q in query_points[:4]]
+        answers = drain(service, tickets)
+        service.close()
+        assert service.counters.cancelled == 0
+        assert len(answers) == 4 and all(a.found == 1 for a in answers)
+
+    def test_flush_failure_fails_tickets_instead_of_hanging(
+        self, target_points, query_points, monkeypatch
+    ):
+        # A flush that dies mid-execution must fail its batch's tickets
+        # with the engine's error, not abandon them.
+        service = AnnService(target_points, service_config(max_batch=4))
+        boom = RuntimeError("engine exploded")
+
+        def explode(requests, now_s, trace=None):
+            raise boom
+
+        monkeypatch.setattr(service.engine, "execute", explode)
+        tickets = [service.submit(q) for q in query_points[:2]]
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            service.pump(force=True)
+        for ticket in tickets:
+            assert ticket.done()
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                ticket.result(timeout_s=0)
+        service.close()
 
     def test_close_is_idempotent_and_submit_after_close_raises(
         self, target_points, query_points

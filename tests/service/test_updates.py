@@ -1,0 +1,226 @@
+"""The service write path: live updates, tombstones, and epoch hot swaps."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import gstd
+from repro.obs import validate_trace
+from repro.service import AnnService, FakeClock
+
+from tests.service.test_service import reference_answers, service_config
+
+N_TARGET = 300
+DIMS = 2
+
+
+@pytest.fixture(scope="module")
+def target_points():
+    return gstd.generate(N_TARGET, DIMS, "uniform", seed=21)
+
+
+@pytest.fixture(scope="module")
+def query_points():
+    return gstd.generate(24, DIMS, "uniform", seed=22)
+
+
+def fresh_service(target_points, **overrides):
+    overrides.setdefault("compact_threshold", 10_000)  # no auto-compaction
+    return AnnService(target_points, service_config(**overrides))
+
+
+class TestVisibility:
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_insert_visible_before_compaction(self, target_points, kind):
+        service = fresh_service(target_points, kind=kind)
+        probe = np.array([0.5, 0.5])
+        service.insert(probe, 9999)
+        answer = service.query(probe, k=1)
+        service.close()
+        assert answer.neighbor_ids == (9999,)
+        assert answer.distances == (0.0,)
+
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_delete_masks_base_point_immediately(self, target_points, kind):
+        service = fresh_service(target_points, kind=kind)
+        probe = target_points[7]
+        before = service.query(probe, k=1)
+        assert before.neighbor_ids == (7,)
+        assert service.delete(7)
+        after = service.query(probe, k=1)
+        service.close()
+        assert after.neighbor_ids != (7,)
+
+    def test_delete_missing_id_is_a_noop(self, target_points):
+        service = fresh_service(target_points)
+        assert not service.delete(123456)
+        service.close()
+        assert service.counters.deletes == 0
+
+    def test_mixed_stream_matches_scratch_rebuild(self, target_points, query_points):
+        # Interleave inserts and deletes, never compacting, and require
+        # every answer to equal nearest_iter over a scratch index of the
+        # survivors — the delta/tombstone merge must be exact, not just
+        # plausible.
+        rng = np.random.default_rng(5)
+        service = fresh_service(target_points, max_batch=8)
+        alive = {i: p for i, p in enumerate(target_points)}
+        next_id = N_TARGET
+        for __ in range(40):
+            if alive and rng.random() < 0.5:
+                victim = int(rng.choice(list(alive)))
+                assert service.delete(victim)
+                del alive[victim]
+            else:
+                pt = rng.random(DIMS)
+                service.insert(pt, next_id)
+                alive[next_id] = pt
+                next_id += 1
+        ids = np.array(list(alive))
+        pts = np.stack(list(alive.values()))
+        expected = reference_answers(pts, query_points, k=3)
+        tickets = [service.submit(q, k=3) for q in query_points]
+        while not all(t.done() for t in tickets):
+            service.pump(force=True)
+        service.close()
+        for ticket, (want_ids, want_dists) in zip(tickets, expected):
+            answer = ticket.result(timeout_s=0)
+            # Map reference ids (positions into ``pts``) to real ids.
+            mapped = tuple(int(ids[i]) for i in want_ids)
+            assert sorted(zip(answer.distances, answer.neighbor_ids)) == sorted(
+                zip(want_dists, mapped)
+            )
+
+
+class TestCompaction:
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    def test_auto_compaction_advances_epoch_and_preserves_answers(
+        self, target_points, query_points, kind
+    ):
+        service = AnnService(
+            target_points,
+            service_config(kind=kind, compact_threshold=8, max_batch=4),
+        )
+        assert service.engine.epoch == 0
+        rng = np.random.default_rng(6)
+        for j in range(8):
+            service.insert(rng.random(DIMS), N_TARGET + j)
+        assert service.engine.epoch == 1  # threshold hit → hot swap
+        assert service.engine.pending_ops == 0
+        assert service.counters.compactions == 1
+
+        all_pts = np.vstack(
+            [target_points, np.stack(_reinsert_points(6, 8))]
+        )
+        # Answers after the swap equal a scratch build over the union.
+        expected = reference_answers(all_pts, query_points, k=2)
+        for q, (want_ids, want_dists) in zip(query_points, expected):
+            answer = service.query(q, k=2)
+            assert (answer.neighbor_ids, answer.distances) == (
+                tuple(want_ids),
+                tuple(want_dists),
+            )
+        service.close()
+
+    def test_manual_compact_folds_tombstones(self, target_points):
+        service = fresh_service(target_points)
+        for pid in range(10):
+            assert service.delete(pid)
+        assert service.engine.pending_ops == 10
+        epoch = service.compact()
+        assert epoch == 1
+        assert service.engine.pending_ops == 0
+        assert service.engine.size == N_TARGET - 10
+        # The tombstoned points are physically gone from the new base.
+        answer = service.query(target_points[3], k=1)
+        service.close()
+        assert answer.neighbor_ids != (3,)
+
+    def test_compact_with_empty_delta_is_a_noop(self, target_points):
+        service = fresh_service(target_points)
+        assert service.compact() is None
+        assert service.engine.epoch == 0
+        service.close()
+        assert service.counters.compactions == 0
+
+    def test_delete_everything_then_compact_yields_empty_base(self):
+        points = gstd.generate(20, DIMS, "uniform", seed=23)
+        service = fresh_service(points)
+        for pid in range(20):
+            assert service.delete(pid)
+        assert service.compact() == 1
+        assert service.engine.size == 0
+        empty = service.query(np.array([0.5, 0.5]), k=3)
+        assert empty.neighbor_ids == ()
+        # The empty base still serves delta-only inserts.
+        service.insert(np.array([0.25, 0.25]), 500)
+        answer = service.query(np.array([0.25, 0.25]), k=1)
+        service.close()
+        assert answer.neighbor_ids == (500,)
+
+    def test_inflight_reads_pin_their_epoch(self, target_points):
+        # A compaction between submit and flush must not disturb the
+        # version registry: the flush pins whatever is current at flush
+        # time and releases it cleanly.
+        service = fresh_service(target_points)
+        ticket = service.submit(target_points[0], k=1)
+        service.insert(np.array([0.9, 0.9]), 7777)
+        assert service.compact() == 1
+        while not ticket.done():
+            service.pump(force=True)
+        assert ticket.result(timeout_s=0).neighbor_ids == (0,)
+        service.close()
+        assert service.engine.versions.live_epochs == (1,)
+
+
+def _reinsert_points(seed, n):
+    rng = np.random.default_rng(seed)
+    return [rng.random(DIMS) for __ in range(n)]
+
+
+class TestLifecycleAndCounters:
+    def test_writes_rejected_after_close(self, target_points):
+        service = fresh_service(target_points)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.insert(np.array([0.1, 0.1]), 1000)
+        with pytest.raises(RuntimeError, match="closed"):
+            service.delete(3)
+
+    def test_counters_track_write_traffic(self, target_points):
+        service = AnnService(
+            target_points, service_config(compact_threshold=6)
+        )
+        for j in range(4):
+            service.insert(np.array([0.2, 0.2 + 0.01 * j]), N_TARGET + j)
+        for pid in (0, 1, 2):
+            assert service.delete(pid)
+        service.close()
+        assert service.counters.inserts == 4
+        assert service.counters.deletes == 3
+        assert service.counters.compactions == 1  # 6th op tripped the swap
+
+    def test_write_validation(self, target_points):
+        service = fresh_service(target_points)
+        with pytest.raises(ValueError):
+            service.insert(np.zeros(3), 1000)
+        with pytest.raises(ValueError, match="already present"):
+            service.insert(np.array([0.5, 0.5]), 0)
+        service.close()
+
+    def test_trace_artifact_includes_write_counters(
+        self, tmp_path, target_points, query_points
+    ):
+        path = tmp_path / "trace.json"
+        config = service_config(compact_threshold=4, trace=str(path))
+        service = AnnService(target_points, config, clock=FakeClock())
+        for j in range(5):
+            service.insert(np.array([0.3, 0.3 + 0.01 * j]), N_TARGET + j)
+        service.query(query_points[0], k=1)
+        service.close()
+        doc = json.loads(path.read_text())
+        assert validate_trace(doc) is doc
+        assert doc["service"]["inserts"] == 5.0
+        assert doc["service"]["compactions"] == 1.0
+        assert doc["service"]["answered"] == 1.0

@@ -1,0 +1,56 @@
+"""Property tests for the per-worker budget partition (satellite fix).
+
+The sharded executor reopens the snapshot once per worker; each reopen
+slices the serial pool/cache budgets with ``worker_pool_pages`` and
+``worker_node_cache_entries``.  The contract under test: the aggregate
+across all workers never exceeds the serial budget (the old
+``max(1, budget // n)`` floor let ``n_workers > budget`` silently
+multiply cache memory), with the single documented exception that a
+BufferPool cannot hold zero pages.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage.manager import worker_node_cache_entries, worker_pool_pages
+
+budgets = st.integers(0, 512)
+worker_counts = st.integers(1, 32)
+
+
+class TestNodeCachePartition:
+    @given(budgets, worker_counts)
+    def test_shares_sum_exactly_to_budget(self, entries, n):
+        shares = [worker_node_cache_entries(entries, n, i) for i in range(n)]
+        assert sum(shares) == max(0, entries)
+
+    @given(budgets, worker_counts)
+    def test_shares_are_fair_and_monotone(self, entries, n):
+        shares = [worker_node_cache_entries(entries, n, i) for i in range(n)]
+        assert all(s >= 0 for s in shares)
+        assert max(shares) - min(shares) <= 1
+        # Remainder entries go to the lowest-indexed workers.
+        assert shares == sorted(shares, reverse=True)
+
+    @given(st.integers(-16, 0), worker_counts)
+    def test_cacheless_parent_yields_zero_everywhere(self, entries, n):
+        assert all(
+            worker_node_cache_entries(entries, n, i) == 0 for i in range(n)
+        )
+
+
+class TestPoolPartition:
+    @given(st.integers(1, 512), worker_counts)
+    def test_aggregate_never_exceeds_serial_unless_floored(self, pool, n):
+        shares = [worker_pool_pages(pool, n, i) for i in range(n)]
+        assert all(s >= 1 for s in shares)  # BufferPool needs >= 1 page
+        if pool >= n:
+            assert sum(shares) == pool
+        else:
+            # Degenerate case: the one-page floor is the only excess.
+            assert sum(shares) == n
+
+    @given(st.integers(1, 512), worker_counts)
+    def test_pool_shares_fair(self, pool, n):
+        shares = [worker_pool_pages(pool, n, i) for i in range(n)]
+        assert max(shares) - min(shares) <= 1

@@ -154,9 +154,15 @@ class TestWorkerBudgetSlicing:
     def test_even_split(self):
         assert worker_node_cache_entries(128, 4) == 32
 
-    def test_floors_but_never_below_one(self):
-        assert worker_node_cache_entries(5, 4) == 1
-        assert worker_node_cache_entries(3, 8) == 1
+    def test_uneven_split_partitions_exactly(self):
+        # The first ``remainder`` workers get one extra entry; the sum
+        # is exactly the serial budget — the old per-worker max(1, ...)
+        # floor let n_workers > entries exceed it in aggregate.
+        shares = [worker_node_cache_entries(5, 4, i) for i in range(4)]
+        assert shares == [2, 1, 1, 1]
+        shares = [worker_node_cache_entries(3, 8, i) for i in range(8)]
+        assert shares == [1, 1, 1, 0, 0, 0, 0, 0]
+        assert sum(shares) == 3
 
     def test_cacheless_parent_stays_cacheless(self):
         assert worker_node_cache_entries(0, 4) == 0
@@ -168,3 +174,9 @@ class TestWorkerBudgetSlicing:
     def test_invalid_worker_count(self):
         with pytest.raises(ValueError):
             worker_node_cache_entries(64, 0)
+
+    def test_invalid_worker_index(self):
+        with pytest.raises(ValueError):
+            worker_node_cache_entries(64, 4, 4)
+        with pytest.raises(ValueError):
+            worker_node_cache_entries(64, 4, -1)

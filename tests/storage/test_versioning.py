@@ -1,0 +1,100 @@
+"""The epoch/COW version registry: pin/release/publish lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.storage.versioning import IndexVersion, VersionManager
+
+
+def _version(epoch, size=0):
+    # The registry only touches .epoch; the payload fields can be inert
+    # stand-ins, which keeps these tests independent of storage details.
+    return IndexVersion(
+        epoch=epoch, snapshot=None, spec=None, manager=None, index=None, size=size
+    )
+
+
+class TestLifecycle:
+    def test_initial_state(self):
+        vm = VersionManager(_version(0, size=7))
+        assert vm.epoch == 0
+        assert vm.current.size == 7
+        assert vm.live_epochs == (0,)
+
+    def test_pin_release_roundtrip(self):
+        vm = VersionManager(_version(0))
+        v = vm.pin()
+        assert v.epoch == 0
+        vm.release(v)
+        with pytest.raises(ValueError, match="not pinned"):
+            vm.release(v)
+
+    def test_publish_advances_and_frees_unpinned(self):
+        vm = VersionManager(_version(0))
+        vm.publish(_version(1))
+        assert vm.epoch == 1
+        assert vm.live_epochs == (1,)  # epoch 0 had no pins: freed at once
+
+    def test_pinned_epoch_survives_publish_until_release(self):
+        vm = VersionManager(_version(0))
+        old = vm.pin()
+        vm.publish(_version(1))
+        # The in-flight reader keeps its epoch alive...
+        assert vm.live_epochs == (0, 1)
+        assert vm.pin().epoch == 1  # ...but new pins get the new one.
+        vm.release(old)
+        assert vm.live_epochs == (1,)
+
+    def test_multiple_pins_freed_only_at_zero(self):
+        vm = VersionManager(_version(0))
+        a, b = vm.pin(), vm.pin()
+        vm.publish(_version(1))
+        vm.release(a)
+        assert vm.live_epochs == (0, 1)
+        vm.release(b)
+        assert vm.live_epochs == (1,)
+
+    def test_publish_must_advance_epoch(self):
+        vm = VersionManager(_version(3))
+        with pytest.raises(ValueError, match="must advance"):
+            vm.publish(_version(3))
+        with pytest.raises(ValueError, match="must advance"):
+            vm.publish(_version(2))
+
+    def test_epochs_may_skip(self):
+        vm = VersionManager(_version(0))
+        vm.publish(_version(5))
+        assert vm.epoch == 5
+
+
+class TestConcurrency:
+    def test_concurrent_pin_release_against_publishes(self):
+        vm = VersionManager(_version(0))
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    v = vm.pin()
+                    try:
+                        # A pinned version is always a published epoch.
+                        assert v.epoch >= 0
+                    finally:
+                        vm.release(v)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for epoch in range(1, 40):
+            vm.publish(_version(epoch))
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Every retired epoch must eventually drain: only the current
+        # epoch remains once all readers have released.
+        assert vm.live_epochs == (39,)

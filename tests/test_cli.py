@@ -240,3 +240,31 @@ class TestServiceBench:
         with pytest.raises(SystemExit, match="baseline"):
             main(["service-bench", "--windows", "4", "8", "--clients", "8",
                   "-n", "100", "--requests", "8", "--out", "-"])
+
+
+class TestUpdateBench:
+    _TINY = ["-n", "100", "--rounds", "2", "--updates", "6", "--queries", "3",
+             "--compact-threshold", "6"]
+
+    def test_stream_prints_report(self, capsys):
+        args = ["update-bench", "--kinds", "mbrqt", *self._TINY, "--out", "-"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "sustained updates" in out
+        assert "epochs" in out and "compactions" in out
+
+    def test_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_updates.json"
+        args = ["update-bench", "--kinds", "mbrqt", *self._TINY,
+                "--out", str(out_path)]
+        assert main(args) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.bench.updates/v1"
+        assert f"wrote {out_path}" in capsys.readouterr().out
+
+    def test_invalid_compact_threshold_exits(self):
+        with pytest.raises(SystemExit, match="compact_threshold"):
+            main(["update-bench", "--kinds", "mbrqt", "-n", "50",
+                  "--compact-threshold", "0", "--out", "-"])
