@@ -41,8 +41,19 @@ Artifact schema (``schema`` key = ``repro.bench.kernels/v1``)::
         {"label", "kind", "n", "dims", "k", "node_cache_entries",
          "wall_s", "io_model_s", "counters": <QueryStats.as_dict>,
          "result": {"pair_count", "total_distance"}}, ...
+      ],
+      "frontier": [
+        {"label", "kind", "n", "dims", "k", "node_cache_entries",
+         "baseline_wall_s", "frontier_wall_s", "speedup", "match",
+         "counters": <frontier QueryStats.as_dict>,
+         "result": {"pair_count", "total_distance"}}, ...
       ]
     }
+
+The ``frontier`` section runs the same end-to-end scenarios through both
+engines cold (same index, caches dropped before each run) and records
+the wall-clock ratio; ``match`` asserts the answers are identical, so a
+speedup can never ride on a wrong answer.
 """
 
 from __future__ import annotations
@@ -55,9 +66,11 @@ from typing import Any
 import numpy as np
 
 from ..api import build_index
+from ..core.frontier import frontier_join
 from ..core.geometry import Rect, RectArray
 from ..core.lpq import make_node_lpq
 from ..core.mba import mba_join
+from ..core.result import NeighborResult
 from ..obs.tracer import current_tracer
 from ..core.metrics import maxmaxdist_cross, minmindist_cross, nxndist_cross
 from ..core.stats import QueryStats
@@ -201,6 +214,46 @@ def _bench_end_to_end(
     }
 
 
+def _bench_frontier(
+    kind: str, n: int, dims: int, k: int, seed: int
+) -> dict[str, Any]:
+    """Cold mba_join vs cold frontier_join on one end-to-end scenario."""
+    pts = gstd.generate(n, dims, "uniform", seed=seed)
+    storage = StorageManager.with_pool_bytes(
+        _POOL_BYTES, _PAGE_SIZE, node_cache_entries=_NODE_CACHE_ENTRIES
+    )
+    index = build_index(pts, storage, kind=kind)
+
+    def cold(
+        join: Any,
+    ) -> tuple[float, NeighborResult, QueryStats]:
+        storage.reset_counters()
+        storage.drop_caches()
+        t0 = time.perf_counter()
+        result, stats = join(index, index, k=k, exclude_self=True)
+        return time.perf_counter() - t0, result, stats
+
+    baseline_s, baseline_result, __ = cold(mba_join)
+    frontier_s, frontier_result, stats = cold(frontier_join)
+    return {
+        "label": f"{kind}-n{n}-k{k}",
+        "kind": kind,
+        "n": n,
+        "dims": dims,
+        "k": k,
+        "node_cache_entries": _NODE_CACHE_ENTRIES,
+        "baseline_wall_s": baseline_s,
+        "frontier_wall_s": frontier_s,
+        "speedup": baseline_s / frontier_s if frontier_s else float("inf"),
+        "match": baseline_result.same_pairs_as(frontier_result, tol=0.0),
+        "counters": stats.as_dict(),
+        "result": {
+            "pair_count": frontier_result.pair_count(),
+            "total_distance": frontier_result.total_distance(),
+        },
+    }
+
+
 def kernel_bench(
     smoke: bool = False,
     seed: int = 7,
@@ -236,6 +289,9 @@ def kernel_bench(
         "end_to_end": [
             _bench_end_to_end(kind, n, 2, k, seed) for kind, n, k in e2e
         ],
+        "frontier": [
+            _bench_frontier(kind, n, 2, k, seed) for kind, n, k in e2e
+        ],
     }
     if out_path is not None:
         Path(out_path).write_text(json.dumps(report, indent=2) + "\n")
@@ -269,5 +325,13 @@ def format_kernel_report(report: dict[str, Any]) -> str:
             f"cache {int(counters['node_cache_hits'])}/"
             f"{int(counters['node_cache_hits'] + counters['node_cache_misses'])} hits  "
             f"pairs {row['result']['pair_count']:,}"
+        )
+    lines.append("Frontier engine vs mba_join (cold runs, same index)")
+    for row in report["frontier"]:
+        lines.append(
+            f"  {row['label']:16s} mba {row['baseline_wall_s']:.3f}s  "
+            f"frontier {row['frontier_wall_s']:.3f}s  "
+            f"speedup {row['speedup']:.2f}x  "
+            f"match {'yes' if row['match'] else 'NO'}"
         )
     return "\n".join(lines)

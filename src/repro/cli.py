@@ -294,6 +294,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             deadline_ms=args.deadline_ms,
             workers=args.workers,
+            frontier_flush=args.frontier_flush,
             trace=args.trace,
         )
     except (TypeError, ValueError) as exc:
@@ -498,6 +499,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline-ms", type=float, default=None)
     p.add_argument("--workers", type=int, default=1,
                    help="worker threads for sharding large flushes")
+    p.add_argument("--frontier-flush", action="store_true",
+                   help="answer batched flushes with the level-synchronous "
+                        "frontier engine (mba-frontier) instead of recursive MBA")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--trace", default=None, metavar="OUT.json",
                    help="write the service trace artifact (per-batch spans, "

@@ -49,6 +49,8 @@ __all__ = [
     "nxndist_cross",
     "minmindist_nxndist_cross",
     "minmindist_maxmaxdist_cross",
+    "minmindist_nxndist_pairs",
+    "minmindist_maxmaxdist_pairs",
 ]
 
 
@@ -308,6 +310,20 @@ def nxndist_cross(a: RectArray, b: RectArray) -> np.ndarray:
     Vectorised Algorithm 1 over the full cross product; the per-pair cost
     stays ``O(D)``.
     """
+    if a.lo.shape[1] == 2:
+        # 2-D fast path, mirroring the fused kernel: per-dimension work on
+        # (na, nb) arrays instead of an (na, nb, D) broadcast with its
+        # slow length-2 last-axis reductions.  Same scalar operations per
+        # element, so bit-identical to the general path below (the metric
+        # consistency property tests assert it).
+        __, md_sq0, ___, abs_ab0, abs_ba0 = _mind_md_sq_2d(a, b, 0)
+        __, md_sq1, ___, abs_ab1, abs_ba1 = _mind_md_sq_2d(a, b, 1)
+        mm_sq0 = _mm_sq_2d(a, b, 0, abs_ab0, abs_ba0)
+        mm_sq1 = _mm_sq_2d(a, b, 1, abs_ab1, abs_ba1)
+        # Sweep-dimension choice: >= picks dimension 0 on ties, exactly as
+        # np.argmax does in ``_nxn_substitute_sweep``.
+        sweep0 = md_sq0 - mm_sq0 >= md_sq1 - mm_sq1
+        return np.sqrt(np.where(sweep0, mm_sq0 + md_sq1, md_sq0 + mm_sq1))
     md_sq = _maxdist_sq_cross(a, b)
 
     b_lo = b.lo[None, :, :]
@@ -377,7 +393,9 @@ def minmindist_maxmaxdist_cross(
     return mind, maxd
 
 
-def _mm_sq_2d(a: RectArray, b: RectArray, d: int, abs_ab: np.ndarray, abs_ba: np.ndarray) -> np.ndarray:
+def _mm_sq_2d(
+    a: RectArray, b: RectArray, d: int, abs_ab: np.ndarray, abs_ba: np.ndarray
+) -> np.ndarray:
     """One dimension's squared MAXMIN part (2-D fast path; see above)."""
     a_lo = a.lo[:, d, None]
     a_hi = a.hi[:, d, None]
@@ -432,3 +450,124 @@ def minmindist_nxndist_cross(
         mm = np.where(inside, np.maximum(mm, at_mid), mm)
     mm_sq = mm**2
     return mind, _nxn_substitute_sweep(md_sq, mm_sq, axis=2)
+
+
+# ---------------------------------------------------------------------------
+# fused row-wise (pairs) metrics: rect i of A against rect i of B -> (n,)
+# ---------------------------------------------------------------------------
+#
+# The frontier engine flattens its per-level expansion into one long list
+# of (query rect, target rect) row pairs — a gather over two rect tables,
+# not a cross product — and scores the whole frontier with one call.
+# Each value is produced by exactly the expression the cross kernels use
+# (same operations, same order), so a frontier bound or exact distance is
+# bit-identical to what the recursive engine computes for the same pair.
+
+
+def _pairs_dim_parts(
+    a_lo: np.ndarray,
+    a_hi: np.ndarray,
+    b_lo: np.ndarray,
+    b_hi: np.ndarray,
+    d: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """One dimension's squared gap and MAXDIST parts for row pairs.
+
+    2-D fast-path building block, the row-wise analogue of
+    :func:`_mind_md_sq_2d`: per-dimension work on ``(n,)`` columns
+    instead of an ``(n, 2)`` table with its slow length-2 last-axis
+    reductions — identical scalar operations per element, so the results
+    are bit-identical (the property tests assert it).
+    """
+    d_ab = a_lo[:, d] - b_hi[:, d]
+    d_ba = b_lo[:, d] - a_hi[:, d]
+    gap = np.maximum(0.0, np.maximum(d_ba, d_ab))
+    abs_ab = np.abs(d_ab)
+    abs_ba = np.abs(d_ba)
+    md_sq = np.square(np.maximum(abs_ab, abs_ba))
+    return gap * gap, md_sq, abs_ab, abs_ba
+
+
+def _pairs_mm_sq(
+    a_lo: np.ndarray,
+    a_hi: np.ndarray,
+    b_lo: np.ndarray,
+    b_hi: np.ndarray,
+    d: int,
+    abs_ab: np.ndarray,
+    abs_ba: np.ndarray,
+) -> np.ndarray:
+    """One dimension's squared MAXMIN part for row pairs (2-D fast path)."""
+    alo = a_lo[:, d]
+    ahi = a_hi[:, d]
+    blo = b_lo[:, d]
+    bhi = b_hi[:, d]
+    mid = (blo + bhi) / 2.0
+    at_lo = np.minimum(np.abs(alo - blo), abs_ab)
+    at_hi = np.minimum(abs_ba, np.abs(ahi - bhi))
+    mm = np.maximum(at_lo, at_hi)
+    inside = (alo <= mid) & (mid <= ahi)
+    if np.any(inside):
+        at_mid = np.minimum(np.abs(mid - blo), np.abs(mid - bhi))
+        mm = np.where(inside, np.maximum(mm, at_mid), mm)
+    return mm * mm
+
+
+def minmindist_maxmaxdist_pairs(
+    a_lo: np.ndarray, a_hi: np.ndarray, b_lo: np.ndarray, b_hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(MINMINDIST, MAXMAXDIST)`` for row pairs ``(a[i], b[i])``.
+
+    All operands are ``(n, D)`` arrays; returns two ``(n,)`` arrays.
+    """
+    if a_lo.shape[1] == 2:
+        gap_sq0, md_sq0, _, _ = _pairs_dim_parts(a_lo, a_hi, b_lo, b_hi, 0)
+        gap_sq1, md_sq1, _, _ = _pairs_dim_parts(a_lo, a_hi, b_lo, b_hi, 1)
+        return np.sqrt(gap_sq0 + gap_sq1), np.sqrt(md_sq0 + md_sq1)
+    d_ab = a_lo - b_hi
+    d_ba = b_lo - a_hi
+    gap = np.maximum(0.0, np.maximum(d_ba, d_ab))
+    mind = np.sqrt(np.sum(gap * gap, axis=1))
+    md = np.maximum(np.abs(d_ab), np.abs(d_ba))
+    maxd = np.sqrt(np.sum(np.square(md, out=md), axis=1))
+    return mind, maxd
+
+
+def minmindist_nxndist_pairs(
+    a_lo: np.ndarray, a_hi: np.ndarray, b_lo: np.ndarray, b_hi: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(MINMINDIST, NXNDIST)`` for row pairs ``(a[i], b[i])``.
+
+    All operands are ``(n, D)`` arrays; returns two ``(n,)`` arrays.  The
+    NXNDIST half is Algorithm 1 in the additive sweep-substitution form
+    (see :func:`nxndist`), preserving ``MINMINDIST <= NXNDIST`` bitwise.
+    """
+    if a_lo.shape[1] == 2:
+        gap_sq0, md_sq0, abs_ab0, abs_ba0 = _pairs_dim_parts(a_lo, a_hi, b_lo, b_hi, 0)
+        gap_sq1, md_sq1, abs_ab1, abs_ba1 = _pairs_dim_parts(a_lo, a_hi, b_lo, b_hi, 1)
+        mind = np.sqrt(gap_sq0 + gap_sq1)
+        mm_sq0 = _pairs_mm_sq(a_lo, a_hi, b_lo, b_hi, 0, abs_ab0, abs_ba0)
+        mm_sq1 = _pairs_mm_sq(a_lo, a_hi, b_lo, b_hi, 1, abs_ab1, abs_ba1)
+        # Sweep-dimension choice: >= picks dimension 0 on ties, exactly
+        # as np.argmax does in ``_nxn_substitute_sweep``.
+        sweep0 = md_sq0 - mm_sq0 >= md_sq1 - mm_sq1
+        return mind, np.sqrt(np.where(sweep0, mm_sq0 + md_sq1, md_sq0 + mm_sq1))
+    d_ab = a_lo - b_hi
+    d_ba = b_lo - a_hi
+    gap = np.maximum(0.0, np.maximum(d_ba, d_ab))
+    mind = np.sqrt(np.sum(gap * gap, axis=1))
+
+    abs_ab = np.abs(d_ab)  # |a.lo - b.hi|
+    abs_ba = np.abs(d_ba)  # |a.hi - b.lo|
+    md_sq = np.square(np.maximum(abs_ab, abs_ba))
+
+    mid = (b_lo + b_hi) / 2.0
+    at_lo = np.minimum(np.abs(a_lo - b_lo), abs_ab)
+    at_hi = np.minimum(abs_ba, np.abs(a_hi - b_hi))
+    mm = np.maximum(at_lo, at_hi)
+    inside = (a_lo <= mid) & (mid <= a_hi)
+    if np.any(inside):
+        at_mid = np.minimum(np.abs(mid - b_lo), np.abs(mid - b_hi))
+        mm = np.where(inside, np.maximum(mm, at_mid), mm)
+    mm_sq = mm**2
+    return mind, _nxn_substitute_sweep(md_sq, mm_sq, axis=1)

@@ -17,7 +17,9 @@ from .metrics import (
     maxmaxdist_batch,
     maxmaxdist_cross,
     minmindist_maxmaxdist_cross,
+    minmindist_maxmaxdist_pairs,
     minmindist_nxndist_cross,
+    minmindist_nxndist_pairs,
     nxndist,
     nxndist_batch,
     nxndist_cross,
@@ -61,6 +63,24 @@ class PruningMetric(Enum):
         if self is PruningMetric.NXNDIST:
             return minmindist_nxndist_cross(a, b)
         return minmindist_maxmaxdist_cross(a, b)
+
+    def pair_rows(
+        self,
+        a_lo: np.ndarray,
+        a_hi: np.ndarray,
+        b_lo: np.ndarray,
+        b_hi: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(MINMINDIST, upper bound)`` for row pairs ``(a[i], b[i])``.
+
+        The frontier engine's workhorse: one call scores an arbitrary
+        gather of (query rect, target rect) pairs — a whole traversal
+        level — with values bit-identical to :meth:`cross_pair` on the
+        corresponding cross elements.
+        """
+        if self is PruningMetric.NXNDIST:
+            return minmindist_nxndist_pairs(a_lo, a_hi, b_lo, b_hi)
+        return minmindist_maxmaxdist_pairs(a_lo, a_hi, b_lo, b_hi)
 
     def __str__(self) -> str:
         return self.value.upper()

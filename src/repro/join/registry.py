@@ -27,6 +27,7 @@ from typing import Any
 import numpy as np
 
 from ..config import JoinConfig
+from ..core.frontier import frontier_join
 from ..core.mba import mba_join
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
@@ -113,6 +114,19 @@ def _run_mba(req: JoinRequest) -> tuple[NeighborResult, QueryStats]:
     )
 
 
+def _run_frontier(req: JoinRequest) -> tuple[NeighborResult, QueryStats]:
+    index = _require_index(req)
+    cfg = req.config
+    return frontier_join(
+        index,
+        index,
+        metric=cfg.metric,
+        k=cfg.k,
+        exclude_self=req.exclude_self,
+        trace=req.tracer,
+    )
+
+
 def _run_bnn(req: JoinRequest) -> tuple[NeighborResult, QueryStats]:
     return bnn_join(
         _require_index(req),
@@ -149,6 +163,14 @@ REGISTRY: dict[str, JoinMethod] = {
         ),
         JoinMethod(
             "rba", "R*-tree-based ANN (Section 3.3.2)", "rstar", True, True, _run_mba
+        ),
+        JoinMethod(
+            "mba-frontier",
+            "level-synchronous vectorized MBA frontier engine",
+            "mbrqt",
+            True,
+            False,
+            _run_frontier,
         ),
         JoinMethod(
             "bnn", "batched NN over an R*-tree (Zhang et al.)", "rstar", True, False, _run_bnn

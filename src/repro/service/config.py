@@ -77,6 +77,12 @@ class ServiceConfig:
         (and of the per-flush query-side scratch index).
     cold_flush:
         Drop caches before each flush (measurement discipline).
+    frontier_flush:
+        Answer batched flushes with the level-synchronous frontier
+        engine (:func:`~repro.core.frontier.frontier_join`) instead of
+        the recursive MBA — answer-identical, and faster once flushes
+        coalesce many queries.  Sharded (``workers > 1``) and degraded
+        paths are unaffected.
     compact_threshold:
         Pending delta operations (inserts + tombstones) at which
         :meth:`~repro.service.service.AnnService.insert` /
@@ -100,6 +106,7 @@ class ServiceConfig:
     page_size: int = DEFAULT_PAGE_SIZE
     node_cache_entries: int = 0
     cold_flush: bool = True
+    frontier_flush: bool = False
     compact_threshold: int = 64
     trace: TraceDestination = None
 
@@ -165,6 +172,7 @@ class ServiceConfig:
             "page_size": self.page_size,
             "node_cache_entries": self.node_cache_entries,
             "cold_flush": self.cold_flush,
+            "frontier_flush": self.frontier_flush,
             "compact_threshold": self.compact_threshold,
         }
 

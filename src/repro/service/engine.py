@@ -61,6 +61,7 @@ from typing import ContextManager, Sequence
 import numpy as np
 
 from ..core.geometry import Rect
+from ..core.frontier import frontier_join
 from ..core.mba import mba_join
 from ..core.result import NeighborResult
 from ..core.stats import QueryStats
@@ -508,15 +509,26 @@ class BatchEngine:
             page_size=self.config.page_size, pool_pages=SCRATCH_POOL_PAGES
         )
         q_index = self._scratch_index(live, scratch, version)
-        result, __ = mba_join(
-            q_index,
-            version.index,
-            metric=self.config.metric,
-            k=kmax,
-            exclude_self=False,
-            stats=stats,
-            trace=trace,
-        )
+        if self.config.frontier_flush:
+            result, __ = frontier_join(
+                q_index,
+                version.index,
+                metric=self.config.metric,
+                k=kmax,
+                exclude_self=False,
+                stats=stats,
+                trace=trace,
+            )
+        else:
+            result, __ = mba_join(
+                q_index,
+                version.index,
+                metric=self.config.metric,
+                k=kmax,
+                exclude_self=False,
+                stats=stats,
+                trace=trace,
+            )
         self._fold_io(scratch, stats)
         return result
 

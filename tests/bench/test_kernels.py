@@ -39,10 +39,21 @@ class TestSmokeReport:
             assert row["result"]["pair_count"] == row["n"] * row["k"]
             assert row["result"]["total_distance"] > 0
 
+        # The frontier section covers the same scenarios and must report
+        # identical answers between the two engines.
+        assert [row["label"] for row in report["frontier"]] == labels
+        for row in report["frontier"]:
+            assert row["match"] is True
+            assert row["baseline_wall_s"] > 0
+            assert row["frontier_wall_s"] > 0
+            assert row["speedup"] > 0
+            assert row["result"]["pair_count"] == row["n"] * row["k"]
+
         # The artifact on disk is the same JSON document.
         on_disk = json.loads(out.read_text())
         assert on_disk["schema"] == SCHEMA
         assert [r["label"] for r in on_disk["end_to_end"]] == labels
+        assert [r["label"] for r in on_disk["frontier"]] == labels
 
     def test_node_cache_sees_traffic(self):
         # Acceptance criterion: bidirectional traversal must produce
@@ -61,6 +72,12 @@ class TestSmokeReport:
                 row_a["counters"]["distance_evaluations"]
                 == row_b["counters"]["distance_evaluations"]
             )
+        for row_a, row_b in zip(a["frontier"], b["frontier"]):
+            assert row_a["result"] == row_b["result"]
+            assert (
+                row_a["counters"]["distance_evaluations"]
+                == row_b["counters"]["distance_evaluations"]
+            )
 
     def test_format_report_renders_every_section(self):
         report = kernel_bench(smoke=True, seed=7)
@@ -68,5 +85,6 @@ class TestSmokeReport:
         assert "LPQ push/pop" in text
         assert "Cross metrics" in text
         assert "End-to-end mba_join" in text
+        assert "Frontier engine vs mba_join" in text
         for row in report["end_to_end"]:
             assert row["label"] in text

@@ -28,7 +28,9 @@ from repro.core.metrics import (
     minmindist_batch,
     minmindist_cross,
     minmindist_maxmaxdist_cross,
+    minmindist_maxmaxdist_pairs,
     minmindist_nxndist_cross,
+    minmindist_nxndist_pairs,
     nxndist,
     nxndist_batch,
     nxndist_cross,
@@ -99,6 +101,55 @@ class TestFusedCrossBitExact:
         mm, bound = PruningMetric.MAXMAXDIST.cross_pair(a, b)
         assert np.array_equal(mm, minmindist_cross(a, b))
         assert np.array_equal(bound, maxmaxdist_cross(a, b))
+
+
+class TestPairRowsBitExact:
+    """The frontier's row-wise kernels must equal the cross kernels.
+
+    ``pair_rows(a[i], b[i])`` scores an arbitrary gather of rect pairs;
+    its values (both the 2-D columnar fast path and the general-D
+    reduction) must match the corresponding ``cross`` elements bitwise —
+    the frontier engine's answer-identity to ``mba_join`` rests on it.
+    """
+
+    @given(a=rect_arrays(2), b=rect_arrays(2))
+    @settings(max_examples=150, deadline=None)
+    def test_pairs_2d_fast_path(self, a, b):
+        self._check(a, b)
+
+    @given(a=rect_arrays(3), b=rect_arrays(3))
+    @settings(max_examples=75, deadline=None)
+    def test_pairs_general_path(self, a, b):
+        self._check(a, b)
+
+    @staticmethod
+    def _check(a, b):
+        # Pair up every (i, j) combination as row gathers.
+        ii, jj = np.meshgrid(np.arange(len(a)), np.arange(len(b)), indexing="ij")
+        ii, jj = ii.ravel(), jj.ravel()
+        a_lo, a_hi = a.lo[ii], a.hi[ii]
+        b_lo, b_hi = b.lo[jj], b.hi[jj]
+        mm_c = minmindist_cross(a, b).ravel()
+        mm, nx = minmindist_nxndist_pairs(a_lo, a_hi, b_lo, b_hi)
+        assert np.array_equal(mm, mm_c)
+        assert np.array_equal(nx, nxndist_cross(a, b).ravel())
+        mm2, mx = minmindist_maxmaxdist_pairs(a_lo, a_hi, b_lo, b_hi)
+        assert np.array_equal(mm2, mm_c)
+        assert np.array_equal(mx, maxmaxdist_cross(a, b).ravel())
+
+    @given(a=rect_arrays(2), b=rect_arrays(2))
+    @settings(max_examples=50, deadline=None)
+    def test_pair_rows_dispatch(self, a, b):
+        n = min(len(a), len(b))
+        a_lo, a_hi, b_lo, b_hi = a.lo[:n], a.hi[:n], b.lo[:n], b.hi[:n]
+        for metric, ref in (
+            (PruningMetric.NXNDIST, minmindist_nxndist_pairs),
+            (PruningMetric.MAXMAXDIST, minmindist_maxmaxdist_pairs),
+        ):
+            mm, bound = metric.pair_rows(a_lo, a_hi, b_lo, b_hi)
+            mm_ref, bound_ref = ref(a_lo, a_hi, b_lo, b_hi)
+            assert np.array_equal(mm, mm_ref)
+            assert np.array_equal(bound, bound_ref)
 
 
 class TestScalarBatchCrossBitExact:

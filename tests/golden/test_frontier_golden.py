@@ -1,0 +1,136 @@
+"""Frontier-engine goldens: answer-identical to the recorded fixture.
+
+The level-synchronous frontier engine traverses in a deliberately
+different order from the recursive LPQ engine, so the fixture's
+``pop_sha``/traversal counters do not apply — but the *answer* must be
+bit-identical: the same pairs with the same float distances, hashed with
+the same ``pairs_sha`` discipline the fixture records.  Three layers:
+
+* replay every serial fixture config through :func:`frontier_join` and
+  compare ``pairs_sha``/``pair_count``/``total_distance`` against the
+  recorded ``mba_golden.json`` values;
+* live comparisons against :func:`mba_join` on the grid the fixture does
+  not cover (k=4, decoded-node cache on/off);
+* frontier-specific invariants: a traced run reports the identical
+  record, and two runs produce identical counters (the engine's own
+  counter contract is deterministic).
+"""
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.api import build_index
+from repro.core.frontier import frontier_join
+from repro.core.mba import mba_join
+from repro.core.pruning import PruningMetric
+from repro.core.stats import QueryStats
+from repro.obs.tracer import Tracer
+from repro.storage.manager import StorageManager
+
+from .harness import CONFIGS, PAGE_SIZE, POOL_BYTES, config_id, dataset_points
+
+FIXTURE = Path(__file__).with_name("mba_golden.json")
+GOLDEN = json.loads(FIXTURE.read_text())
+_BY_ID = {record["config"]: record for record in GOLDEN["records"]}
+
+#: The fixture's serial configs — workers do not apply to the frontier.
+SERIAL_CONFIGS = [cfg for cfg in CONFIGS if cfg["workers"] == 1]
+
+
+@pytest.fixture(scope="module")
+def points():
+    return dataset_points()
+
+
+def run_frontier(
+    points: np.ndarray,
+    cfg: dict[str, Any],
+    node_cache_entries: int = 0,
+    trace: Tracer | None = None,
+) -> dict[str, Any]:
+    """One frontier run reduced to the fixture's comparable record shape."""
+    storage = StorageManager.with_pool_bytes(
+        POOL_BYTES, PAGE_SIZE, node_cache_entries=node_cache_entries
+    )
+    index = build_index(points, storage, kind=cfg["kind"])
+    storage.reset_counters()
+    storage.drop_caches()
+    result, stats = frontier_join(
+        index,
+        index,
+        metric=PruningMetric(cfg["metric"]),
+        k=cfg["k"],
+        exclude_self=cfg["exclude_self"],
+        stats=QueryStats(),
+        trace=trace,
+    )
+    pair_hash = hashlib.sha256()
+    n_pairs = 0
+    for r_id, s_id, dist in result.pairs():
+        pair_hash.update(f"{r_id},{s_id},{dist!r}\n".encode())
+        n_pairs += 1
+    return {
+        "config": config_id(cfg),
+        "pair_count": n_pairs,
+        "total_distance": repr(result.total_distance()),
+        "pairs_sha": pair_hash.hexdigest(),
+        "counters": stats.as_dict(),
+    }
+
+
+@pytest.mark.parametrize("cfg", SERIAL_CONFIGS, ids=config_id)
+def test_frontier_matches_recorded_fixture(points, cfg):
+    """The frontier's answer stream is bit-identical to the fixture's."""
+    record = _BY_ID[config_id(cfg)]
+    got = run_frontier(points, cfg)
+    assert got["pairs_sha"] == record["pairs_sha"], "result stream changed"
+    assert got["pair_count"] == record["pair_count"]
+    assert got["total_distance"] == record["total_distance"]
+
+
+@pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+@pytest.mark.parametrize("k", [1, 4])
+@pytest.mark.parametrize("cache", [0, 128])
+def test_frontier_matches_mba_live(points, kind, k, cache):
+    """Beyond the fixture grid: k=4 and the decoded-node cache on/off."""
+    storage = StorageManager.with_pool_bytes(
+        POOL_BYTES, PAGE_SIZE, node_cache_entries=cache
+    )
+    index = build_index(points, storage, kind=kind)
+    ref, __ = mba_join(index, index, k=k, exclude_self=True)
+    got, __ = frontier_join(index, index, k=k, exclude_self=True)
+    assert ref.same_pairs_as(got, tol=0.0)
+
+
+def test_traced_run_is_identical(points):
+    """Tracing only observes: the record must not change under a Tracer."""
+    cfg = {"kind": "mbrqt", "k": 3, "exclude_self": True, "workers": 1, "metric": "nxndist"}
+    plain = run_frontier(points, cfg)
+    tracer = Tracer()
+    traced = run_frontier(points, cfg, trace=tracer)
+    assert traced == plain
+    doc = tracer.finish()
+    assert {"expand", "filter", "gather"} <= set(doc["root"]["stages"])
+
+
+def test_counters_deterministic(points):
+    """The frontier's own counter contract: identical run to run."""
+    cfg = {"kind": "rstar", "k": 3, "exclude_self": True, "workers": 1, "metric": "nxndist"}
+    a = run_frontier(points, cfg)
+    b = run_frontier(points, cfg)
+    assert a == b
+    for name in (
+        "node_expansions",
+        "distance_evaluations",
+        "lpq_enqueues",
+        "lpq_pops",
+        "lpq_filter_discards",
+        "pruned_entries",
+        "result_pairs",
+    ):
+        assert a["counters"][name] > 0

@@ -5,7 +5,7 @@ import pytest
 from repro import JoinConfig, StorageManager, Tracer, brute_force_join
 from repro.join import REGISTRY, JoinOutcome, get_method, method_names, run_join
 
-ALL_METHODS = ("mba", "rba", "bnn", "mnn", "gorder", "hnn")
+ALL_METHODS = ("mba", "rba", "mba-frontier", "bnn", "mnn", "gorder", "hnn")
 
 
 class TestRegistryTable:

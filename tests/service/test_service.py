@@ -102,6 +102,24 @@ class TestBitIdentity:
         for answer, (ids, dists) in zip(answers, expected):
             assert (answer.neighbor_ids, answer.distances) == (ids, dists)
 
+    @pytest.mark.parametrize("kind", ["mbrqt", "rstar"])
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_frontier_flush_equals_nearest_iter(
+        self, target_points, query_points, kind, k
+    ):
+        """``frontier_flush`` swaps the flush engine, never the answers."""
+        expected = reference_answers(target_points, query_points, k=k, kind=kind)
+        cfg = service_config(kind=kind, max_batch=8, frontier_flush=True)
+        service = AnnService(target_points, cfg)
+        tickets = [service.submit(q, k=k) for q in query_points]
+        answers = drain(service, tickets)
+        service.close()
+        assert service.counters.batched_flushes > 0
+        for answer, (ids, dists) in zip(answers, expected):
+            assert not answer.approximate
+            assert answer.neighbor_ids == ids
+            assert answer.distances == dists  # bitwise: no tolerance
+
     def test_mixed_k_in_one_batch(self, target_points, query_points):
         ks = [1, 2, 3, 1, 4]
         queries = query_points[: len(ks)]

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.api import build_index, build_join_indexes
+from repro.core.frontier import frontier_join
 from repro.core.geometry import Rect
 from repro.core.mba import mba_join
 from repro.core.metrics import maxmaxdist, minmindist, nxndist
@@ -102,6 +103,26 @@ class TestAlgorithmsAgree:
 
         res, __ = hnn_join(pts, pts, storage, exclude_self=True)
         assert res.same_pairs_as(ref)
+
+    @given(point_sets(), point_sets())
+    @_slow
+    def test_frontier_matches_brute_force(self, r, s):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        ir, is_ = build_join_indexes(r, s, storage)
+        res, __ = frontier_join(ir, is_)
+        assert res.same_pairs_as(brute_force_join(r, s))
+
+    @given(
+        point_sets(min_n=8, max_n=40),
+        st.integers(1, 6),
+        st.sampled_from(["mbrqt", "rstar"]),
+    )
+    @_slow
+    def test_frontier_aknn_matches_brute_force(self, pts, k, kind):
+        storage = StorageManager(page_size=512, pool_pages=64)
+        index = build_index(pts, storage, kind=kind)
+        res, __ = frontier_join(index, index, k=k, exclude_self=True)
+        assert res.same_pairs_as(brute_force_join(pts, pts, k=k, exclude_self=True))
 
     @given(point_sets(min_n=8, max_n=40), st.integers(1, 6))
     @_slow
