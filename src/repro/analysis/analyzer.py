@@ -2,8 +2,9 @@
 
 ``analyze_project`` is the library entry point (the CLI's ``python -m
 repro analyze`` and the repo-clean test both call it): build the
-:class:`~repro.analysis.model.ProjectModel`, run the three passes
-(race, purity, contract drift), drop findings suppressed inline with
+:class:`~repro.analysis.model.ProjectModel`, run the four passes
+(race, purity, contract drift, spawn discipline), drop findings
+suppressed inline with
 ``# repro-lint: disable=RULE-ID``, and append an ``unused-suppression``
 diagnostic for every analyzer-owned suppression that matched nothing.
 
@@ -19,7 +20,7 @@ from pathlib import Path
 
 from .engine import Diagnostic, unused_suppressions
 from .model import ProjectModel
-from .passes import contracts, purity, race
+from .passes import contracts, procspawn, purity, race
 
 __all__ = ["ANALYZER_RULES", "analyze_project", "analyze_model"]
 
@@ -27,13 +28,19 @@ ANALYZER_RULES: dict[str, str] = {
     **race.RULES,
     **purity.RULES,
     **contracts.RULES,
+    **procspawn.RULES,
 }
 """Rule id -> one-line summary, the analyzer's catalogue (stable ids)."""
 
 
 def analyze_model(model: ProjectModel) -> list[Diagnostic]:
     """Run every pass over an already-built model; suppression-filtered."""
-    raw = race.run(model) + purity.run(model) + contracts.run(model)
+    raw = (
+        race.run(model)
+        + purity.run(model)
+        + contracts.run(model)
+        + procspawn.run(model)
+    )
     ctx_by_path = {mod.display_path: mod.ctx for mod in model.modules.values()}
     found: list[Diagnostic] = []
     for diag in raw:

@@ -8,6 +8,6 @@ diffs against the baseline.
 
 from __future__ import annotations
 
-from . import contracts, purity, race
+from . import contracts, procspawn, purity, race
 
-__all__ = ["race", "purity", "contracts"]
+__all__ = ["race", "purity", "contracts", "procspawn"]

@@ -1,0 +1,111 @@
+"""Process-spawn discipline in multi-process packages (rule ``FORK-001``).
+
+The serving tier forks worker processes from a parent that already runs
+threads (the asyncio front-end's executor pool, the service's flush
+worker).  POSIX ``fork`` in a threaded process clones the calling thread
+only — every other thread vanishes mid-critical-section, so any lock it
+held (allocator, ``multiprocessing`` machinery, the shared cache's
+directory lock) stays locked forever in the child.  The only safe
+default is an **explicit spawn context**: processes boot fresh
+interpreters and inherit nothing mid-flight.
+
+This pass holds the multi-process packages (``{pkg}.serve``,
+``{pkg}.parallel``) to that:
+
+* ``multiprocessing.Process`` / ``Pool`` / ``Pipe`` / ``Queue`` /
+  ``Lock`` reached through the **module** (platform-default context —
+  ``fork`` on Linux) instead of through a ``get_context("spawn")``
+  context object;
+* ``multiprocessing.get_context()`` with no argument, a non-constant
+  argument, or ``"fork"`` — only ``"spawn"`` and ``"forkserver"`` boot
+  clean interpreters;
+* ``concurrent.futures.ProcessPoolExecutor(...)`` without an explicit
+  ``mp_context=`` keyword;
+* ``os.fork()`` anywhere in scope.
+
+``multiprocessing.shared_memory`` / ``resource_tracker`` / connection
+types are data-plane APIs, not process spawns, and stay unflagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..engine import Diagnostic
+from ..model import ModuleInfo, ProjectModel
+
+__all__ = ["RULES", "SCOPED_SUBPACKAGES", "run"]
+
+RULES = {
+    "FORK-001": "process spawn without an explicit spawn context in a "
+    "multi-process package",
+}
+
+SCOPED_SUBPACKAGES = ("serve", "parallel")
+"""Subpackages (relative to the model's package) held to spawn discipline."""
+
+_DEFAULT_CONTEXT_FACTORIES = frozenset(
+    {"Process", "Pool", "Pipe", "Queue", "SimpleQueue", "Lock", "RLock",
+     "Manager", "Event", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+"""`multiprocessing.<name>` module-level factories that silently use the
+platform-default (fork-on-Linux) context."""
+
+_SAFE_METHODS = frozenset({"spawn", "forkserver"})
+
+
+def _in_scope(mod: ModuleInfo, package: str) -> bool:
+    rel = mod.name.removeprefix(package + ".")
+    head = rel.split(".", 1)[0]
+    return head in SCOPED_SUBPACKAGES
+
+
+def _check_module(mod: ModuleInfo, package: str) -> Iterator[Diagnostic]:
+    path = mod.display_path
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = mod.ctx.dotted_name(node.func) or ""
+        line, col = node.lineno, node.col_offset
+        if dotted == "os.fork":
+            yield Diagnostic(
+                path, line, col, "FORK-001",
+                "os.fork() in a multi-process package — fork from a threaded "
+                "parent deadlocks; use an explicit spawn context",
+            )
+        elif dotted == "multiprocessing.get_context":
+            method = None
+            if node.args and isinstance(node.args[0], ast.Constant):
+                method = node.args[0].value
+            if method not in _SAFE_METHODS:
+                got = "no argument" if not node.args else f"{method!r}"
+                yield Diagnostic(
+                    path, line, col, "FORK-001",
+                    f"get_context({got}) — pass 'spawn' (or 'forkserver') "
+                    "explicitly; the platform default is fork on Linux",
+                )
+        elif dotted.startswith("multiprocessing."):
+            tail = dotted.removeprefix("multiprocessing.")
+            if tail in _DEFAULT_CONTEXT_FACTORIES:
+                yield Diagnostic(
+                    path, line, col, "FORK-001",
+                    f"multiprocessing.{tail}() uses the platform-default "
+                    "context — go through get_context('spawn')",
+                )
+        elif dotted.endswith("ProcessPoolExecutor"):
+            if not any(kw.arg == "mp_context" for kw in node.keywords):
+                yield Diagnostic(
+                    path, line, col, "FORK-001",
+                    "ProcessPoolExecutor without mp_context= — pass "
+                    "get_context('spawn') explicitly",
+                )
+
+
+def run(model: ProjectModel) -> list[Diagnostic]:
+    """Run the spawn-discipline pass over the scoped subpackages."""
+    out: list[Diagnostic] = []
+    for mod in model.modules.values():
+        if _in_scope(mod, model.package):
+            out.extend(_check_module(mod, model.package))
+    return out

@@ -18,9 +18,13 @@ These commands cover the common workflows without writing any code:
   cross metrics, end-to-end ``mba_join``) and write ``BENCH_core.json``.
 * ``serve`` — run the online micro-batching ANN query service
   (:mod:`repro.service`) over a generated dataset; ``--once`` does a
-  single self-query round trip (the CI smoke).
+  single self-query round trip (the CI smoke).  ``--replicas N`` serves
+  from N mapped-epoch replica processes behind the asyncio front-end
+  (:mod:`repro.serve`) instead — the multi-process CI smoke.
 * ``service-bench`` — closed-loop micro-batching sweep (throughput and
-  latency quantiles vs. coalescing window) writing ``BENCH_service.json``.
+  latency quantiles vs. coalescing window) writing ``BENCH_service.json``
+  with an open-loop Poisson-arrival section; ``--processes 1 2 4`` adds
+  the multi-process replica-scaling section.
 * ``update-bench`` — query latency under a sustained insert/delete
   stream with epoch compactions, every hot swap verified against a
   scratch-rebuilt index; writes ``BENCH_updates.json``.
@@ -283,10 +287,104 @@ def _cmd_parallel_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args: argparse.Namespace, points: np.ndarray) -> int:
+    """``serve --replicas N``: the multi-process topology (repro.serve).
+
+    Spawns N mapped-epoch replica processes behind the asyncio
+    front-end, pushes the probe queries through least-loaded routing,
+    and (with ``--once``) asserts the self-query round trip — the CI
+    multi-process smoke.
+    """
+    import asyncio
+    import tempfile
+
+    from .serve import Frontend, ReplicaCluster, ServeConfig
+    from .service import ServiceConfig
+
+    try:
+        cfg = ServeConfig(
+            replicas=args.replicas,
+            cache_slots=args.cache_slots,
+            max_batch=args.max_batch,
+            deadline_ms=args.deadline_ms,
+            trace=args.trace,
+            service=ServiceConfig(
+                max_batch=args.max_batch,
+                max_delay_ms=args.max_delay_ms,
+                queue_capacity=args.queue_capacity,
+                cold_flush=False,
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(str(exc)) from None
+    n_requests = 1 if args.once else args.requests
+    if n_requests < 1:
+        raise SystemExit(f"--requests must be >= 1, got {n_requests}")
+    rng = np.random.default_rng(args.seed + 1)
+    queries = points[rng.integers(0, len(points), size=n_requests)]
+
+    async def run() -> tuple[list, dict]:
+        frontend = Frontend(cluster)
+        await frontend.start()
+        try:
+            answers = list(
+                await asyncio.gather(
+                    *(frontend.submit(q, k=args.k, client="cli") for q in queries)
+                )
+            )
+        finally:
+            sections = await frontend.drain()
+        return answers, sections
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cluster = ReplicaCluster(points, cfg, tmp)
+        try:
+            answers, sections = asyncio.run(run())
+        finally:
+            cluster.close()
+
+    service = sections["service"]
+    exact = sum(1 for a in answers if not a.approximate)
+    print(f"serve — {args.dataset} (n={args.n:,}, D={points.shape[1]}), "
+          f"{n_requests} self-quer{'y' if n_requests == 1 else 'ies'}, "
+          f"k={args.k}, {args.replicas} replica processes")
+    print(f"  answered         : {int(service['answered'])} ({exact} exact, "
+          f"{len(answers) - exact} degraded)")
+    print(f"  batches          : {int(service['batches'])} across "
+          f"{len(sections['replica'])} replicas")
+    print(f"  shed             : quota {int(service['shed_quota'])}, "
+          f"overload {int(service['shed_overload'])}, "
+          f"deadline {int(service['shed_deadline'])}")
+    if args.once:
+        answer = answers[0]
+        print(f"  self-query answer: ids={list(answer.neighbor_ids)} "
+              f"dists={[f'{d:.6f}' for d in answer.distances]}")
+        if answer.distances and answer.distances[0] == 0.0:
+            print("  round-trip       : OK (nearest neighbour is the query point)")
+        else:
+            raise SystemExit("self-query round trip failed: expected distance 0.0")
+    if args.trace is not None:
+        print(f"  trace            : wrote {args.trace}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import AnnService, ServiceConfig
 
     points = _make_dataset(args.dataset, args.n, args.dims, args.seed)
+    if args.replicas < 1:
+        raise SystemExit(f"--replicas must be >= 1, got {args.replicas}")
+    if args.replicas > 1:
+        if args.workers != 1:
+            raise SystemExit("--workers shards a single service; with --replicas "
+                             "the replica processes are the parallelism")
+        if args.frontier_flush:
+            raise SystemExit("--frontier-flush applies to the single-process "
+                             "service, not --replicas")
+        return _cmd_serve_cluster(args, points)
+    if args.cache_slots:
+        raise SystemExit("--cache-slots is the shared cross-process cache; "
+                         "it requires --replicas >= 2")
     try:
         cfg = ServiceConfig(
             max_batch=args.max_batch,
@@ -348,6 +446,7 @@ def _cmd_service_bench(args: argparse.Namespace) -> int:
             kind=args.kind,
             seed=args.seed,
             smoke=args.smoke,
+            processes=tuple(args.processes) if args.processes else None,
             out_path=out,
         )
     except ValueError as exc:
@@ -502,6 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frontier-flush", action="store_true",
                    help="answer batched flushes with the level-synchronous "
                         "frontier engine (mba-frontier) instead of recursive MBA")
+    p.add_argument("--replicas", type=int, default=1,
+                   help="serve from N mapped-epoch replica processes behind "
+                        "the asyncio front-end (repro.serve) instead of the "
+                        "single-process service")
+    p.add_argument("--cache-slots", type=int, default=0,
+                   help="shared cross-process decoded-node cache slots "
+                        "(requires --replicas >= 2; 0 disables)")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--trace", default=None, metavar="OUT.json",
                    help="write the service trace artifact (per-batch spans, "
@@ -526,6 +632,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--smoke", action="store_true",
                    help="seconds-long CI configuration (same code paths)")
+    p.add_argument("--processes", type=int, nargs="+", default=None,
+                   help="also sweep replica counts against the multi-process "
+                        "serving cluster (first must be the 1-replica "
+                        "baseline); adds the 'multiprocess' artifact section")
     p.add_argument("--out", default="BENCH_service.json",
                    help="artifact path ('-' to skip writing)")
     p.set_defaults(fn=_cmd_service_bench)

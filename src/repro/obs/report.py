@@ -201,6 +201,27 @@ def _service_section(doc: dict[str, Any]) -> list[str]:
     return lines
 
 
+def _replica_section(doc: dict[str, Any]) -> list[str]:
+    replicas = doc["replica"]
+    lines = ["Replica counters (multi-process serve):"]
+    if not replicas:
+        lines.append("(empty replica section)")
+        return lines
+    names = sorted(replicas)
+    counter_names = sorted({key for counters in replicas.values() for key in counters})
+    headers = ["counter"] + names
+    rows = [
+        [counter]
+        + [
+            _fmt_num(replicas[name][counter]) if counter in replicas[name] else "-"
+            for name in names
+        ]
+        for counter in counter_names
+    ]
+    lines += _table(headers, rows)
+    return lines
+
+
 def format_trace_report(doc: dict[str, Any]) -> str:
     """The full text report for one (already validated) trace document."""
     meta = doc["meta"]
@@ -217,4 +238,7 @@ def format_trace_report(doc: dict[str, Any]) -> str:
     if "service" in doc:
         lines.append("")
         lines += _service_section(doc)
+    if "replica" in doc:
+        lines.append("")
+        lines += _replica_section(doc)
     return "\n".join(lines)

@@ -47,6 +47,16 @@ TRACE_SCHEMA: dict[str, Any] = {
         # submissions, rejections, degradations, flush-mode breakdown.
         # Optional — offline traces omit the key entirely.
         "service": {"type": "object", "additionalProperties": {"type": "number"}},
+        # Per-replica counters of a multi-process serving run
+        # (repro.serve): batches, answered, sheds, swaps — one flat
+        # counter map per replica name.  Optional, like ``service``.
+        "replica": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "additionalProperties": {"type": "number"},
+            },
+        },
     },
     "definitions": {
         "span": {
@@ -150,7 +160,7 @@ def _check_stage(obj: object, path: str) -> None:
 
 _SPAN_KEYS = {"name", "start_s", "duration_s", "attrs", "counters", "stages", "children"}
 
-_OPTIONAL_KEYS = {"service"}
+_OPTIONAL_KEYS = {"service", "replica"}
 """Optional top-level keys.  Must mirror the non-required properties of
 :data:`TRACE_SCHEMA` exactly — the lockstep test derives the expected
 set from the schema document and fails if either side drifts."""
@@ -207,4 +217,8 @@ def validate_trace(doc: object) -> dict[str, Any]:
     _check_span(root["root"], "$.root")
     if "service" in root:
         _check_counter_map(root["service"], "$.service")
+    if "replica" in root:
+        replicas = _require_mapping(root["replica"], "$.replica")
+        for name, counters in replicas.items():
+            _check_counter_map(counters, f"$.replica.{name}")
     return root

@@ -292,6 +292,7 @@ class Tracer:
         meta: Mapping[str, Any] | None = None,
         totals: Mapping[str, float] | None = None,
         service: Mapping[str, float] | None = None,
+        replica: Mapping[str, Mapping[str, float]] | None = None,
     ) -> dict[str, Any]:
         """Close the root span and build the trace document.
 
@@ -300,8 +301,10 @@ class Tracer:
         for a sharded run these include the worker counters that the
         coordinator's own sources never saw.  ``service`` carries the
         lifetime counters of an online service run (submissions,
-        rejections, flush-mode breakdown); the key is present in the
-        document only when given, so offline traces are unchanged.
+        rejections, flush-mode breakdown); ``replica`` carries one flat
+        counter map per replica of a multi-process serving run.  Each
+        key is present in the document only when given, so offline
+        traces are unchanged.
         """
         if len(self._stack) != 1:
             open_spans = ", ".join(s.name for s in self._stack[1:])
@@ -319,6 +322,11 @@ class Tracer:
         }
         if service is not None:
             self.document["service"] = {k: float(v) for k, v in service.items()}
+        if replica is not None:
+            self.document["replica"] = {
+                name: {k: float(v) for k, v in counters.items()}
+                for name, counters in replica.items()
+            }
         return self.document
 
 
@@ -388,11 +396,14 @@ class TraceSession:
         meta: Mapping[str, Any] | None = None,
         totals: Mapping[str, float] | None = None,
         service: Mapping[str, float] | None = None,
+        replica: Mapping[str, Mapping[str, float]] | None = None,
     ) -> dict[str, Any] | None:
         """Finish the trace; validate and write it if a path was given."""
         if self.tracer is None:
             return None
-        doc = self.tracer.finish(meta=meta, totals=totals, service=service)
+        doc = self.tracer.finish(
+            meta=meta, totals=totals, service=service, replica=replica
+        )
         # Validate before writing: an artifact that fails its own schema
         # should never reach disk.  Imported lazily to keep the module
         # dependency graph acyclic.

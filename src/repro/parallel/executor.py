@@ -31,6 +31,7 @@ in-process, which keeps 1-worker baselines comparable to N-worker runs.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -257,7 +258,13 @@ def parallel_mba_join(
     if len(tasks) == 1:
         outcomes = [run_shard(tasks[0])]
     else:
-        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+        # Explicit spawn context (FORK-001): forking from a process that
+        # already started threads — a traced run, a serving parent —
+        # clones held locks into the child and deadlocks.
+        with ProcessPoolExecutor(
+            max_workers=len(tasks),
+            mp_context=multiprocessing.get_context("spawn"),
+        ) as pool:
             outcomes = list(pool.map(run_shard, tasks))
 
     # Deterministic, order-independent reduction: shard id order, disjoint

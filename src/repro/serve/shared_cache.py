@@ -1,0 +1,276 @@
+"""Cross-process decoded-node cache over one shared-memory segment.
+
+Every replica process decodes the same hot nodes (the root, the top of
+the tree) from the same mapped epoch.  :class:`SharedNodeCache` lets
+them share that work: a fixed-geometry, direct-mapped table of
+**encoded node payloads** in a ``multiprocessing.shared_memory``
+segment.  Payload bytes — not Python objects — cross the process
+boundary, so a hit is ``decode(payload)`` of exactly the bytes the page
+path would have assembled: bit-identical nodes, minus the page I/O.
+
+Layout (``n_slots`` slots, ``slot_bytes`` payload capacity each)::
+
+    [ header: n_slots × 3 int64  (namespace, node_id, length) ]
+    [ payload: n_slots × slot_bytes uint8                     ]
+
+Concurrency discipline: one ``multiprocessing.Lock`` guards the whole
+table — header and payload views are annotated ``# guarded-by: _lock``
+and every access (get, put, clear) runs inside ``with self._lock``, so
+the PR-6 race pass can prove the protocol.  A slot is always written
+payload-first, header-last, and both under the lock, so no reader can
+observe a torn entry.  Collisions simply evict (direct-mapped): the
+table is a cache, not a store, and an evicted node costs one page-path
+re-read.
+
+Counters (hits/misses/evictions/oversize) are **per process** — plain
+attributes, no shared state — and surface through
+:meth:`~repro.storage.manager.StorageManager.io_snapshot` as
+``shared_cache_hits`` / ``shared_cache_misses``, so each replica's
+trace attributes exactly its own traffic.
+
+Lifecycle: the cluster parent :meth:`creates <SharedNodeCache.create>`
+the segment and is the only process that unlinks it; replicas
+:meth:`attach <SharedNodeCache.attach>` by name via a picklable
+:class:`SharedCacheHandle` passed in the spawn arguments.  On Python
+< 3.13 every attaching process's resource tracker would otherwise
+"clean up" (destroy) the segment when that process exits, so attach
+unregisters the mapping from the tracker — ownership stays with the
+creator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+__all__ = ["SharedCacheHandle", "SharedNodeCache", "DEFAULT_SLOT_BYTES"]
+
+_ATTACH_LOCK = threading.Lock()
+"""Serialises the brief resource-tracker patch in :meth:`attach`
+(inline replicas attach from threads of one process)."""
+
+DEFAULT_SLOT_BYTES = 8192
+"""Default payload capacity per slot: one page-sized node."""
+
+_HEADER_FIELDS = 3
+"""Per-slot header int64s: namespace, node id, payload length."""
+
+_EMPTY = -1
+"""Namespace value marking a never-written (or cleared) slot."""
+
+#: Odd multipliers for the slot hash; any fixed mix works, it only has
+#: to be identical in every process (Python's ``hash`` on ints is, but
+#: an explicit formula documents that nothing seeds it per process).
+_MIX_NAMESPACE = 0x9E3779B1
+_MIX_NODE = 0x85EBCA77
+
+
+@dataclass(frozen=True)
+class SharedCacheHandle:
+    """Everything a replica needs to attach: name, geometry, the lock.
+
+    Picklable only through process inheritance (``multiprocessing.Lock``
+    travels in ``Process`` arguments, not over pipes) — which is the
+    only place the cluster sends it.
+    """
+
+    name: str
+    n_slots: int
+    slot_bytes: int
+    lock: Any
+
+
+class SharedNodeCache:
+    """One process's view of the shared payload table.
+
+    Implements the :class:`~repro.storage.node_file.PayloadCache`
+    protocol, so it plugs into ``NodeFile.bind_shared_cache`` directly.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        n_slots: int,
+        slot_bytes: int,
+        lock: Any,
+        owner: bool,
+    ) -> None:
+        self.segment_bytes(n_slots, slot_bytes)  # geometry validation
+        self._shm = shm
+        self._lock = lock  # guards _headers and _payloads (all processes)
+        self.n_slots = n_slots
+        self.slot_bytes = slot_bytes
+        self._owner = owner
+        header_count = n_slots * _HEADER_FIELDS
+        # guarded-by: _lock
+        self._headers: np.ndarray | None = np.frombuffer(
+            shm.buf, dtype=np.int64, count=header_count
+        ).reshape(n_slots, _HEADER_FIELDS)
+        # guarded-by: _lock
+        self._payloads: np.ndarray | None = np.frombuffer(
+            shm.buf, dtype=np.uint8, offset=header_count * 8
+        )[: n_slots * slot_bytes].reshape(n_slots, slot_bytes)
+        # Per-process traffic counters (not shared; each replica reports
+        # its own through io_snapshot).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversize = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @staticmethod
+    def segment_bytes(n_slots: int, slot_bytes: int) -> int:
+        """Shared-memory footprint of a table with this geometry."""
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"slot_bytes must be >= 1, got {slot_bytes}")
+        return n_slots * _HEADER_FIELDS * 8 + n_slots * slot_bytes
+
+    @classmethod
+    def create(
+        cls,
+        n_slots: int,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        ctx: Any = None,
+    ) -> "SharedNodeCache":
+        """Create the segment and its lock (cluster parent side)."""
+        ctx = ctx if ctx is not None else multiprocessing.get_context("spawn")
+        shm = shared_memory.SharedMemory(
+            create=True, size=cls.segment_bytes(n_slots, slot_bytes)
+        )
+        cache = cls(shm, n_slots, slot_bytes, ctx.Lock(), owner=True)
+        cache.clear()
+        return cache
+
+    def handle(self) -> SharedCacheHandle:
+        """The picklable attach token for replica spawn arguments."""
+        return SharedCacheHandle(
+            name=self._shm.name,
+            n_slots=self.n_slots,
+            slot_bytes=self.slot_bytes,
+            lock=self._lock,
+        )
+
+    @classmethod
+    def attach(cls, handle: SharedCacheHandle) -> "SharedNodeCache":
+        """Attach to an existing segment (replica side)."""
+        # Python < 3.13 registers an attached segment with the resource
+        # tracker, which would unlink (destroy) it on process exit even
+        # though the creator still owns it — and because spawned
+        # replicas share the parent's tracker, register/unregister pairs
+        # from sibling replicas collide in its name set (KeyError noise
+        # at exit).  Suppress the registration instead of undoing it.
+        with _ATTACH_LOCK:
+            original_register = resource_tracker.register
+
+            def _skip_shared_memory(name: str, rtype: str) -> None:
+                if rtype != "shared_memory":
+                    original_register(name, rtype)
+
+            resource_tracker.register = _skip_shared_memory
+            try:
+                shm = shared_memory.SharedMemory(name=handle.name)
+            finally:
+                resource_tracker.register = original_register
+        return cls(shm, handle.n_slots, handle.slot_bytes, handle.lock, owner=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping; the owner also destroys the segment."""
+        if self._headers is None:
+            return
+        with self._lock:
+            # The numpy views export the shm buffer; release them before
+            # close() or the memoryview refuses to detach.
+            self._headers = None
+            self._payloads = None
+        self._shm.close()
+        if self._owner:
+            self._shm.unlink()
+
+    # -- the table -----------------------------------------------------------
+
+    def _slot(self, namespace: int, node_id: int) -> int:
+        return (namespace * _MIX_NAMESPACE + node_id * _MIX_NODE) % self.n_slots
+
+    def get(self, namespace: int, node_id: int) -> bytes | None:
+        """The cached payload for ``(namespace, node_id)``, or ``None``."""
+        slot = self._slot(namespace, node_id)
+        with self._lock:
+            headers = self._headers
+            payloads = self._payloads
+            if headers is None or payloads is None:
+                raise RuntimeError("shared cache is closed")
+            ns, nid, length = (int(v) for v in headers[slot])
+            if ns == namespace and nid == node_id:
+                payload = payloads[slot, :length].tobytes()
+                self.hits += 1
+                return payload
+        self.misses += 1
+        return None
+
+    def put(self, namespace: int, node_id: int, payload: bytes) -> bool:
+        """Admit a payload, evicting whatever occupied its slot.
+
+        Returns ``False`` (counted ``oversize``) for payloads wider than
+        a slot — they stay page-path only.
+        """
+        if len(payload) > self.slot_bytes:
+            self.oversize += 1
+            return False
+        slot = self._slot(namespace, node_id)
+        data = np.frombuffer(payload, dtype=np.uint8)
+        with self._lock:
+            headers = self._headers
+            payloads = self._payloads
+            if headers is None or payloads is None:
+                raise RuntimeError("shared cache is closed")
+            ns, nid = int(headers[slot, 0]), int(headers[slot, 1])
+            if ns != _EMPTY and (ns, nid) != (namespace, node_id):
+                self.evictions += 1
+            # Payload first, header last — a concurrent get (under the
+            # same lock) can never see a header pointing at stale bytes.
+            payloads[slot, : len(payload)] = data
+            headers[slot] = (namespace, node_id, len(payload))
+        return True
+
+    def clear(self) -> None:
+        """Invalidate every slot (owner calls this at creation)."""
+        with self._lock:
+            headers = self._headers
+            if headers is None:
+                raise RuntimeError("shared cache is closed")
+            headers[:, 0] = _EMPTY
+            headers[:, 1] = _EMPTY
+            headers[:, 2] = 0
+
+    def occupancy(self) -> int:
+        """How many slots currently hold an entry."""
+        with self._lock:
+            headers = self._headers
+            if headers is None:
+                raise RuntimeError("shared cache is closed")
+            return int((headers[:, 0] != _EMPTY).sum())
+
+    # -- accounting ----------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        """This process's traffic counters (PayloadCache protocol)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "oversize": self.oversize,
+        }
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversize = 0

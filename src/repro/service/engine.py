@@ -83,7 +83,7 @@ from ..storage.versioning import IndexVersion, VersionManager
 from .config import ServiceConfig
 from .request import Request
 
-__all__ = ["BatchEngine", "FlushOutcome", "RawAnswer"]
+__all__ = ["BatchEngine", "FlushOutcome", "RawAnswer", "execute_pinned", "fold_io"]
 
 #: Pool budget of the per-flush scratch manager holding the query-side
 #: index.  The scratch tree is tiny (max_batch points); a handful of
@@ -310,325 +310,359 @@ class BatchEngine:
             version = self.versions.pin()
             delta = self.delta.freeze()
         try:
-            return self._execute_pinned(requests, now_s, version, delta, trace)
+            return execute_pinned(self.config, requests, now_s, version, delta, trace)
         finally:
             self.versions.release(version)
 
-    def _execute_pinned(
-        self,
-        requests: Sequence[Request],
-        now_s: float,
-        version: IndexVersion,
-        delta: DeltaView,
-        trace: Tracer | None,
-    ) -> FlushOutcome:
-        if self.config.cold_flush:
-            version.manager.drop_caches()
-        version.manager.reset_counters()
-        stats = QueryStats()
-        answers: dict[int, RawAnswer] = {}
-        live = [r for r in requests if not r.past_deadline(now_s)]
-        late = [r for r in requests if r.past_deadline(now_s)]
 
-        def stage(name: str) -> ContextManager[None]:
-            return trace.stage(name) if trace is not None else nullcontext()
+# -- the shared flush path ---------------------------------------------------
+#
+# Module-level on purpose: :class:`BatchEngine` (the single-process
+# service) and :mod:`repro.serve.replica` (mapped-epoch worker
+# processes) execute flushes through these *same* functions, so replica
+# answers are bit-identical to the single-process service by
+# construction — one code path, parameterised only by the config and
+# the pinned (version, delta) pair.
 
-        with ExitStack() as scope:
-            if trace is not None and not trace.has_source("stats"):
-                scope.enter_context(trace.source("stats", stats.as_dict))
-            t0 = time.process_time()
-            with stage("degrade"):
-                for request in late:
-                    answers[request.request_id] = self._budgeted_browse(
-                        request, stats, version, delta
-                    )
-            mode = "degraded"
-            if live and version.size == 0:
-                # Fully-tombstoned base: every answer comes from the
-                # delta alone (a merge against zero base candidates).
-                mode = "singleton" if len(live) == 1 else "batched"
-                with stage("traverse"):
-                    for request in live:
-                        ids, dists = merge_answer(
-                            np.empty(0, dtype=np.int64),
-                            np.empty(0),
-                            request.point,
-                            request.k,
-                            delta,
-                        )
-                        answers[request.request_id] = (ids, dists, False)
-            elif len(live) == 1:
-                mode = "singleton"
-                with stage("traverse"):
-                    answers[live[0].request_id] = self._exact_single(
-                        live[0], stats, version, delta
-                    )
-            elif live:
-                # Over-fetch by the tombstone count: each tombstone can
-                # mask at most one base candidate, so k survivors remain.
-                kmax = max(r.k for r in live) + delta.n_tombstones
-                use_shards = (
-                    self.config.workers > 1
-                    and len(live) >= self.config.parallel_threshold
+
+def execute_pinned(
+    config: ServiceConfig,
+    requests: Sequence[Request],
+    now_s: float,
+    version: IndexVersion,
+    delta: DeltaView,
+    trace: Tracer | None = None,
+) -> FlushOutcome:
+    """Answer one flushed batch against an already-pinned epoch.
+
+    The caller owns the pin/release bracket (and the delta freeze);
+    this function never touches the version chain.  Mapped epochs
+    (``version.snapshot is None``) are valid for every mode except
+    ``sharded``, which needs a snapshot for its worker threads to
+    re-reopen.
+    """
+    if config.cold_flush:
+        version.manager.drop_caches()
+    version.manager.reset_counters()
+    stats = QueryStats()
+    answers: dict[int, RawAnswer] = {}
+    live = [r for r in requests if not r.past_deadline(now_s)]
+    late = [r for r in requests if r.past_deadline(now_s)]
+
+    def stage(name: str) -> ContextManager[None]:
+        return trace.stage(name) if trace is not None else nullcontext()
+
+    with ExitStack() as scope:
+        if trace is not None and not trace.has_source("stats"):
+            scope.enter_context(trace.source("stats", stats.as_dict))
+        t0 = time.process_time()
+        with stage("degrade"):
+            for request in late:
+                answers[request.request_id] = _budgeted_browse(
+                    config, request, stats, version, delta
                 )
-                mode = "sharded" if use_shards else "batched"
-                with stage("traverse"):
-                    if use_shards:
-                        result = self._sharded_join(live, kmax, stats, trace, version)
-                    else:
-                        result = self._batched_join(live, kmax, stats, trace, version)
-                for i, request in enumerate(live):
-                    bucket = result.neighbors_of(i)[: request.k + delta.n_tombstones]
+        mode = "degraded"
+        if live and version.size == 0:
+            # Fully-tombstoned base: every answer comes from the
+            # delta alone (a merge against zero base candidates).
+            mode = "singleton" if len(live) == 1 else "batched"
+            with stage("traverse"):
+                for request in live:
                     ids, dists = merge_answer(
-                        np.asarray([s_id for __, s_id in bucket], dtype=np.int64),
-                        np.asarray([dist for dist, __ in bucket]),
+                        np.empty(0, dtype=np.int64),
+                        np.empty(0),
                         request.point,
                         request.k,
                         delta,
                     )
                     answers[request.request_id] = (ids, dists, False)
-            stats.cpu_time_s += time.process_time() - t0
-        self._fold_io(version.manager, stats)
-        return FlushOutcome(
-            answers=answers,
-            stats=stats,
-            mode=mode,
-            n_exact=len(live),
-            n_degraded=len(late),
-            epoch=version.epoch,
-        )
+        elif len(live) == 1:
+            mode = "singleton"
+            with stage("traverse"):
+                answers[live[0].request_id] = _exact_single(
+                    live[0], stats, version, delta
+                )
+        elif live:
+            # Over-fetch by the tombstone count: each tombstone can
+            # mask at most one base candidate, so k survivors remain.
+            kmax = max(r.k for r in live) + delta.n_tombstones
+            use_shards = (
+                config.workers > 1 and len(live) >= config.parallel_threshold
+            )
+            mode = "sharded" if use_shards else "batched"
+            with stage("traverse"):
+                if use_shards:
+                    result = _sharded_join(config, live, kmax, stats, trace, version)
+                else:
+                    result = _batched_join(config, live, kmax, stats, trace, version)
+            for i, request in enumerate(live):
+                bucket = result.neighbors_of(i)[: request.k + delta.n_tombstones]
+                ids, dists = merge_answer(
+                    np.asarray([s_id for __, s_id in bucket], dtype=np.int64),
+                    np.asarray([dist for dist, __ in bucket]),
+                    request.point,
+                    request.k,
+                    delta,
+                )
+                answers[request.request_id] = (ids, dists, False)
+        stats.cpu_time_s += time.process_time() - t0
+    fold_io(version.manager, stats)
+    return FlushOutcome(
+        answers=answers,
+        stats=stats,
+        mode=mode,
+        n_exact=len(live),
+        n_degraded=len(late),
+        epoch=version.epoch,
+    )
 
-    # -- execution modes -----------------------------------------------------
 
-    def _exact_single(
-        self,
-        request: Request,
-        stats: QueryStats,
-        version: IndexVersion,
-        delta: DeltaView,
-    ) -> RawAnswer:
-        """Singleton fallback: incremental browsing, first k results.
+# -- execution modes ---------------------------------------------------------
 
-        With an empty delta, bit-identical to a standalone
-        ``nearest_iter`` over the same store — the golden test's baseline
-        and the B=1 service mode.  With a delta, over-fetched by the
-        tombstone count and merged.
-        """
-        k_eff = request.k + delta.n_tombstones
-        ids: list[int] = []
-        dists: list[float] = []
+
+def _exact_single(
+    request: Request,
+    stats: QueryStats,
+    version: IndexVersion,
+    delta: DeltaView,
+) -> RawAnswer:
+    """Singleton fallback: incremental browsing, first k results.
+
+    With an empty delta, bit-identical to a standalone
+    ``nearest_iter`` over the same store — the golden test's baseline
+    and the B=1 service mode.  With a delta, over-fetched by the
+    tombstone count and merged.
+    """
+    k_eff = request.k + delta.n_tombstones
+    ids: list[int] = []
+    dists: list[float] = []
+    for dist, point_id, __ in nearest_iter(version.index, request.point, stats):
+        ids.append(point_id)
+        dists.append(dist)
+        if len(ids) >= k_eff:
+            break
+    merged_ids, merged_dists = merge_answer(
+        np.asarray(ids, dtype=np.int64), np.asarray(dists),
+        request.point, request.k, delta,
+    )
+    return merged_ids, merged_dists, False
+
+
+def _budgeted_browse(
+    config: ServiceConfig,
+    request: Request,
+    stats: QueryStats,
+    version: IndexVersion,
+    delta: DeltaView,
+) -> RawAnswer:
+    """Graceful degradation: browse under a node-expansion budget.
+
+    The generator's frontier is exact at every step, so whatever it
+    has yielded when the budget runs out is the true ordered prefix
+    of the k-NN (over base ⊎ delta after the merge) — possibly
+    short, never wrong — flagged approximate because completeness
+    was sacrificed.
+    """
+    budget = config.degrade_budget
+    k_eff = request.k + delta.n_tombstones
+    ids: list[int] = []
+    dists: list[float] = []
+    if budget > 0:
+        start = stats.node_expansions
         for dist, point_id, __ in nearest_iter(version.index, request.point, stats):
             ids.append(point_id)
             dists.append(dist)
-            if len(ids) >= k_eff:
+            if len(ids) >= k_eff or stats.node_expansions - start >= budget:
                 break
-        merged_ids, merged_dists = merge_answer(
-            np.asarray(ids, dtype=np.int64), np.asarray(dists),
-            request.point, request.k, delta,
+    merged_ids, merged_dists = merge_answer(
+        np.asarray(ids, dtype=np.int64), np.asarray(dists),
+        request.point, request.k, delta,
+    )
+    return merged_ids, merged_dists, True
+
+
+def _build_query_index(
+    config: ServiceConfig,
+    points: np.ndarray,
+    storage: StorageManager,
+    point_ids: np.ndarray | None,
+    universe: Rect | None = None,
+) -> PagedIndex:
+    if config.kind == "mbrqt":
+        return build_mbrqt(points, storage, point_ids=point_ids, universe=universe)
+    return build_rstar(points, storage, point_ids=point_ids)
+
+
+def _scratch_index(
+    config: ServiceConfig,
+    live: Sequence[Request],
+    storage: StorageManager,
+    version: IndexVersion,
+) -> PagedIndex:
+    """Pack the batch's query points into a tiny query-side index.
+
+    Query ids are batch positions (0..n-1), so the join result maps
+    straight back to requests.  The MBRQT universe is widened to
+    cover the target's root cell: queries may fall outside the
+    target's bounding box, and a shared universe keeps the partition
+    boundaries aligned where the two trees overlap (Section 3.2).
+    """
+    q_points = np.stack([r.point for r in live])
+    universe = None
+    if config.kind == "mbrqt":
+        root = version.index.root_rect
+        universe = Rect(
+            np.minimum(q_points.min(axis=0), root.lo),
+            np.maximum(q_points.max(axis=0), root.hi),
         )
-        return merged_ids, merged_dists, False
+    return _build_query_index(
+        config,
+        q_points,
+        storage,
+        np.arange(len(live), dtype=np.int64),
+        universe=universe,
+    )
 
-    def _budgeted_browse(
-        self,
-        request: Request,
-        stats: QueryStats,
-        version: IndexVersion,
-        delta: DeltaView,
-    ) -> RawAnswer:
-        """Graceful degradation: browse under a node-expansion budget.
 
-        The generator's frontier is exact at every step, so whatever it
-        has yielded when the budget runs out is the true ordered prefix
-        of the k-NN (over base ⊎ delta after the merge) — possibly
-        short, never wrong — flagged approximate because completeness
-        was sacrificed.
-        """
-        budget = self.config.degrade_budget
-        k_eff = request.k + delta.n_tombstones
-        ids: list[int] = []
-        dists: list[float] = []
-        if budget > 0:
-            start = stats.node_expansions
-            for dist, point_id, __ in nearest_iter(version.index, request.point, stats):
-                ids.append(point_id)
-                dists.append(dist)
-                if len(ids) >= k_eff or stats.node_expansions - start >= budget:
-                    break
-        merged_ids, merged_dists = merge_answer(
-            np.asarray(ids, dtype=np.int64), np.asarray(dists),
-            request.point, request.k, delta,
+def _batched_join(
+    config: ServiceConfig,
+    live: Sequence[Request],
+    kmax: int,
+    stats: QueryStats,
+    trace: Tracer | None,
+    version: IndexVersion,
+) -> NeighborResult:
+    scratch = StorageManager(
+        page_size=config.page_size, pool_pages=SCRATCH_POOL_PAGES
+    )
+    q_index = _scratch_index(config, live, scratch, version)
+    if config.frontier_flush:
+        result, __ = frontier_join(
+            q_index,
+            version.index,
+            metric=config.metric,
+            k=kmax,
+            exclude_self=False,
+            stats=stats,
+            trace=trace,
         )
-        return merged_ids, merged_dists, True
+    else:
+        result, __ = mba_join(
+            q_index,
+            version.index,
+            metric=config.metric,
+            k=kmax,
+            exclude_self=False,
+            stats=stats,
+            trace=trace,
+        )
+    fold_io(scratch, stats)
+    return result
 
-    def _build(
-        self,
-        points: np.ndarray,
-        storage: StorageManager,
-        point_ids: np.ndarray | None,
-        universe: Rect | None = None,
-    ) -> PagedIndex:
-        if self.config.kind == "mbrqt":
-            return build_mbrqt(points, storage, point_ids=point_ids, universe=universe)
-        return build_rstar(points, storage, point_ids=point_ids)
 
-    def _scratch_index(
-        self, live: Sequence[Request], storage: StorageManager, version: IndexVersion
-    ) -> PagedIndex:
-        """Pack the batch's query points into a tiny query-side index.
+def _sharded_join(
+    config: ServiceConfig,
+    live: Sequence[Request],
+    kmax: int,
+    stats: QueryStats,
+    trace: Tracer | None,
+    version: IndexVersion,
+) -> NeighborResult:
+    """Large flush: shard the scratch index across worker threads.
 
-        Query ids are batch positions (0..n-1), so the join result maps
-        straight back to requests.  The MBRQT universe is widened to
-        cover the target's root cell: queries may fall outside the
-        target's bounding box, and a shared universe keeps the partition
-        boundaries aligned where the two trees overlap (Section 3.2).
-        """
-        q_points = np.stack([r.point for r in live])
-        universe = None
-        if self.config.kind == "mbrqt":
-            root = version.index.root_rect
-            universe = Rect(
-                np.minimum(q_points.min(axis=0), root.lo),
-                np.maximum(q_points.max(axis=0), root.hi),
+    Reuses the :mod:`repro.parallel` planning machinery (subtree
+    roots, LPT bin-packing, Lemma 3.2 seed bounds); each thread
+    reopens *both* snapshots read-only with its own exact-partition
+    slice of the pool budget, so threads share no mutable storage
+    state and the aggregate pool memory of a sharded flush never
+    exceeds the serial flush's.
+    """
+    base_snapshot = version.snapshot
+    if base_snapshot is None:
+        raise ValueError(
+            "sharded flush needs version.snapshot; mapped epochs serve workers=1"
+        )
+    n_workers = config.workers
+    scratch = StorageManager(
+        page_size=config.page_size, pool_pages=SCRATCH_POOL_PAGES
+    )
+    q_index = _scratch_index(config, live, scratch, version)
+    roots = q_index.shard_roots(min_roots=n_workers)
+    shards = pack_shards(roots, n_workers)
+    q_spec = q_index.detach()
+    q_snapshot = scratch.snapshot()
+    fold_io(scratch, stats)
+    seeds = [
+        tuple(
+            shard_seed_bound(
+                root.rect, version.index.root_rect, version.size,
+                config.metric, kmax,
             )
-        return self._build(
-            q_points,
-            storage,
-            np.arange(len(live), dtype=np.int64),
-            universe=universe,
+            for root in shard
         )
+        for shard in shards
+    ]
+    stats.record_distances(sum(len(s) for s in seeds))
 
-    def _batched_join(
-        self,
-        live: Sequence[Request],
-        kmax: int,
-        stats: QueryStats,
-        trace: Tracer | None,
-        version: IndexVersion,
-    ) -> NeighborResult:
-        scratch = StorageManager(
-            page_size=self.config.page_size, pool_pages=SCRATCH_POOL_PAGES
+    def run_shard(
+        shard_id: int, shard: list[ShardRoot], shard_seeds: tuple[float, ...]
+    ) -> tuple[NeighborResult, QueryStats]:
+        # Per-shard budget shares partition the serial budgets
+        # exactly (shard i of n gets share i, not every shard the
+        # same over-counted slice).
+        target = StorageManager.reopen(
+            base_snapshot,
+            pool_pages=worker_pool_pages(
+                config.pool_pages, len(shards), shard_id
+            ),
+            node_cache_entries=worker_node_cache_entries(
+                config.node_cache_entries, len(shards), shard_id
+            ),
         )
-        q_index = self._scratch_index(live, scratch, version)
-        if self.config.frontier_flush:
-            result, __ = frontier_join(
-                q_index,
-                version.index,
-                metric=self.config.metric,
+        s_index = PagedIndex.attach(version.spec, target)
+        q_manager = StorageManager.reopen(
+            q_snapshot,
+            pool_pages=worker_pool_pages(SCRATCH_POOL_PAGES, len(shards), shard_id),
+        )
+        q_shard = PagedIndex.attach(q_spec, q_manager)
+        # No per-thread CPU timing: ``process_time`` already sums the
+        # CPU of every thread in the process, so the flush-level delta
+        # in :func:`execute_pinned` covers shard work without double
+        # counting.
+        local = QueryStats()
+        merged = NeighborResult(kmax)
+        for root, seed in zip(shard, shard_seeds):
+            part, __ = mba_join(
+                q_shard,
+                s_index,
+                metric=config.metric,
                 k=kmax,
                 exclude_self=False,
-                stats=stats,
-                trace=trace,
+                stats=local,
+                root_entry=root,
+                seed_bound=seed,
             )
-        else:
-            result, __ = mba_join(
-                q_index,
-                version.index,
-                metric=self.config.metric,
-                k=kmax,
-                exclude_self=False,
-                stats=stats,
-                trace=trace,
-            )
-        self._fold_io(scratch, stats)
-        return result
+            merged.merge(part)
+        fold_io(target, local)
+        fold_io(q_manager, local)
+        return merged, local
 
-    def _sharded_join(
-        self,
-        live: Sequence[Request],
-        kmax: int,
-        stats: QueryStats,
-        trace: Tracer | None,
-        version: IndexVersion,
-    ) -> NeighborResult:
-        """Large flush: shard the scratch index across worker threads.
+    with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+        outcomes = list(pool.map(run_shard, range(len(shards)), shards, seeds))
+    result = NeighborResult(kmax)
+    for merged, local in outcomes:
+        result.merge(merged)
+        stats.merge(local)
+    if trace is not None:
+        trace.counter("service.shard_flush_threads", len(shards))
+    return result
 
-        Reuses the :mod:`repro.parallel` planning machinery (subtree
-        roots, LPT bin-packing, Lemma 3.2 seed bounds); each thread
-        reopens *both* snapshots read-only with its own exact-partition
-        slice of the pool budget, so threads share no mutable storage
-        state and the aggregate pool memory of a sharded flush never
-        exceeds the serial flush's.
-        """
-        n_workers = self.config.workers
-        scratch = StorageManager(
-            page_size=self.config.page_size, pool_pages=SCRATCH_POOL_PAGES
-        )
-        q_index = self._scratch_index(live, scratch, version)
-        roots = q_index.shard_roots(min_roots=n_workers)
-        shards = pack_shards(roots, n_workers)
-        q_spec = q_index.detach()
-        q_snapshot = scratch.snapshot()
-        self._fold_io(scratch, stats)
-        seeds = [
-            tuple(
-                shard_seed_bound(
-                    root.rect, version.index.root_rect, version.size,
-                    self.config.metric, kmax,
-                )
-                for root in shard
-            )
-            for shard in shards
-        ]
-        stats.record_distances(sum(len(s) for s in seeds))
 
-        def run_shard(
-            shard_id: int, shard: list[ShardRoot], shard_seeds: tuple[float, ...]
-        ) -> tuple[NeighborResult, QueryStats]:
-            # Per-shard budget shares partition the serial budgets
-            # exactly (shard i of n gets share i, not every shard the
-            # same over-counted slice).
-            target = StorageManager.reopen(
-                version.snapshot,
-                pool_pages=worker_pool_pages(
-                    self.config.pool_pages, len(shards), shard_id
-                ),
-                node_cache_entries=worker_node_cache_entries(
-                    self.config.node_cache_entries, len(shards), shard_id
-                ),
-            )
-            s_index = PagedIndex.attach(version.spec, target)
-            q_manager = StorageManager.reopen(
-                q_snapshot,
-                pool_pages=worker_pool_pages(SCRATCH_POOL_PAGES, len(shards), shard_id),
-            )
-            q_shard = PagedIndex.attach(q_spec, q_manager)
-            # No per-thread CPU timing: ``process_time`` already sums the
-            # CPU of every thread in the process, so the flush-level delta
-            # in :meth:`execute` covers shard work without double counting.
-            local = QueryStats()
-            merged = NeighborResult(kmax)
-            for root, seed in zip(shard, shard_seeds):
-                part, __ = mba_join(
-                    q_shard,
-                    s_index,
-                    metric=self.config.metric,
-                    k=kmax,
-                    exclude_self=False,
-                    stats=local,
-                    root_entry=root,
-                    seed_bound=seed,
-                )
-                merged.merge(part)
-            self._fold_io(target, local)
-            self._fold_io(q_manager, local)
-            return merged, local
-
-        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
-            outcomes = list(pool.map(run_shard, range(len(shards)), shards, seeds))
-        result = NeighborResult(kmax)
-        for merged, local in outcomes:
-            result.merge(merged)
-            stats.merge(local)
-        if trace is not None:
-            trace.counter("service.shard_flush_threads", len(shards))
-        return result
-
-    @staticmethod
-    def _fold_io(manager: StorageManager, stats: QueryStats) -> None:
-        """Absorb a manager's I/O counters into the batch's stats."""
-        io = manager.io_snapshot()
-        stats.logical_reads += io["logical_reads"]
-        stats.page_misses += io["page_misses"]
-        stats.io_time_s += io["io_time_s"]
-        stats.node_cache_hits += io["node_cache_hits"]
-        stats.node_cache_misses += io["node_cache_misses"]
+def fold_io(manager: StorageManager, stats: QueryStats) -> None:
+    """Absorb a manager's I/O counters into the batch's stats."""
+    io = manager.io_snapshot()
+    stats.logical_reads += io["logical_reads"]
+    stats.page_misses += io["page_misses"]
+    stats.io_time_s += io["io_time_s"]
+    stats.node_cache_hits += io["node_cache_hits"]
+    stats.node_cache_misses += io["node_cache_misses"]

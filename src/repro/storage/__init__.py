@@ -15,8 +15,18 @@ from .manager import (
     worker_node_cache_entries,
     worker_pool_pages,
 )
+from .mapped import (
+    EPOCH_FORMAT,
+    EpochMeta,
+    MappedPageStore,
+    load_epoch_spec,
+    map_manager,
+    map_store,
+    read_epoch_meta,
+    write_epoch,
+)
 from .node_cache import DecodedNodeCache
-from .node_file import NodeFile, NodeFileSpec
+from .node_file import NodeFile, NodeFileSpec, PayloadCache
 from .serialization import (
     decode_internal,
     decode_leaf,
@@ -42,6 +52,15 @@ __all__ = [
     "DecodedNodeCache",
     "NodeFile",
     "NodeFileSpec",
+    "PayloadCache",
+    "EPOCH_FORMAT",
+    "EpochMeta",
+    "MappedPageStore",
+    "write_epoch",
+    "read_epoch_meta",
+    "load_epoch_spec",
+    "map_store",
+    "map_manager",
     "encode_internal",
     "decode_internal",
     "encode_leaf",

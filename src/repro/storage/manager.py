@@ -16,7 +16,7 @@ from typing import TypedDict
 from .buffer_pool import BufferPool, pool_pages_for_bytes
 from .disk import DEFAULT_PAGE_SIZE, DiskModel, PageStore
 from .node_cache import DecodedNodeCache
-from .node_file import NodeFile
+from .node_file import NodeFile, PayloadCache
 
 __all__ = [
     "StorageManager",
@@ -38,6 +38,8 @@ class IOSnapshot(TypedDict):
     io_time_s: float
     node_cache_hits: int
     node_cache_misses: int
+    shared_cache_hits: int
+    shared_cache_misses: int
 
 DEFAULT_POOL_PAGES = 64
 """64 pages × 8 KB = the paper's default 512 KB buffer pool."""
@@ -131,6 +133,9 @@ class StorageManager:
         self.node_cache = (  # guarded-by: owner
             DecodedNodeCache(node_cache_entries) if node_cache_entries > 0 else None
         )
+        # Optional cross-process payload cache (see bind_shared_cache);
+        # its hit/miss counters ride along in io_snapshot().
+        self.shared_cache: PayloadCache | None = None
         self.readonly = False
 
     @classmethod
@@ -199,8 +204,49 @@ class StorageManager:
         manager.node_cache = (
             DecodedNodeCache(node_cache_entries) if node_cache_entries > 0 else None
         )
+        manager.shared_cache = None
         manager.readonly = True
         return manager
+
+    @classmethod
+    def attach_store(
+        cls,
+        store: PageStore,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        node_cache_entries: int = 0,
+    ) -> "StorageManager":
+        """Wrap an existing (typically mapped) store in a read-only manager.
+
+        The zero-copy counterpart of :meth:`reopen`: instead of
+        rebuilding the page list from a snapshot's page tuple, the
+        caller supplies the store itself — e.g. a
+        :class:`~repro.storage.mapped.MappedPageStore` over a published
+        epoch artifact, so N replica processes map one file instead of
+        each holding a copy.  Everything above the store (pool, decoded
+        cache, counters) is fresh and private, exactly as in
+        :meth:`reopen`.
+        """
+        manager = cls.__new__(cls)
+        manager.page_size = store.page_size
+        manager.store = store
+        manager.pool = BufferPool(store, capacity_pages=pool_pages)
+        manager.node_cache = (
+            DecodedNodeCache(node_cache_entries) if node_cache_entries > 0 else None
+        )
+        manager.shared_cache = None
+        manager.readonly = True
+        return manager
+
+    def bind_shared_cache(self, cache: PayloadCache | None) -> None:
+        """Attach the cross-process payload cache for counter surfacing.
+
+        The cache itself is consulted by :class:`~repro.storage.node_file.
+        NodeFile` (bound per file with the epoch namespace); the manager
+        only holds a reference so :meth:`io_snapshot` /
+        :meth:`layer_counters` can report its hit/miss traffic alongside
+        the local layers.
+        """
+        self.shared_cache = cache
 
     # -- accounting ---------------------------------------------------------
 
@@ -220,6 +266,7 @@ class StorageManager:
     def io_snapshot(self) -> IOSnapshot:
         """Current physical/logical I/O counters and simulated I/O time."""
         cache = self.node_cache
+        shared = self.shared_cache.counters() if self.shared_cache is not None else {}
         return IOSnapshot(
             logical_reads=self.pool.logical_reads,
             page_misses=self.pool.misses,
@@ -228,6 +275,8 @@ class StorageManager:
             io_time_s=self.store.io_time_s,
             node_cache_hits=cache.hits if cache is not None else 0,
             node_cache_misses=cache.misses if cache is not None else 0,
+            shared_cache_hits=shared.get("hits", 0),
+            shared_cache_misses=shared.get("misses", 0),
         )
 
     def layer_counters(self) -> dict[str, float]:
@@ -247,4 +296,7 @@ class StorageManager:
         out["disk.physical_reads"] = float(self.store.physical_reads)
         out["disk.physical_writes"] = float(self.store.physical_writes)
         out["disk.io_time_s"] = self.store.io_time_s
+        if self.shared_cache is not None:
+            for key, count in self.shared_cache.counters().items():
+                out[f"shared.{key}"] = float(count)
         return out

@@ -24,16 +24,41 @@ from __future__ import annotations
 import itertools
 from collections.abc import Callable
 from dataclasses import dataclass
-from typing import Any, TypeVar, cast
+from typing import Any, Protocol, TypeVar, cast
 
 from .buffer_pool import BufferPool
 from .node_cache import DecodedNodeCache
 
-__all__ = ["NodeFile", "NodeFileSpec"]
+__all__ = ["NodeFile", "NodeFileSpec", "PayloadCache"]
 
 T = TypeVar("T")
 
 _file_uid_counter = itertools.count()
+
+
+class PayloadCache(Protocol):
+    """A cache of *encoded* node payloads shared across processes.
+
+    Keys are ``(namespace, node_id)`` where the namespace is chosen by
+    the binder (replica workers use the published epoch number, which is
+    stable across processes — unlike :class:`NodeFile`'s per-process
+    ``_uid``).  Values are the exact payload bytes the file would
+    assemble from its pages, so a hit decodes to a bit-identical node
+    without touching the buffer pool.  Implementations count their own
+    hits/misses; see :mod:`repro.serve.shared_cache`.
+    """
+
+    def get(self, namespace: int, node_id: int) -> bytes | None:
+        """The cached payload, or ``None`` on a miss."""
+        ...
+
+    def put(self, namespace: int, node_id: int, payload: bytes) -> bool:
+        """Admit a payload; ``False`` when it does not fit a slot."""
+        ...
+
+    def counters(self) -> dict[str, int]:
+        """This process's hit/miss/eviction counters."""
+        ...
 
 
 class _PageFrame:
@@ -78,6 +103,9 @@ class NodeFile:
         self.pack_pages = pack_pages
         # Optional decoded-node LRU layered above the pool (see node_cache).
         self.node_cache = node_cache
+        # Optional cross-process payload cache (see bind_shared_cache).
+        self.shared_cache: PayloadCache | None = None
+        self._shared_namespace = 0
         # node id -> tuple of (page_id, offset, length) chunks
         self._directory: list[tuple[tuple[int, int, int], ...]] = []
         self._uid = next(_file_uid_counter)
@@ -164,6 +192,18 @@ class NodeFile:
 
     # -- reading -------------------------------------------------------------
 
+    def bind_shared_cache(self, cache: PayloadCache | None, namespace: int = 0) -> None:
+        """Layer a cross-process :class:`PayloadCache` above the pool.
+
+        ``namespace`` must identify the *content* of this file across
+        processes — replica workers pass the published epoch number — so
+        two processes mapping the same epoch share entries while files
+        from different epochs can never collide.  Pass ``None`` to
+        unbind.
+        """
+        self.shared_cache = cache
+        self._shared_namespace = namespace
+
     def _fetch_frame(self, page_id: int) -> _PageFrame:
         return self.pool.fetch(page_id, _PageFrame)
 
@@ -176,6 +216,12 @@ class NodeFile:
         eviction up to the cache's entry budget; a cache hit performs no
         pool access at all (no logical read, no miss — the hit is counted
         on the cache instead, see :mod:`repro.storage.node_cache`).
+
+        With a shared :class:`PayloadCache` bound, the *encoded payload*
+        is additionally shared across processes: a shared hit decodes
+        locally (bit-identical to the page path — same bytes, same
+        ``decode``) and performs no pool access; a shared miss runs the
+        normal page path and then publishes the payload it assembled.
         """
         cache = self.node_cache
         if cache is not None:
@@ -183,6 +229,14 @@ class NodeFile:
             hit = cache.get(key)
             if hit is not None:
                 return cast(T, hit)
+        shared = self.shared_cache
+        if shared is not None:
+            payload = shared.get(self._shared_namespace, node_id)
+            if payload is not None:
+                shared_obj = decode(payload)
+                if cache is not None:
+                    cache.put((self._uid, node_id), shared_obj)
+                return shared_obj
         chunks = self._directory[node_id]
         first_frame = self._fetch_frame(chunks[0][0])
         cached = first_frame.nodes.get(node_id)
@@ -192,14 +246,17 @@ class NodeFile:
             return cast(T, cached)
         if len(chunks) == 1:
             page_id, offset, length = chunks[0]
-            obj = decode(first_frame.raw[offset : offset + length])
+            raw = first_frame.raw[offset : offset + length]
         else:
             parts = [first_frame.raw[chunks[0][1] : chunks[0][1] + chunks[0][2]]]
             for page_id, offset, length in chunks[1:]:
                 frame = self._fetch_frame(page_id)
                 parts.append(frame.raw[offset : offset + length])
-            obj = decode(b"".join(parts))
+            raw = b"".join(parts)
+        obj = decode(raw)
         first_frame.nodes[node_id] = obj
         if cache is not None:
             cache.put((self._uid, node_id), obj)
+        if shared is not None:
+            shared.put(self._shared_namespace, node_id, raw)
         return obj

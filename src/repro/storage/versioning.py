@@ -43,10 +43,16 @@ class IndexVersion:
     ``manager``/``index`` are the coordinator's own read-only reopen;
     worker threads re-reopen from ``snapshot``/``spec`` with their own
     budget slices, exactly like :mod:`repro.parallel` shards do.
+
+    ``snapshot`` is ``None`` for *mapped* epochs (a replica process that
+    attached a published epoch artifact via :mod:`repro.storage.mapped`
+    rather than holding the page tuple in memory) — such versions serve
+    single-worker flushes only, since there is no snapshot for sharded
+    worker threads to re-reopen.
     """
 
     epoch: int
-    snapshot: StorageSnapshot
+    snapshot: StorageSnapshot | None
     spec: PagedIndexSpec
     manager: StorageManager
     index: PagedIndex

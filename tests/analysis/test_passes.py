@@ -451,6 +451,115 @@ class TestContractsPass:
         assert diags == []
 
 
+class TestProcSpawnPass:
+    def test_default_context_process_fires_fork_001(self, tmp_path):
+        diags = _analyze(tmp_path, {
+            "serve/replica.py": """
+                import multiprocessing
+
+                def boot(main):
+                    proc = multiprocessing.Process(target=main)
+                    proc.start()
+                    return proc
+            """,
+        })
+        assert _rules(diags) == ["FORK-001"]
+        assert "Process" in diags[0].message
+
+    def test_bare_get_context_fires_fork_001(self, tmp_path):
+        diags = _analyze(tmp_path, {
+            "parallel/executor.py": """
+                from multiprocessing import get_context
+
+                def pool():
+                    return get_context().Pool(2)
+            """,
+        })
+        assert _rules(diags) == ["FORK-001"]
+        assert "no argument" in diags[0].message
+
+    def test_fork_context_fires_fork_001(self, tmp_path):
+        diags = _analyze(tmp_path, {
+            "serve/cluster.py": """
+                import multiprocessing as mp
+
+                def ctx():
+                    return mp.get_context("fork")
+            """,
+        })
+        assert _rules(diags) == ["FORK-001"]
+        assert "'fork'" in diags[0].message
+
+    def test_executor_without_mp_context_fires_fork_001(self, tmp_path):
+        diags = _analyze(tmp_path, {
+            "parallel/executor.py": """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def pool(n):
+                    return ProcessPoolExecutor(max_workers=n)
+            """,
+        })
+        assert _rules(diags) == ["FORK-001"]
+        assert "mp_context" in diags[0].message
+
+    def test_os_fork_fires_fork_001(self, tmp_path):
+        diags = _analyze(tmp_path, {
+            "serve/frontend.py": """
+                import os
+
+                def daemonize():
+                    return os.fork()
+            """,
+        })
+        assert _rules(diags) == ["FORK-001"]
+
+    def test_spawn_context_is_clean(self, tmp_path):
+        diags = _analyze(tmp_path, {
+            "serve/replica.py": """
+                import multiprocessing
+                from concurrent.futures import ProcessPoolExecutor
+
+                def boot(main):
+                    ctx = multiprocessing.get_context("spawn")
+                    parent, child = ctx.Pipe()
+                    proc = ctx.Process(target=main, args=(child,))
+                    proc.start()
+                    return parent, proc
+
+                def pool(n):
+                    return ProcessPoolExecutor(
+                        max_workers=n,
+                        mp_context=multiprocessing.get_context("spawn"),
+                    )
+            """,
+        })
+        assert diags == []
+
+    def test_outside_scoped_packages_is_exempt(self, tmp_path):
+        # The discipline binds the multi-process packages only; a bench
+        # script using default-context helpers is not in scope.
+        diags = _analyze(tmp_path, {
+            "bench/load.py": """
+                import multiprocessing
+
+                def boot(main):
+                    return multiprocessing.Process(target=main)
+            """,
+        })
+        assert diags == []
+
+    def test_shared_memory_apis_not_flagged(self, tmp_path):
+        diags = _analyze(tmp_path, {
+            "serve/shared_cache.py": """
+                from multiprocessing import shared_memory
+
+                def segment(size):
+                    return shared_memory.SharedMemory(create=True, size=size)
+            """,
+        })
+        assert diags == []
+
+
 class TestOutputFormats:
     """Acceptance: a seeded violation carries its stable rule id in both
     JSON and SARIF output."""

@@ -142,6 +142,10 @@ class TestRStarGoldenReplay:
         want_ids, want_pts = range_query(reference, UNIT)
         assert sorted(got_ids.tolist()) == sorted(want_ids.tolist())
         # ...and identical ordered browse streams (distances bitwise).
+        # Ids are only determined below the cutoff distance: when several
+        # points tie exactly at the 10th distance, either tree may surface
+        # any of the tied ids in its prefix, so the comparison stops at
+        # the tie boundary.
         probe = np.array([0.5, 0.5])
         got = sorted(
             (d, i) for d, i, __ in itertools.islice(nearest_iter(incremental, probe), 10)
@@ -149,7 +153,12 @@ class TestRStarGoldenReplay:
         want = sorted(
             (d, i) for d, i, __ in itertools.islice(nearest_iter(reference, probe), 10)
         )
-        assert got == want
+        assert [d for d, __ in got] == [d for d, __ in want]
+        if got:
+            cutoff = got[-1][0]
+            assert sorted(i for d, i in got if d < cutoff) == sorted(
+                i for d, i in want if d < cutoff
+            )
 
 
 class TestMutableSurface:

@@ -139,3 +139,30 @@ class TestServiceSection:
 
     def test_offline_docs_have_no_service_section(self):
         assert "Service counters" not in format_trace_report(make_traced_doc())
+
+
+class TestReplicaSection:
+    def make_replica_doc(self):
+        doc = make_traced_doc()
+        doc["replica"] = {
+            "replica-0": {"batches": 7.0, "answered": 40.0, "swaps": 1.0},
+            "replica-1": {"batches": 5.0, "answered": 33.0},
+        }
+        return doc
+
+    def test_replica_counters_rendered(self):
+        text = format_trace_report(self.make_replica_doc())
+        assert "Replica counters (multi-process serve):" in text
+        assert "replica-0" in text and "replica-1" in text
+        assert "batches" in text and "swaps" in text
+
+    def test_missing_counter_rendered_as_dash(self):
+        # replica-1 never swapped; its cell is a dash, not a KeyError.
+        text = format_trace_report(self.make_replica_doc())
+        swaps_row = next(
+            line for line in text.splitlines() if line.startswith("swaps")
+        )
+        assert "-" in swaps_row
+
+    def test_offline_docs_have_no_replica_section(self):
+        assert "Replica counters" not in format_trace_report(make_traced_doc())

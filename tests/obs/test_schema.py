@@ -209,6 +209,42 @@ class TestServiceSection:
         assert validate_trace(json.loads(json.dumps(doc)))["service"] == {"batches": 3.0}
 
 
+class TestReplicaSection:
+    """The optional ``replica`` per-replica counter section (serve runs)."""
+
+    def test_replica_section_accepted(self):
+        doc = Tracer().finish(
+            replica={
+                "replica-0": {"batches": 4, "answered": 17.0},
+                "replica-1": {"batches": 3, "answered": 12.0},
+            }
+        )
+        validated = validate_trace(doc)
+        assert validated["replica"]["replica-0"] == {"batches": 4.0, "answered": 17.0}
+
+    def test_omitted_when_not_given(self):
+        assert "replica" not in Tracer().finish()
+
+    def test_non_numeric_replica_counter_rejected(self):
+        doc = Tracer().finish(replica={"replica-0": {"batches": 1.0}})
+        doc["replica"]["replica-0"]["batches"] = "lots"
+        with pytest.raises(TraceValidationError, match=r"\$\.replica\.replica-0\.batches"):
+            validate_trace(doc)
+
+    def test_replica_entry_must_be_counter_map(self):
+        doc = Tracer().finish(replica={"replica-0": {}})
+        doc["replica"]["replica-0"] = 7
+        with pytest.raises(TraceValidationError, match=r"\$\.replica\.replica-0"):
+            validate_trace(doc)
+
+    def test_round_trips_through_json(self):
+        import json
+
+        doc = Tracer().finish(replica={"replica-0": {"swaps": 2.0}})
+        loaded = validate_trace(json.loads(json.dumps(doc)))
+        assert loaded["replica"] == {"replica-0": {"swaps": 2.0}}
+
+
 class TestOptionalKeyLockstep:
     """TRACE_SCHEMA and the validator must agree on their key sets.
 

@@ -1,0 +1,21 @@
+"""Spawn target for the cross-process shared-cache smoke test.
+
+Lives in its own module (not the test file) so the ``spawn`` start
+method can import it without re-running pytest collection.
+"""
+
+from multiprocessing.connection import Connection
+
+from repro.serve.shared_cache import SharedCacheHandle, SharedNodeCache
+
+
+def cache_child(handle: SharedCacheHandle, conn: Connection) -> None:
+    """Attach, read what the parent wrote, write one entry back."""
+    cache = SharedNodeCache.attach(handle)
+    try:
+        seen = cache.get(7, 1)
+        cache.put(7, 2, b"from-child")
+        conn.send(("seen", seen, cache.counters()))
+    finally:
+        cache.close()
+        conn.close()

@@ -1,0 +1,216 @@
+"""SharedNodeCache: slot discipline, counters, and bit-equal decodes.
+
+The hypothesis property here is the second half of the zero-copy
+equivalence satellite: nodes decoded from shared-cache payload hits are
+bit-equal to nodes decoded by the ``StorageManager`` page path, because
+the cache stores the *encoded payload* and both sides run the same
+``decode``.
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.serve.shared_cache import SharedNodeCache
+from repro.storage import NodeFile, StorageManager
+
+from ._cache_worker import cache_child
+
+PAGE = 256
+
+_quick = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@pytest.fixture
+def cache():
+    c = SharedNodeCache.create(n_slots=8, slot_bytes=64)
+    yield c
+    c.close()
+
+
+class TestTable:
+    def test_roundtrip_and_counters(self, cache):
+        assert cache.get(1, 1) is None
+        assert cache.put(1, 1, b"payload")
+        assert cache.get(1, 1) == b"payload"
+        assert cache.counters() == {
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "oversize": 0,
+        }
+
+    def test_empty_payload(self, cache):
+        assert cache.put(3, 9, b"")
+        assert cache.get(3, 9) == b""
+
+    def test_oversize_payload_skipped(self, cache):
+        assert not cache.put(1, 1, b"x" * 65)
+        assert cache.counters()["oversize"] == 1
+        assert cache.get(1, 1) is None
+
+    def test_collision_evicts(self, cache):
+        # Same slot: keys whose mixed hash lands on the same residue.
+        # n_slots=8, so (ns, id) and (ns, id + 8) collide.
+        assert cache.put(0, 1, b"first")
+        assert cache.put(0, 9, b"second")
+        assert cache.counters()["evictions"] == 1
+        assert cache.get(0, 1) is None
+        assert cache.get(0, 9) == b"second"
+
+    def test_overwrite_same_key_is_not_eviction(self, cache):
+        cache.put(0, 1, b"v1")
+        cache.put(0, 1, b"v2")
+        assert cache.counters()["evictions"] == 0
+        assert cache.get(0, 1) == b"v2"
+
+    def test_namespace_isolation(self, cache):
+        # Different epochs must never alias, even for the same node id
+        # (they may collide on a slot, but never *hit*).
+        cache.put(1, 0, b"epoch1")
+        hit = cache.get(2, 0)
+        assert hit is None
+
+    def test_clear_and_occupancy(self, cache):
+        cache.put(0, 1, b"a")
+        cache.put(0, 2, b"b")
+        assert cache.occupancy() == 2
+        cache.clear()
+        assert cache.occupancy() == 0
+        assert cache.get(0, 1) is None
+
+    def test_closed_cache_raises(self):
+        c = SharedNodeCache.create(n_slots=2, slot_bytes=16)
+        c.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            c.get(0, 0)
+        c.close()  # idempotent
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError, match="n_slots"):
+            SharedNodeCache.create(n_slots=0)
+
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.integers(0, 50),
+                st.binary(min_size=0, max_size=64),
+            ),
+            max_size=30,
+        )
+    )
+    @_quick
+    def test_get_returns_exactly_what_was_put(self, entries):
+        c = SharedNodeCache.create(n_slots=4, slot_bytes=64)
+        try:
+            latest = {}
+            for ns, nid, payload in entries:
+                assert c.put(ns, nid, payload)
+                latest[c._slot(ns, nid)] = (ns, nid, payload)
+            for ns, nid, payload in latest.values():
+                assert c.get(ns, nid) == payload
+        finally:
+            c.close()
+
+
+class TestNodeFileIntegration:
+    def _file_with_nodes(self, payloads, cache=None, namespace=0):
+        manager = StorageManager(page_size=PAGE, pool_pages=8)
+        file = manager.create_file(pack_pages=True)
+        for p in payloads:
+            file.append_node(p)
+        file.flush()
+        if cache is not None:
+            file.bind_shared_cache(cache, namespace=namespace)
+            manager.bind_shared_cache(cache)
+        return manager, file
+
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=0, max_size=2 * PAGE), min_size=1, max_size=10
+        )
+    )
+    @_quick
+    def test_shared_hits_decode_bit_equal(self, payloads):
+        # Two files over the same payloads: one warms the shared cache,
+        # the other reads through it — every decode must be bit-equal to
+        # the plain page path.
+        shared = SharedNodeCache.create(n_slots=64, slot_bytes=4 * PAGE)
+        try:
+            __, warm = self._file_with_nodes(payloads, shared, namespace=5)
+            __, plain = self._file_with_nodes(payloads)
+            for nid in range(len(payloads)):
+                assert warm.read_node(nid, bytes) == plain.read_node(nid, bytes)
+            # Second reader: same epoch namespace, fresh pool — hits the
+            # shared payloads and still decodes identical bytes.
+            manager2, file2 = self._file_with_nodes(payloads, shared, namespace=5)
+            manager2.drop_caches()
+            for nid in range(len(payloads)):
+                assert file2.read_node(nid, bytes) == payloads[nid]
+        finally:
+            shared.close()
+
+    def test_shared_hit_skips_pool(self):
+        shared = SharedNodeCache.create(n_slots=16, slot_bytes=PAGE)
+        try:
+            manager, file = self._file_with_nodes([b"abc", b"def"], shared, 1)
+            manager.reset_counters()
+            file.read_node(0, bytes)  # miss: page path + publish
+            before = manager.io_snapshot()
+            assert before["shared_cache_misses"] == 1
+            assert before["logical_reads"] == 1
+            manager.drop_caches()
+            file.read_node(0, bytes)  # shared hit: no pool access
+            after = manager.io_snapshot()
+            assert after["shared_cache_hits"] == 1
+            assert after["logical_reads"] == before["logical_reads"]
+            assert "shared.hits" in manager.layer_counters()
+        finally:
+            shared.close()
+
+    def test_unbind_restores_page_path(self):
+        shared = SharedNodeCache.create(n_slots=16, slot_bytes=PAGE)
+        try:
+            manager, file = self._file_with_nodes([b"abc"], shared, 1)
+            file.read_node(0, bytes)
+            file.bind_shared_cache(None)
+            manager.bind_shared_cache(None)
+            manager.drop_caches()
+            manager.reset_counters()
+            assert file.read_node(0, bytes) == b"abc"
+            snap = manager.io_snapshot()
+            assert snap["shared_cache_hits"] == 0
+            assert snap["logical_reads"] == 1
+        finally:
+            shared.close()
+
+
+class TestCrossProcess:
+    def test_child_sees_parent_entry(self):
+        ctx = multiprocessing.get_context("spawn")
+        cache = SharedNodeCache.create(n_slots=8, slot_bytes=32, ctx=ctx)
+        try:
+            cache.put(7, 1, b"from-parent")
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=cache_child, args=(cache.handle(), child_conn)
+            )
+            proc.start()
+            child_conn.close()
+            tag, seen, counters = parent_conn.recv()
+            proc.join(timeout=30)
+            assert tag == "seen"
+            assert seen == b"from-parent"
+            assert counters["hits"] == 1
+            # The child's write landed in the shared segment.
+            assert cache.get(7, 2) == b"from-child"
+            assert proc.exitcode == 0
+        finally:
+            cache.close()

@@ -216,6 +216,47 @@ class TestServe:
             main(["serve", "-n", "100", "--requests", "0"])
 
 
+class TestServeReplicas:
+    def test_once_round_trip_multiprocess(self, capsys):
+        # The CI multi-process smoke: two spawned replica processes
+        # behind the asyncio front-end, one probed self-query.
+        args = ["serve", "--replicas", "2", "--once", "-n", "300"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "2 replica processes" in out
+        assert "round-trip       : OK" in out
+
+    def test_replica_serve_writes_trace(self, tmp_path, capsys):
+        from repro import load_trace
+
+        path = tmp_path / "serve.json"
+        args = ["serve", "--replicas", "2", "--requests", "8", "-n", "300",
+                "--trace", str(path)]
+        assert main(args) == 0
+        doc = load_trace(path)
+        assert doc["meta"]["component"] == "repro.serve"
+        assert doc["service"]["answered"] == 8.0
+        assert len(doc["replica"]) == 2
+
+    def test_replicas_reject_workers(self):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--replicas", "2", "--workers", "2", "--once",
+                  "-n", "100"])
+
+    def test_replicas_reject_frontier_flush(self):
+        with pytest.raises(SystemExit, match="--frontier-flush"):
+            main(["serve", "--replicas", "2", "--frontier-flush", "--once",
+                  "-n", "100"])
+
+    def test_cache_slots_require_replicas(self):
+        with pytest.raises(SystemExit, match="--cache-slots"):
+            main(["serve", "--cache-slots", "16", "--once", "-n", "100"])
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(SystemExit, match="--replicas"):
+            main(["serve", "--replicas", "0", "--once", "-n", "100"])
+
+
 class TestServiceBench:
     def test_sweep_prints_report(self, capsys):
         args = ["service-bench", "--windows", "1", "4", "--clients", "4",
@@ -240,6 +281,24 @@ class TestServiceBench:
         with pytest.raises(SystemExit, match="baseline"):
             main(["service-bench", "--windows", "4", "8", "--clients", "8",
                   "-n", "100", "--requests", "8", "--out", "-"])
+
+    def test_processes_sweep_adds_multiprocess_section(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_service.json"
+        args = ["service-bench", "--windows", "1", "4", "--clients", "8",
+                "-n", "200", "--requests", "24", "--processes", "1", "2",
+                "--out", str(out_path)]
+        assert main(args) == 0
+        doc = json.loads(out_path.read_text())
+        assert [r["replicas"] for r in doc["multiprocess"]["runs"]] == [1, 2]
+        assert "Multi-process serving" in capsys.readouterr().out
+
+    def test_bad_processes_exit(self):
+        with pytest.raises(SystemExit, match="baseline"):
+            main(["service-bench", "--windows", "1", "--clients", "8",
+                  "-n", "100", "--requests", "8", "--processes", "2",
+                  "--out", "-"])
 
 
 class TestUpdateBench:
